@@ -1,0 +1,107 @@
+"""A1 — ablation: cost-model predictions vs measured operator buffers.
+
+The planner's cost model (Section 3's analysis, quantified in
+repro.query.cost) predicts each operator's buffered points from frame
+geometry alone. This bench executes representative plans and compares
+predicted vs measured high-water marks — validating that the paper's
+complexity analysis is the right planning signal.
+"""
+
+import pytest
+
+from repro.engine import pipeline_report
+from repro.geo import BoundingBox
+from repro.query import ast as q
+from repro.query import estimate_query, plan_query
+from repro.query.cost import StreamProfile
+
+from conftest import make_imager
+
+SHAPE = (48, 96)
+
+
+@pytest.fixture(scope="module")
+def setup(scene, geos_crs):
+    imager = make_imager(scene, geos_crs, width=SHAPE[1], height=SHAPE[0], n_frames=1)
+    sources = {"goes.vis": imager.stream("vis"), "goes.nir": imager.stream("nir")}
+    profiles = {
+        sid: StreamProfile.from_metadata(s.metadata, imager.sector_lattice.bbox)
+        for sid, s in sources.items()
+    }
+    return imager, sources, profiles
+
+
+CASES = {
+    "stretch": (
+        q.Stretch(q.StreamRef("goes.vis"), "linear"),
+        "frame-stretch",
+    ),
+    "coarsen4": (
+        q.Coarsen(q.StreamRef("goes.vis"), 4),
+        "coarsen",
+    ),
+    "compose": (
+        q.Compose(q.StreamRef("goes.nir"), q.StreamRef("goes.vis"), "-"),
+        "composition",
+    ),
+    "rotate": (
+        q.Rotate(q.StreamRef("goes.vis"), 25.0),
+        "rotate",
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_predicted_vs_measured_buffer(benchmark, claims, setup, case):
+    imager, sources, profiles = setup
+    tree, op_name = CASES[case]
+
+    predicted, breakdown = estimate_query(tree, profiles)
+    predicted_buffer = max(b.op_buffer for b in breakdown)
+
+    def run():
+        plan = plan_query(tree, sources)
+        plan.collect_frames()
+        reports = pipeline_report(plan)
+        return [r for r in reports if r.name == op_name][0].max_buffered_points
+
+    measured = benchmark(run)
+    if predicted_buffer == 0:
+        ok = measured == 0
+        ratio_text = "0 == 0"
+    else:
+        ratio = measured / predicted_buffer
+        ok = 0.3 <= ratio <= 3.0
+        ratio_text = f"{ratio:.2f}"
+    claims.record(
+        "A1",
+        f"{case}: measured/predicted buffer",
+        ratio_text,
+        "within 3x of the model",
+        ok,
+    )
+
+
+def test_reprojection_band_fraction_calibration(benchmark, claims, setup):
+    """The model's 20% band-fraction constant should bound the geos->
+    plate-carree measurement (which is row-aligned, hence cheaper)."""
+    from repro.geo import plate_carree
+
+    imager, sources, profiles = setup
+    tree = q.Reproject(q.StreamRef("goes.vis"), plate_carree())
+    _, breakdown = estimate_query(tree, profiles)
+    predicted = max(b.op_buffer for b in breakdown)
+
+    def run():
+        plan = plan_query(tree, sources)
+        plan.collect_frames()
+        return [r for r in pipeline_report(plan) if r.name == "reproject"][0].max_buffered_points
+
+    measured = benchmark(run)
+    claims.record(
+        "A1",
+        "reproject: measured <= predicted band",
+        f"{measured} <= {predicted:.0f}",
+        "model is a safe upper bound",
+        measured <= predicted,
+    )

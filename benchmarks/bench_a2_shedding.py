@@ -1,0 +1,79 @@
+"""A2 — ablation: load shedding under overload.
+
+The paper's introduction situates GeoStreams within DSMS techniques
+including load shedding. This bench measures the frame-shedding policies:
+shed fraction tracks the budget deficit, output stays frame-complete, and
+shedding itself never buffers point data.
+"""
+
+import pytest
+
+from repro.operators import AdaptiveLoadShedder, FrameSubsampler
+
+from conftest import make_imager
+
+
+def _drain_frames(stream):
+    return len(stream.collect_frames())
+
+
+def test_subsampler_halves_output(benchmark, claims, scene, geos_crs):
+    imager = make_imager(scene, geos_crs, width=64, height=32, n_frames=4)
+    op = FrameSubsampler(2)
+    frames = benchmark(_drain_frames, imager.stream("vis").pipe(op))
+    claims.record(
+        "A2",
+        "keep-every-2 subsampler output frames (4 in)",
+        frames,
+        "2 (whole frames only)",
+        frames == 2,
+    )
+    claims.record(
+        "A2",
+        "subsampler buffered points",
+        op.stats.max_buffered_points,
+        "0 (gate, not buffer)",
+        op.stats.max_buffered_points == 0,
+    )
+
+
+@pytest.mark.parametrize("budget_fraction,expected_shed", [(1.0, 0.0), (0.5, 0.5)])
+def test_adaptive_shed_fraction_tracks_budget(
+    benchmark, claims, scene, geos_crs, budget_fraction, expected_shed
+):
+    imager = make_imager(scene, geos_crs, width=64, height=32, n_frames=8)
+    frame_points = imager.sector_lattice.n_points
+
+    def run():
+        op = AdaptiveLoadShedder(points_per_frame_budget=frame_points * budget_fraction)
+        imager.stream("vis").pipe(op).collect_frames()
+        return op.shed_fraction
+
+    shed = benchmark(run)
+    claims.record(
+        "A2",
+        f"adaptive shed fraction @ budget={budget_fraction:.0%} of downlink",
+        f"{shed:.2f}",
+        f"~{expected_shed:.2f} (1 - budget/rate)",
+        abs(shed - expected_shed) <= 0.15,
+    )
+
+
+def test_shed_frames_are_complete(benchmark, claims, scene, geos_crs):
+    """Shedding drops whole frames; survivors reassemble perfectly."""
+    imager = make_imager(scene, geos_crs, width=64, height=32, n_frames=4)
+    frame_points = imager.sector_lattice.n_points
+
+    def run():
+        op = AdaptiveLoadShedder(points_per_frame_budget=frame_points * 0.5)
+        frames = imager.stream("vis").pipe(op).collect_frames()
+        return all(f.n_points == frame_points for f in frames), len(frames)
+
+    complete, kept = benchmark(run)
+    claims.record(
+        "A2",
+        "surviving frames are complete",
+        f"{kept} kept, complete={complete}",
+        "no partial frames",
+        complete and kept >= 1,
+    )

@@ -1,0 +1,83 @@
+"""E1 — Section 3.1: restrictions are non-blocking with constant per-point
+cost independent of stream size.
+
+Measures: throughput of each restriction operator; buffer high-water mark
+(must be 0); per-point cost across a 4x spread of stream sizes (must be
+flat within noise).
+"""
+
+import time
+
+import pytest
+
+from repro.core import TimeInterval
+from repro.geo import BoundingBox
+from repro.operators import SpatialRestriction, TemporalRestriction, ValueRestriction
+
+from conftest import make_imager
+
+
+def subbox(imager, f0, f1):
+    box = imager.sector_lattice.bbox
+    return BoundingBox(
+        box.xmin + box.width * f0,
+        box.ymin + box.height * f0,
+        box.xmin + box.width * f1,
+        box.ymin + box.height * f1,
+        box.crs,
+    )
+
+
+def _drain(stream):
+    total = 0
+    for chunk in stream.chunks():
+        total += chunk.n_points
+    return total
+
+
+@pytest.mark.parametrize(
+    "make_op",
+    [
+        pytest.param(lambda im: SpatialRestriction(subbox(im, 0.25, 0.75)), id="spatial"),
+        pytest.param(lambda im: TemporalRestriction(TimeInterval(0.0, 1e12)), id="temporal"),
+        pytest.param(lambda im: ValueRestriction(lo=50.0, hi=900.0), id="value"),
+    ],
+)
+def test_restriction_throughput_and_zero_buffer(benchmark, claims, scene, geos_crs, make_op):
+    imager = make_imager(scene, geos_crs)
+    op = make_op(imager)
+    stream = imager.stream("vis").pipe(op)
+    benchmark(_drain, stream)
+    claims.record(
+        "E1",
+        f"{op.name}: max buffered points",
+        op.stats.max_buffered_points,
+        "0 (non-blocking)",
+        op.stats.max_buffered_points == 0,
+    )
+
+
+def test_per_point_cost_independent_of_stream_size(benchmark, claims, scene, geos_crs):
+    def measure(n_frames: int) -> float:
+        imager = make_imager(scene, geos_crs, n_frames=n_frames)
+        op = SpatialRestriction(subbox(imager, 0.25, 0.75))
+        # Pre-materialize the source so only the operator is timed.
+        chunks = imager.stream("vis").collect_chunks()
+        op.reset()
+        start = time.perf_counter()
+        for chunk in chunks:
+            for _ in op.process(chunk):
+                pass
+        elapsed = time.perf_counter() - start
+        return elapsed / op.stats.points_in * 1e9  # ns per point
+
+    cost_small = benchmark(measure, 1)
+    cost_large = measure(4)
+    ratio = cost_large / cost_small
+    claims.record(
+        "E1",
+        "per-point cost ratio (4 frames / 1 frame)",
+        f"{ratio:.2f}",
+        "~1.0 (size-independent)",
+        0.5 < ratio < 2.0,
+    )

@@ -1,0 +1,72 @@
+"""E3 — Fig. 2a: magnification needs no neighbours (zero buffer); a 1/k
+resolution decrease buffers a k-row band (k x k neighbourhood per output
+point).
+
+Measures: buffer high-water marks as k sweeps; throughput of both
+directions; full-frame rotation as the frame-buffered extreme.
+"""
+
+import pytest
+
+from repro.operators import Coarsen, Magnify, Rotate
+
+from conftest import make_imager
+
+
+def _drain(stream):
+    total = 0
+    for chunk in stream.chunks():
+        total += chunk.n_points
+    return total
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_magnify_zero_buffer(benchmark, claims, scene, geos_crs, k):
+    imager = make_imager(scene, geos_crs, width=64, height=32, n_frames=1)
+    op = Magnify(k)
+    stream = imager.stream("vis").pipe(op)
+    points = benchmark(_drain, stream)
+    claims.record(
+        "E3",
+        f"magnify k={k} buffer",
+        op.stats.max_buffered_points,
+        "0 (no neighbours needed)",
+        op.stats.max_buffered_points == 0,
+    )
+    claims.record(
+        "E3",
+        f"magnify k={k} output points",
+        points,
+        f"{64 * 32 * k * k} (k^2 x input)",
+        points == 64 * 32 * k * k,
+    )
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_coarsen_buffers_k_rows(benchmark, claims, scene, geos_crs, k):
+    width, height = 64, 32
+    imager = make_imager(scene, geos_crs, width=width, height=height, n_frames=1)
+    op = Coarsen(k)
+    stream = imager.stream("vis").pipe(op)
+    benchmark(_drain, stream)
+    claims.record(
+        "E3",
+        f"coarsen k={k} buffer (rows of {width})",
+        op.stats.max_buffered_points,
+        f"{k * width} (k-row band)",
+        op.stats.max_buffered_points == k * width,
+    )
+
+
+def test_rotation_buffers_full_frame(benchmark, claims, scene, geos_crs):
+    imager = make_imager(scene, geos_crs, width=64, height=32, n_frames=1)
+    op = Rotate(30.0)
+    stream = imager.stream("vis").pipe(op)
+    benchmark(_drain, stream)
+    claims.record(
+        "E3",
+        "rotate 30deg buffer",
+        op.stats.max_buffered_points,
+        f"{64 * 32} (whole frame)",
+        op.stats.max_buffered_points == 64 * 32,
+    )

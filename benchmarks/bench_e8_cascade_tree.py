@@ -1,0 +1,130 @@
+"""E8 — Section 4 / ref [10]: a shared cascade-tree restriction stage
+evaluates many concurrent query regions far faster than per-query
+filtering, with the gap growing in the number of registered queries.
+
+Measures: stab and window-query throughput of cascade tree vs uniform
+grid vs naive scan at increasing query counts; dynamic insert/remove
+cost; end-to-end DSMS prune effect.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.index import CascadeTree, GridRegionIndex, NaiveRegionIndex
+
+DOMAIN = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+def build_index(kind: str, n: int, seed: int = 7):
+    rng = random.Random(seed)
+    if kind == "naive":
+        index = NaiveRegionIndex()
+    elif kind == "grid":
+        index = GridRegionIndex(DOMAIN, 32, 32)
+    else:
+        index = CascadeTree()
+    for i in range(n):
+        x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+        w, h = rng.uniform(5, 50), rng.uniform(5, 50)
+        index.insert(i, BoundingBox(x, y, x + w, y + h))
+    return index
+
+
+def make_probes(count: int, seed: int = 11):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("n", [100, 800])
+@pytest.mark.parametrize("kind", ["naive", "grid", "cascade"])
+def test_stab_throughput(benchmark, kind, n):
+    index = build_index(kind, n)
+    probes = make_probes(500)
+
+    def stab_all():
+        hits = 0
+        for x, y in probes:
+            hits += len(index.stab(x, y))
+        return hits
+
+    benchmark(stab_all)
+
+
+def test_cascade_beats_naive_and_gap_grows(benchmark, claims):
+    probes = make_probes(400)
+
+    def timed_stabs(index):
+        start = time.perf_counter()
+        for x, y in probes:
+            index.stab(x, y)
+        return time.perf_counter() - start
+
+    speedups = {}
+    for n in (200, 2000):
+        naive = build_index("naive", n)
+        cascade = build_index("cascade", n)
+        t_naive = timed_stabs(naive)
+        t_cascade = timed_stabs(cascade)
+        speedups[n] = t_naive / t_cascade
+    benchmark.pedantic(lambda: timed_stabs(build_index("cascade", 2000)), rounds=1, iterations=1)
+    claims.record(
+        "E8",
+        "cascade speedup over naive @200 queries",
+        f"{speedups[200]:.1f}x",
+        "> 1x",
+        speedups[200] > 1.0,
+    )
+    claims.record(
+        "E8",
+        "cascade speedup over naive @2000 queries",
+        f"{speedups[2000]:.1f}x",
+        "larger than @200 (gap grows)",
+        speedups[2000] > speedups[200],
+    )
+
+
+@pytest.mark.parametrize("kind", ["naive", "grid", "cascade"])
+def test_window_query_throughput(benchmark, kind):
+    index = build_index(kind, 800)
+    rng = random.Random(3)
+    windows = [
+        BoundingBox(x, y, x + 40.0, y + 40.0)
+        for x, y in ((rng.uniform(0, 950), rng.uniform(0, 950)) for _ in range(200))
+    ]
+
+    def query_all():
+        hits = 0
+        for w in windows:
+            hits += len(index.overlapping(w))
+        return hits
+
+    benchmark(query_all)
+
+
+def test_dynamic_registration_churn(benchmark, claims):
+    """Continuous queries come and go; the tree must stay correct and fast."""
+
+    def churn():
+        rng = random.Random(5)
+        index = CascadeTree()
+        live = []
+        for i in range(2000):
+            if live and rng.random() < 0.4:
+                index.remove(live.pop(rng.randrange(len(live))))
+            else:
+                x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+                index.insert(i, BoundingBox(x, y, x + 20.0, y + 20.0))
+                live.append(i)
+        return len(index)
+
+    size = benchmark(churn)
+    claims.record(
+        "E8",
+        "cascade tree survives insert/remove churn",
+        f"{size} live",
+        "> 0, no corruption",
+        size > 0,
+    )

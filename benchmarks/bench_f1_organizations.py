@@ -1,0 +1,85 @@
+"""F1 — Fig. 1: the three instrument point organizations, their generation
+throughput, and the spatial-proximity property of consecutive points.
+
+Measures: points/second produced by each simulated instrument; the ratio
+between the cross-frame jump and the within-frame step for the airborne
+camera (the paper's "only close temporal proximity" case).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo import haversine_m
+from repro.ingest import AirborneCamera, GOESImager, LidarScanner
+
+from conftest import DAY_T0, make_imager
+
+
+def _drain(stream):
+    total = 0
+    for chunk in stream.chunks():
+        total += chunk.n_points
+    return total
+
+
+def test_goes_row_by_row_throughput(benchmark, claims, scene, geos_crs):
+    imager = make_imager(scene, geos_crs, width=96, height=48, n_frames=1)
+    points = benchmark(_drain, imager.stream("vis"))
+    claims.record(
+        "F1", "GOES rows emitted as chunks", points, f"{96 * 48} points", points == 96 * 48
+    )
+
+
+def test_airborne_image_by_image_throughput(benchmark, scene):
+    cam = AirborneCamera(scene=scene, n_frames=6, frame_width=48, frame_height=32)
+    benchmark(_drain, cam.stream())
+
+
+def test_lidar_point_by_point_throughput(benchmark, scene):
+    lidar = LidarScanner(scene=scene, n_points=5_000, points_per_chunk=500)
+    benchmark(_drain, lidar.stream())
+
+
+def test_frame_boundary_proximity_jump(benchmark, claims, scene):
+    """Consecutive points are spatially close except across frame
+    boundaries (Fig. 1a) — quantified as a jump ratio."""
+    cam = AirborneCamera(
+        scene=scene, n_frames=3, frame_width=24, frame_height=18, frame_spacing_deg=0.5
+    )
+
+    def measure():
+        chunks = cam.stream().collect_chunks()
+        lon0, lat0 = chunks[0].flat_coords()
+        within = float(np.median(haversine_m(lon0[:-1], lat0[:-1], lon0[1:], lat0[1:])))
+        lon1, lat1 = chunks[1].flat_coords()
+        between = float(haversine_m(lon0[-1], lat0[-1], lon1[0], lat1[0]))
+        return between / within
+
+    ratio = benchmark(measure)
+    claims.record(
+        "F1",
+        "airborne frame-boundary jump / in-frame step",
+        f"{ratio:.0f}x",
+        ">> 1 (only temporal proximity)",
+        ratio > 10.0,
+    )
+
+
+def test_lidar_has_no_regular_lattice(benchmark, claims, scene):
+    lidar = LidarScanner(scene=scene, n_points=2_000, points_per_chunk=500)
+
+    def spacing_cv():
+        chunks = lidar.stream().collect_chunks()
+        x = np.concatenate([c.x for c in chunks])
+        y = np.concatenate([c.y for c in chunks])
+        d = haversine_m(x[:-1], y[:-1], x[1:], y[1:])
+        return float(np.std(d) / np.mean(d))
+
+    cv = benchmark(spacing_cv)
+    claims.record(
+        "F1",
+        "LIDAR consecutive-spacing coefficient of variation",
+        f"{cv:.3f}",
+        "> 0 (non-uniform lattice)",
+        cv > 0.01,
+    )

@@ -1,0 +1,82 @@
+"""Benchmark harness support: the per-experiment claims table.
+
+Each benchmark measures timing through pytest-benchmark *and* records the
+paper-claim metrics (buffer high-water marks, point counts, speedups) in
+a session-wide table printed in the terminal summary — that table is what
+EXPERIMENTS.md's measured columns are transcribed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.geo import goes_geostationary
+from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
+
+DAY_T0 = 72_000.0
+
+
+@dataclass
+class ClaimRow:
+    experiment: str
+    metric: str
+    value: str
+    expectation: str
+    ok: bool
+
+
+@dataclass
+class ClaimTable:
+    rows: list[ClaimRow] = field(default_factory=list)
+
+    def record(
+        self, experiment: str, metric: str, value: object, expectation: str, ok: bool
+    ) -> None:
+        self.rows.append(ClaimRow(experiment, metric, str(value), expectation, ok))
+        assert ok, f"{experiment} / {metric}: got {value}, expected {expectation}"
+
+
+_TABLE = ClaimTable()
+
+
+@pytest.fixture(scope="session")
+def claims() -> ClaimTable:
+    return _TABLE
+
+
+@pytest.fixture(scope="session")
+def scene() -> SyntheticEarth:
+    return SyntheticEarth(seed=7)
+
+
+@pytest.fixture(scope="session")
+def geos_crs():
+    return goes_geostationary(-135.0)
+
+
+def make_imager(scene, geos_crs, width=96, height=48, n_frames=2, **kw) -> GOESImager:
+    sector = western_us_sector(geos_crs, width=width, height=height)
+    kw.setdefault("t0", DAY_T0)
+    return GOESImager(scene=scene, sector_lattice=sector, n_frames=n_frames, **kw)
+
+
+@pytest.fixture(scope="session")
+def bench_imager(scene, geos_crs) -> GOESImager:
+    return make_imager(scene, geos_crs)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _TABLE.rows:
+        return
+    tr = terminalreporter
+    tr.section("paper-claim measurements (transcribed into EXPERIMENTS.md)")
+    header = f"{'exp':<5} {'metric':<46} {'measured':>16} {'expected':<28} ok"
+    tr.write_line(header)
+    tr.write_line("-" * len(header))
+    for row in _TABLE.rows:
+        tr.write_line(
+            f"{row.experiment:<5} {row.metric:<46.46} {row.value:>16.16} "
+            f"{row.expectation:<28.28} {'Y' if row.ok else 'N'}"
+        )

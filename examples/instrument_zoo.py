@@ -1,0 +1,75 @@
+"""Figure 1 reproduction: the three point-set organizations.
+
+Generates streams from all three simulated instruments and prints, for
+each, the organization plus spatial-proximity statistics between
+consecutive points — demonstrating the paper's observation that
+"consecutive points in a GeoStream have a close spatial proximity ...
+except for the case where the last point of one frame is followed by the
+first point of a new frame".
+
+Run:  python examples/instrument_zoo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AirborneCamera, GOESImager, LidarScanner
+from repro.geo import haversine_m
+from repro.ingest import SyntheticEarth
+
+
+def proximity_profile(xs: np.ndarray, ys: np.ndarray) -> tuple[float, float, float]:
+    """(median, p99, max) distance in meters between consecutive points."""
+    d = haversine_m(xs[:-1], ys[:-1], xs[1:], ys[1:])
+    return float(np.median(d)), float(np.percentile(d, 99)), float(d.max())
+
+
+def coords_of(stream) -> tuple[np.ndarray, np.ndarray]:
+    xs, ys = [], []
+    for chunk in stream.chunks():
+        if hasattr(chunk, "lattice"):
+            lon, lat = chunk.lattice.crs.to_lonlat(*chunk.flat_coords())
+        else:
+            lon, lat = chunk.x, chunk.y
+        xs.append(np.asarray(lon).ravel())
+        ys.append(np.asarray(lat).ravel())
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def main() -> None:
+    scene = SyntheticEarth(seed=7)
+
+    instruments = {
+        "airborne camera (Fig. 1a)": AirborneCamera(
+            scene=scene, n_frames=4, frame_width=24, frame_height=18,
+            frame_spacing_deg=0.4,
+        ).stream(),
+        "GOES imager (Fig. 1b)": GOESImager(
+            scene=scene, n_frames=1, t0=72_000.0
+        ).stream("vis"),
+        "LIDAR (Fig. 1c)": LidarScanner(
+            scene=scene, n_points=2_000, points_per_chunk=250
+        ).stream(),
+    }
+
+    print(f"{'instrument':<28} {'organization':<16} {'median step':>12} "
+          f"{'p99 step':>12} {'max step':>12}")
+    print("-" * 84)
+    for name, stream in instruments.items():
+        xs, ys = coords_of(stream)
+        med, p99, mx = proximity_profile(xs, ys)
+        print(
+            f"{name:<28} {stream.organization.value:<16} "
+            f"{med:>10.0f} m {p99:>10.0f} m {mx:>10.0f} m"
+        )
+
+    print(
+        "\nNote the airborne camera's max step: the jump between frames that\n"
+        "cover different spatial regions — only *temporal* proximity holds\n"
+        "there, exactly as the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

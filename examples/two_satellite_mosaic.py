@@ -1,0 +1,93 @@
+"""Two-satellite mosaic: composing GOES-West and GOES-East.
+
+Each geostationary satellite sees the Earth from its own fixed grid, with
+its own distortions and its own blind regions. Re-projecting both onto a
+*shared* latitude/longitude lattice makes them composable (Def. 10's
+same-point-lattice precondition), and the NaN-aware ``mosaic`` kernel
+fills each pixel from whichever satellite covers it:
+
+    mosaic(reproject(G_west, L), reproject(G_east, L))
+
+Run:  python examples/two_satellite_mosaic.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro import GOESImager
+from repro.core import GridLattice
+from repro.engine import compose_streams
+from repro.geo import BoundingBox, plate_carree
+from repro.ingest import SyntheticEarth, western_us_sector
+from repro.operators import Reproject, StreamComposition, reflectance
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+# A deliberately over-wide area: neither satellite sees all of it, so the
+# mosaic demonstrably fills each platform's blind edge from the other.
+WIDE_BOX = (-170.0, 5.0, -30.0, 50.0)
+
+
+def build_imager(scene: SyntheticEarth, lon_0: float) -> GOESImager:
+    """A satellite at ``lon_0`` scanning the same CONUS-wide sector."""
+    crs = None
+    from repro.geo import goes_geostationary
+
+    crs = goes_geostationary(lon_0)
+    # Image of the CONUS lon/lat box in this satellite's fixed grid.
+    from repro.geo import LATLON
+
+    geo_box = BoundingBox(*WIDE_BOX, LATLON).transformed(crs)
+    sector = GridLattice.from_bbox(
+        geo_box, dx=geo_box.width / 160, dy=geo_box.height / 64, crs=crs
+    )
+    return GOESImager(
+        scene=scene, lon_0=lon_0, sector_lattice=sector, n_frames=2, t0=72_000.0
+    )
+
+
+def main() -> None:
+    scene = SyntheticEarth(seed=7)
+    west = build_imager(scene, -135.0)  # GOES-West
+    east = build_imager(scene, -75.0)  # GOES-East
+
+    # The shared target lattice both satellites re-project onto.
+    pc = plate_carree()
+    geo = BoundingBox(*WIDE_BOX)
+    x0, y0 = pc.from_lonlat(geo.xmin, geo.ymin)
+    x1, y1 = pc.from_lonlat(geo.xmax, geo.ymax)
+    target_box = BoundingBox(float(x0), float(y0), float(x1), float(y1), pc)
+    target = GridLattice.from_bbox(
+        target_box, dx=target_box.width / 192, dy=target_box.height / 72, crs=pc
+    )
+
+    west_view = reflectance(west.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+    east_view = reflectance(east.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+
+    op = StreamComposition("mosaic", band="vis-mosaic")
+    mosaic = compose_streams(west_view, east_view, op)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for i, frame in enumerate(mosaic.collect_frames()):
+        w = west_view.collect_frames()[i].values
+        e = east_view.collect_frames()[i].values
+        cov_w = np.isfinite(w).mean()
+        cov_e = np.isfinite(e).mean()
+        cov_m = np.isfinite(frame.values).mean()
+        path = OUTPUT_DIR / f"mosaic_{i}.png"
+        path.write_bytes(frame.to_png_bytes())
+        print(
+            f"sector {frame.sector}: coverage west={cov_w:.0%} east={cov_e:.0%} "
+            f"mosaic={cov_m:.0%} -> {path.name}"
+        )
+    print(
+        "\nThe mosaic's coverage meets or exceeds either satellite alone — "
+        "each pixel is served by whichever platform sees it."
+    )
+
+
+if __name__ == "__main__":
+    main()

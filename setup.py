@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline target environment lacks the ``wheel`` package, which breaks
+PEP 517 editable installs; this shim lets ``pip install -e .`` use the
+legacy setuptools path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["geostreams=repro.cli:main"]},
+)

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+A small operational front door over the library, driving the built-in
+simulated GOES catalog::
+
+    geostreams streams
+    geostreams explain "within(ndvi(reflectance(goes.nir), reflectance(goes.vis)), \\
+                        bbox(-124, 36, -119, 41, crs='latlon'))"
+    geostreams query   "stretch(reflectance(goes.vis), 'linear')" --frames 2 --out ./png
+    geostreams serve-demo --clients 4
+
+(Also runnable as ``python -m repro.cli ...``.) Regions given in
+``latlon`` are transformed onto the satellite's fixed grid automatically
+by the planner's safety net, so queries can be written in plain
+geographic coordinates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Sequence
+
+from .engine import format_report, pipeline_report
+from .errors import GeoStreamsError
+from .ingest import GOESImager, SyntheticEarth
+from .query import estimate_query, optimize, parse_query, plan_query
+from .server import DSMSServer, StreamCatalog, format_query_request
+
+__all__ = ["main", "build_demo_catalog"]
+
+
+def build_demo_catalog(
+    seed: int = 7, n_frames: int = 2, width: int = 192, height: int = 96
+) -> tuple[GOESImager, StreamCatalog]:
+    """The demo environment: one GOES-West-like imager, both bands."""
+    from .geo import goes_geostationary
+    from .ingest import western_us_sector
+
+    crs = goes_geostationary(-135.0)
+    sector = western_us_sector(crs, width=width, height=height)
+    imager = GOESImager(
+        scene=SyntheticEarth(seed=seed),
+        sector_lattice=sector,
+        n_frames=n_frames,
+        t0=72_000.0,
+    )
+    catalog = StreamCatalog()
+    catalog.register_imager(imager)
+    return imager, catalog
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="scene seed (default 7)")
+    parser.add_argument("--frames", type=int, default=2, help="scan frames to simulate")
+    parser.add_argument(
+        "--sector", type=int, nargs=2, metavar=("WIDTH", "HEIGHT"), default=(192, 96),
+        help="scan sector size in pixels (default 192 96)",
+    )
+
+
+def cmd_streams(args: argparse.Namespace) -> int:
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    for sid in catalog.ids():
+        stream = catalog.get(sid)
+        meta = stream.metadata
+        print(
+            f"{sid:<12} band={meta.band:<4} crs={meta.crs.name:<12} "
+            f"org={meta.organization.value:<14} frame={meta.max_frame_shape}"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    tree = parse_query(args.query)
+    print("parsed:")
+    print(tree.pretty(indent=1))
+    result = optimize(tree, dict(catalog.crs_of()))
+    print("\noptimized (rules: " + (", ".join(result.applied) or "none") + "):")
+    print(result.node.pretty(indent=1))
+    profiles = catalog.profiles()
+    try:
+        before, _ = estimate_query(tree, profiles)
+        after, _ = estimate_query(result.node, profiles)
+        print(
+            f"\nestimated per-frame work: {before.work:,.0f} -> {after.work:,.0f} "
+            f"point-touches; buffered points: {before.buffer:,.0f} -> {after.buffer:,.0f}"
+        )
+    except GeoStreamsError as exc:
+        print(f"\n(cost estimate unavailable: {exc})")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    tree = parse_query(args.query)
+    if not args.no_optimize:
+        tree = optimize(tree, dict(catalog.crs_of())).node
+    sources = {sid: catalog.get(sid) for sid in catalog.ids()}
+    plan = plan_query(tree, sources)
+    start = time.perf_counter()
+    frames = plan.collect_frames()
+    elapsed = time.perf_counter() - start
+    print(f"{len(frames)} frames in {elapsed:.3f}s")
+    print(format_report(pipeline_report(plan)))
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for i, frame in enumerate(frames):
+            path = out_dir / f"frame_{i:03d}.png"
+            path.write_bytes(frame.to_png_bytes())
+        print(f"wrote {len(frames)} PNGs to {out_dir}")
+    return 0
+
+
+def cmd_serve_demo(args: argparse.Namespace) -> int:
+    imager, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    server = DSMSServer(catalog)
+    box = imager.sector_lattice.bbox
+    sessions = []
+    for i in range(args.clients):
+        f0 = 0.7 * i / max(args.clients, 1)
+        region = (
+            f"bbox({box.xmin + box.width * f0!r}, {box.ymin + box.height * f0!r}, "
+            f"{box.xmin + box.width * (f0 + 0.25)!r}, "
+            f"{box.ymin + box.height * (f0 + 0.25)!r}, crs='geos:-135')"
+        )
+        text = (
+            "within(stretch(ndvi(reflectance(goes.nir), reflectance(goes.vis)),"
+            f" 'linear'), {region})"
+            if i % 2 == 0
+            else f"within(reflectance(goes.vis), {region})"
+        )
+        session = server.handle_request(format_query_request(text))
+        sessions.append(session)
+        print(f"client {i}: session #{session.session_id}, "
+              f"rewrites: {', '.join(sorted(set(session.applied_rules))) or 'none'}")
+    start = time.perf_counter()
+    stats = server.run()
+    elapsed = time.perf_counter() - start
+    print(
+        f"\nscan: {stats.chunks_scanned} chunks in {elapsed:.2f}s; routing pruned "
+        f"{stats.prune_fraction:.0%} of (chunk, query) pairs"
+    )
+    for session in sessions:
+        print(
+            f"session #{session.session_id}: {len(session.frames)} frames, "
+            f"{len(session.records)} records, {session.points_received} points"
+        )
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    from .io import write_archive
+
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for sid in catalog.ids():
+        path = out_dir / f"{sid.replace('.', '_')}.gsar"
+        chunks = write_archive(catalog.get(sid), path)
+        print(f"{sid}: {chunks} chunks -> {path} ({path.stat().st_size / 1024:,.0f} KiB)")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .server import StreamCatalog
+
+    catalog = StreamCatalog()
+    for path in args.archives:
+        stream = catalog.register_archive(path)
+        print(f"registered {stream.stream_id!r} from {path}")
+    tree = parse_query(args.query)
+    if not args.no_optimize:
+        tree = optimize(tree, dict(catalog.crs_of())).node
+    sources = {sid: catalog.get(sid) for sid in catalog.ids()}
+    plan = plan_query(tree, sources)
+    frames = plan.collect_frames()
+    print(f"{len(frames)} frames replayed")
+    print(format_report(pipeline_report(plan)))
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for i, frame in enumerate(frames):
+            (out_dir / f"replay_{i:03d}.png").write_bytes(frame.to_png_bytes())
+        print(f"wrote {len(frames)} PNGs to {out_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="geostreams",
+        description="GeoStreams demo CLI (EDBT 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("streams", help="list the demo catalog")
+    _add_common(p)
+    p.set_defaults(func=cmd_streams)
+
+    p = sub.add_parser("explain", help="parse, optimize, and cost a query")
+    p.add_argument("query", help="query text (see repro.query.parser)")
+    _add_common(p)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("query", help="execute a query and optionally write PNGs")
+    p.add_argument("query", help="query text")
+    p.add_argument("--out", default=None, help="directory for PNG output")
+    p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
+    _add_common(p)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("serve-demo", help="run the multi-client DSMS demo")
+    p.add_argument("--clients", type=int, default=4, help="number of demo clients")
+    _add_common(p)
+    p.set_defaults(func=cmd_serve_demo)
+
+    p = sub.add_parser("archive", help="capture the demo downlink to .gsar files")
+    p.add_argument("--out", default="./archives", help="output directory")
+    _add_common(p)
+    p.set_defaults(func=cmd_archive)
+
+    p = sub.add_parser("replay", help="run a query against archived streams")
+    p.add_argument("archives", nargs="+", help=".gsar files to register")
+    p.add_argument("query", help="query text over the archived stream ids")
+    p.add_argument("--out", default=None, help="directory for PNG output")
+    p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except GeoStreamsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

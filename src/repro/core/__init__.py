@@ -1,0 +1,67 @@
+"""Core data model: point lattices, value sets, chunks, images, GeoStreams.
+
+Implements Definitions 1-5 of the paper (point set, value set, stream,
+image, GeoStream) plus the temporal restriction domains of Definition 7.
+"""
+
+from .chunk import Chunk, GridChunk, PointChunk, TimestampPolicy
+from .image import RasterImage, assemble_frames
+from .lattice import GridLattice
+from .metadata import FrameInfo
+from .stream import GeoStream, Organization, StreamMetadata
+from .timeset import (
+    AllTime,
+    RecurringInterval,
+    TimeInstants,
+    TimeInterval,
+    TimeIntervalSet,
+    TimeIntersection,
+    TimeSet,
+    TimeUnion,
+    intersect_timesets,
+)
+from .valueset import (
+    FLOAT32,
+    FLOAT64,
+    GRAY8,
+    GRAY10,
+    GRAY16,
+    NDVI_VALUES,
+    REFLECTANCE,
+    RGB8,
+    ValueSet,
+    promote,
+)
+
+__all__ = [
+    "Chunk",
+    "GridChunk",
+    "PointChunk",
+    "TimestampPolicy",
+    "RasterImage",
+    "assemble_frames",
+    "GridLattice",
+    "FrameInfo",
+    "GeoStream",
+    "Organization",
+    "StreamMetadata",
+    "TimeSet",
+    "AllTime",
+    "TimeInstants",
+    "TimeInterval",
+    "TimeIntervalSet",
+    "TimeIntersection",
+    "TimeUnion",
+    "RecurringInterval",
+    "intersect_timesets",
+    "ValueSet",
+    "GRAY8",
+    "GRAY10",
+    "GRAY16",
+    "RGB8",
+    "FLOAT32",
+    "FLOAT64",
+    "REFLECTANCE",
+    "NDVI_VALUES",
+    "promote",
+]

@@ -1,0 +1,143 @@
+"""Images (Def. 4): same-timestamp subsets of a stream, materialized.
+
+A :class:`RasterImage` is a complete frame assembled from stream chunks —
+the object the paper calls "a raster image consisting of a rectangular
+grid of pixels". :func:`assemble_frames` turns a chunk iterator back into
+images, which is what the delivery operator and all examples use to
+render results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import StreamError
+from .chunk import Chunk, GridChunk, PointChunk
+from .lattice import GridLattice
+
+__all__ = ["RasterImage", "assemble_frames"]
+
+
+@dataclass(frozen=True)
+class RasterImage:
+    """A materialized raster frame: values plus georeferencing."""
+
+    values: np.ndarray
+    lattice: GridLattice
+    band: str
+    t: float
+    sector: int | None = None
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        object.__setattr__(self, "values", values)
+        if values.shape[:2] != self.lattice.shape:
+            raise StreamError(
+                f"image values shape {values.shape[:2]} does not match lattice "
+                f"shape {self.lattice.shape}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.lattice.shape
+
+    @property
+    def n_points(self) -> int:
+        return self.lattice.n_points
+
+    def value_at(self, x: float, y: float) -> float | np.ndarray:
+        """Nearest-pixel value at native coordinates (x, y)."""
+        row = int(self.lattice.row_of_y(y))
+        col = int(self.lattice.col_of_x(x))
+        if not (0 <= row < self.lattice.height and 0 <= col < self.lattice.width):
+            raise StreamError(f"({x}, {y}) lies outside the image extent")
+        return self.values[row, col]
+
+    def to_chunk(self, last_in_frame: bool = True) -> GridChunk:
+        """Repackage this image as a single whole-frame chunk."""
+        return GridChunk(
+            values=self.values,
+            lattice=self.lattice,
+            band=self.band,
+            t=self.t,
+            sector=self.sector,
+            last_in_frame=last_in_frame,
+        )
+
+    def to_png_bytes(self) -> bytes:
+        """Encode as PNG (grayscale 8/16-bit or RGB8) via repro.raster.png."""
+        from ..raster.png import encode_image
+
+        return encode_image(self.values)
+
+
+def _fill_value(dtype: np.dtype) -> float:
+    return np.nan if np.issubdtype(dtype, np.floating) else 0
+
+
+def assemble_frames(chunks: Iterable[Chunk]) -> Iterator[RasterImage]:
+    """Reassemble a chunk sequence into complete frames.
+
+    Chunks carrying :class:`~repro.core.metadata.FrameInfo` are pasted into
+    a canvas of the frame's full lattice; a frame is emitted when its
+    ``last_in_frame`` chunk arrives or a chunk of a different frame id
+    shows up (out-of-order frames are not supported — streams are ordered
+    by time, as in the paper's model). Frameless grid chunks pass through
+    as single-chunk images. Point chunks cannot be assembled into rasters
+    and raise :class:`~repro.errors.StreamError`.
+    """
+    canvas: np.ndarray | None = None
+    canvas_frame_id: int | None = None
+    canvas_lattice: GridLattice | None = None
+    meta: tuple[str, float, int | None] | None = None
+
+    def finish() -> RasterImage:
+        assert canvas is not None and canvas_lattice is not None and meta is not None
+        band, t, sector = meta
+        return RasterImage(canvas, canvas_lattice, band, t, sector)
+
+    for chunk in chunks:
+        if isinstance(chunk, PointChunk):
+            raise StreamError("point chunks cannot be assembled into raster frames")
+        if chunk.frame is None:
+            if canvas is not None:
+                yield finish()
+                canvas = canvas_frame_id = canvas_lattice = meta = None
+            yield RasterImage(chunk.values, chunk.lattice, chunk.band, chunk.t, chunk.sector)
+            continue
+
+        frame = chunk.frame
+        if canvas is not None and frame.frame_id != canvas_frame_id:
+            yield finish()
+            canvas = None
+        if canvas is None:
+            shape = frame.lattice.shape
+            if chunk.values.ndim == 3:
+                shape = shape + (chunk.values.shape[2],)
+            canvas = np.full(shape, _fill_value(chunk.values.dtype), dtype=chunk.values.dtype)
+            canvas_frame_id = frame.frame_id
+            canvas_lattice = frame.lattice
+            meta = (chunk.band, chunk.t, chunk.sector)
+        h, w = chunk.lattice.shape
+        if (
+            chunk.row0 < 0
+            or chunk.col0 < 0
+            or chunk.row0 + h > canvas.shape[0]
+            or chunk.col0 + w > canvas.shape[1]
+        ):
+            raise StreamError(
+                f"chunk window ({chunk.row0},{chunk.col0})+({h}x{w}) exceeds its "
+                f"frame lattice {canvas.shape[:2]}"
+            )
+        canvas[chunk.row0 : chunk.row0 + h, chunk.col0 : chunk.col0 + w] = chunk.values
+        # Keep the frame's timestamp at the latest chunk's measured time.
+        meta = (chunk.band, chunk.t, chunk.sector)
+        if chunk.last_in_frame:
+            yield finish()
+            canvas = canvas_frame_id = canvas_lattice = meta = None
+
+    if canvas is not None:
+        yield finish()

@@ -1,0 +1,42 @@
+"""Stream and scan-sector metadata.
+
+Section 3.2 of the paper notes that spatial transform operators avoid
+blocking "by utilizing auxiliary information about the spatial region
+currently scanned by an instrument and added as metadata to the stream of
+image data". :class:`FrameInfo` is that auxiliary information: every chunk
+an instrument emits can carry the identity and full spatial extent of the
+frame (scan sector) it belongs to, plus its offset within the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lattice import GridLattice
+
+__all__ = ["FrameInfo"]
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Identity and full extent of the frame a chunk belongs to.
+
+    Parameters
+    ----------
+    frame_id:
+        Monotonically increasing frame (scan) counter within a stream.
+    lattice:
+        The *complete* frame's lattice — the spatial region currently
+        scanned — even when the chunk itself covers only one row of it.
+    """
+
+    frame_id: int
+    lattice: GridLattice
+
+    @property
+    def n_rows(self) -> int:
+        return self.lattice.height
+
+    @property
+    def n_cols(self) -> int:
+        return self.lattice.width

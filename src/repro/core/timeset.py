@@ -1,0 +1,249 @@
+"""Temporal restriction domains (Def. 7).
+
+The paper allows the timestamp set ``T`` of a temporal restriction to be a
+collection of points in time, an (open) interval, or a set of re-occurring
+intervals ("only data during a specific time period every day"). Timestamps
+are plain floats; when a stream is sector-stamped the same machinery
+restricts over integer sector identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import QueryError
+
+__all__ = [
+    "TimeSet",
+    "AllTime",
+    "TimeInstants",
+    "TimeInterval",
+    "TimeIntervalSet",
+    "RecurringInterval",
+    "TimeIntersection",
+    "TimeUnion",
+    "intersect_timesets",
+]
+
+
+class TimeSet:
+    """Abstract set of timestamps."""
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        """Vectorized membership test."""
+        raise NotImplementedError
+
+    def contains_scalar(self, t: float) -> bool:
+        return bool(np.asarray(self.contains(np.asarray([float(t)])))[0])
+
+    def bounds(self) -> tuple[float, float]:
+        """(earliest, latest) possible member; may be infinite."""
+        raise NotImplementedError
+
+    @property
+    def definitely_empty(self) -> bool:
+        lo, hi = self.bounds()
+        return lo > hi
+
+
+class AllTime(TimeSet):
+    """The unrestricted temporal domain."""
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        return np.ones(np.shape(np.asarray(t)), dtype=bool)
+
+    def bounds(self) -> tuple[float, float]:
+        return (-math.inf, math.inf)
+
+    def __repr__(self) -> str:
+        return "AllTime()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AllTime)
+
+    def __hash__(self) -> int:
+        return hash("AllTime")
+
+
+@dataclass(frozen=True)
+class TimeInstants(TimeSet):
+    """A finite collection of points in time, matched to a tolerance."""
+
+    instants: tuple[float, ...]
+    tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not self.instants:
+            raise QueryError("TimeInstants needs at least one instant")
+        object.__setattr__(self, "instants", tuple(sorted(float(v) for v in self.instants)))
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        inst = np.asarray(self.instants)
+        # |t - nearest instant| <= tol via searchsorted on the sorted instants.
+        idx = np.searchsorted(inst, t)
+        best = np.full(t.shape, np.inf)
+        for cand in (np.clip(idx - 1, 0, inst.size - 1), np.clip(idx, 0, inst.size - 1)):
+            best = np.minimum(best, np.abs(t - inst[cand]))
+        return best <= self.tolerance
+
+    def bounds(self) -> tuple[float, float]:
+        return (self.instants[0] - self.tolerance, self.instants[-1] + self.tolerance)
+
+
+@dataclass(frozen=True)
+class TimeInterval(TimeSet):
+    """A single interval; endpoints may be infinite and open or closed."""
+
+    start: float = -math.inf
+    end: float = math.inf
+    closed_start: bool = True
+    closed_end: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise QueryError(f"interval start {self.start} after end {self.end}")
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        lo = (t >= self.start) if self.closed_start else (t > self.start)
+        hi = (t <= self.end) if self.closed_end else (t < self.end)
+        return lo & hi
+
+    def bounds(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+    def intersection(self, other: "TimeInterval") -> "TimeInterval | None":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start > end:
+            return None
+        cs = (self.closed_start if start == self.start else True) and (
+            other.closed_start if start == other.start else True
+        )
+        ce = (self.closed_end if end == self.end else True) and (
+            other.closed_end if end == other.end else True
+        )
+        if start == end and not (cs and ce):
+            return None
+        return TimeInterval(start, end, cs, ce)
+
+
+@dataclass(frozen=True)
+class TimeIntervalSet(TimeSet):
+    """A finite union of intervals."""
+
+    intervals: tuple[TimeInterval, ...]
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise QueryError("TimeIntervalSet needs at least one interval")
+
+    @staticmethod
+    def of(pairs: Iterable[tuple[float, float]]) -> "TimeIntervalSet":
+        return TimeIntervalSet(tuple(TimeInterval(a, b) for a, b in pairs))
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        out = np.zeros(t.shape, dtype=bool)
+        for iv in self.intervals:
+            out |= iv.contains(t)
+        return out
+
+    def bounds(self) -> tuple[float, float]:
+        return (
+            min(iv.start for iv in self.intervals),
+            max(iv.end for iv in self.intervals),
+        )
+
+
+@dataclass(frozen=True)
+class RecurringInterval(TimeSet):
+    """A daily (or arbitrary-period) re-occurring window.
+
+    Members are timestamps ``t`` with ``offset_start <= (t mod period) <
+    offset_end``, e.g. "10:00-14:00 every day" with period 86400.
+    """
+
+    offset_start: float
+    offset_end: float
+    period: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise QueryError("period must be positive")
+        if not 0 <= self.offset_start < self.period:
+            raise QueryError("offset_start must lie in [0, period)")
+        if not self.offset_start < self.offset_end <= self.period:
+            raise QueryError("offset_end must lie in (offset_start, period]")
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        phase = np.mod(t, self.period)
+        return (phase >= self.offset_start) & (phase < self.offset_end)
+
+    def bounds(self) -> tuple[float, float]:
+        return (-math.inf, math.inf)
+
+
+@dataclass(frozen=True)
+class TimeIntersection(TimeSet):
+    """Conjunction of time sets (produced when merging restrictions)."""
+
+    parts: tuple[TimeSet, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise QueryError("intersection of zero time sets")
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        out = self.parts[0].contains(t)
+        for p in self.parts[1:]:
+            out = out & p.contains(t)
+        return out
+
+    def bounds(self) -> tuple[float, float]:
+        lo = max(p.bounds()[0] for p in self.parts)
+        hi = min(p.bounds()[1] for p in self.parts)
+        return (lo, hi)
+
+
+@dataclass(frozen=True)
+class TimeUnion(TimeSet):
+    """Disjunction of time sets."""
+
+    parts: tuple[TimeSet, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise QueryError("union of zero time sets")
+
+    def contains(self, t: np.ndarray | float) -> np.ndarray:
+        out = self.parts[0].contains(t)
+        for p in self.parts[1:]:
+            out = out | p.contains(t)
+        return out
+
+    def bounds(self) -> tuple[float, float]:
+        lo = min(p.bounds()[0] for p in self.parts)
+        hi = max(p.bounds()[1] for p in self.parts)
+        return (lo, hi)
+
+
+def intersect_timesets(a: TimeSet, b: TimeSet) -> TimeSet:
+    """Merge two time sets, simplifying the common cases."""
+    if isinstance(a, AllTime):
+        return b
+    if isinstance(b, AllTime):
+        return a
+    if isinstance(a, TimeInterval) and isinstance(b, TimeInterval):
+        inter = a.intersection(b)
+        if inter is not None:
+            return inter
+        # Disjoint intervals: an explicitly-empty interval set.
+        return TimeIntersection((a, b))
+    return TimeIntersection((a, b))

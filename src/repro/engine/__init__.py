@@ -1,0 +1,14 @@
+"""Streaming execution engine: pipelines, merging, statistics."""
+
+from .pipeline import apply_operators, chunk_time, compose_streams, iter_pipeline_operators
+from .stats import OperatorReport, format_report, pipeline_report
+
+__all__ = [
+    "apply_operators",
+    "compose_streams",
+    "chunk_time",
+    "iter_pipeline_operators",
+    "OperatorReport",
+    "pipeline_report",
+    "format_report",
+]

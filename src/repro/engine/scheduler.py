@@ -1,0 +1,40 @@
+"""Multi-stream arrival scheduling.
+
+The DSMS consumes several source streams (one per spectral channel) and
+must process chunks in global arrival order — the interleaving a
+receiving station would see on the downlink. ``merge_sources`` performs a
+k-way merge by measured timestamp; ties break by registration order so
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Mapping
+
+from ..core.chunk import Chunk
+from ..core.stream import GeoStream
+from .pipeline import chunk_time
+
+__all__ = ["merge_sources"]
+
+
+def merge_sources(
+    sources: Mapping[str, GeoStream],
+) -> Iterator[tuple[str, Chunk]]:
+    """Yield (stream_id, chunk) across all sources in timestamp order."""
+    heap: list[tuple[float, int, int, str, Chunk, Iterator[Chunk]]] = []
+    seq = 0
+    for order, (stream_id, stream) in enumerate(sources.items()):
+        it = iter(stream.chunks())
+        first = next(it, None)
+        if first is not None:
+            heapq.heappush(heap, (chunk_time(first), order, seq, stream_id, first, it))
+            seq += 1
+    while heap:
+        _, order, _, stream_id, chunk, it = heapq.heappop(heap)
+        yield stream_id, chunk
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (chunk_time(nxt), order, seq, stream_id, nxt, it))
+            seq += 1

@@ -1,0 +1,75 @@
+"""Execution statistics reporting.
+
+Benchmarks and the DSMS inspect operator-level counters through these
+helpers; the report format is what EXPERIMENTS.md rows are generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.stream import GeoStream
+from ..operators.base import BinaryOperator, Operator, OperatorStats
+from .pipeline import iter_pipeline_operators
+
+__all__ = ["OperatorReport", "pipeline_report", "format_report"]
+
+
+@dataclass(frozen=True)
+class OperatorReport:
+    """Snapshot of one operator's counters after a run."""
+
+    name: str
+    repr: str
+    points_in: int
+    points_out: int
+    chunks_in: int
+    chunks_out: int
+    max_buffered_points: int
+    max_buffered_bytes: int
+    nonblocking: bool
+    mean_wait_time: float = 0.0
+    max_wait_time: float = 0.0
+
+    @staticmethod
+    def from_operator(op: Operator | BinaryOperator) -> "OperatorReport":
+        s: OperatorStats = op.stats
+        return OperatorReport(
+            name=op.name,
+            repr=repr(op),
+            points_in=s.points_in,
+            points_out=s.points_out,
+            chunks_in=s.chunks_in,
+            chunks_out=s.chunks_out,
+            max_buffered_points=s.max_buffered_points,
+            max_buffered_bytes=s.max_buffered_bytes,
+            nonblocking=s.is_nonblocking,
+            mean_wait_time=s.mean_wait_time,
+            max_wait_time=s.wait_time_max,
+        )
+
+
+def pipeline_report(stream: GeoStream) -> list[OperatorReport]:
+    """Reports for every operator reachable upstream of ``stream``.
+
+    Call after consuming the stream; counters reflect the most recent run.
+    """
+    return [OperatorReport.from_operator(op) for op in iter_pipeline_operators(stream)]
+
+
+def format_report(reports: Sequence[OperatorReport]) -> str:
+    """Human-readable table of operator counters."""
+    header = (
+        f"{'operator':<28} {'pts_in':>10} {'pts_out':>10} "
+        f"{'max_buf_pts':>12} {'max_buf_KB':>11} {'wait_s':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        wait = f"{r.mean_wait_time:.1f}" if r.mean_wait_time else "-"
+        lines.append(
+            f"{r.repr:<28.28} {r.points_in:>10} {r.points_out:>10} "
+            f"{r.max_buffered_points:>12} {r.max_buffered_bytes / 1024:>11.1f} "
+            f"{wait:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the GeoStreams reproduction.
+
+All library errors derive from :class:`GeoStreamsError` so applications can
+catch one base class. Subclasses are grouped by subsystem; operators and the
+query layer raise the most specific class that applies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GeoStreamsError",
+    "CRSError",
+    "CRSMismatchError",
+    "ProjectionError",
+    "ProjectionDomainError",
+    "LatticeError",
+    "LatticeAlignmentError",
+    "RegionError",
+    "ValueSetError",
+    "StreamError",
+    "OperatorError",
+    "BlockingHazardError",
+    "CompositionError",
+    "QueryError",
+    "QuerySyntaxError",
+    "PlanError",
+    "IndexError_",
+    "ServerError",
+    "ProtocolError",
+    "CodecError",
+]
+
+
+class GeoStreamsError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CRSError(GeoStreamsError):
+    """A coordinate reference system is invalid or unusable."""
+
+
+class CRSMismatchError(CRSError):
+    """Two streams/lattices/regions use incompatible coordinate systems.
+
+    The paper (Section 2) makes a shared coordinate system a precondition
+    for binary operations on image data; violating it raises this error.
+    """
+
+
+class ProjectionError(CRSError):
+    """A map projection computation failed."""
+
+
+class ProjectionDomainError(ProjectionError):
+    """Coordinates fall outside the projection's valid domain.
+
+    For example, a point on the far side of the Earth is not visible from
+    a geostationary satellite and has no image under that projection.
+    """
+
+
+class LatticeError(GeoStreamsError):
+    """A point lattice is malformed (non-positive size, zero resolution...)."""
+
+
+class LatticeAlignmentError(LatticeError):
+    """Two lattices that must share a grid do not align."""
+
+
+class RegionError(GeoStreamsError):
+    """A spatial region specification is invalid."""
+
+
+class ValueSetError(GeoStreamsError):
+    """A value does not belong to the declared value set, or two value
+    sets are incompatible for an operation."""
+
+
+class StreamError(GeoStreamsError):
+    """A stream is malformed or used inconsistently."""
+
+
+class OperatorError(GeoStreamsError):
+    """An operator received input it cannot process."""
+
+
+class BlockingHazardError(OperatorError):
+    """An operator would block indefinitely.
+
+    Section 3.2 of the paper notes that a spatial transform "could
+    potentially block forever" without scan-sector metadata; operators
+    raise this instead of silently buffering without bound.
+    """
+
+
+class CompositionError(OperatorError):
+    """Two streams cannot be composed (Def. 10 preconditions violated)."""
+
+
+class QueryError(GeoStreamsError):
+    """A query is invalid."""
+
+
+class QuerySyntaxError(QueryError):
+    """The textual query language failed to parse."""
+
+
+class PlanError(QueryError):
+    """A logical query could not be planned into a physical pipeline."""
+
+
+class IndexError_(GeoStreamsError):
+    """A spatial index was misused (shadowing builtin avoided via suffix)."""
+
+
+class ServerError(GeoStreamsError):
+    """DSMS server failure."""
+
+
+class ProtocolError(ServerError):
+    """A client request could not be parsed."""
+
+
+class CodecError(GeoStreamsError):
+    """Image encoding or decoding (e.g. PNG) failed."""

@@ -1,0 +1,155 @@
+"""Reference ellipsoids and geodetic helpers.
+
+The projection formulas in :mod:`repro.geo.projections` are parameterized by
+an :class:`Ellipsoid`. Only the handful of quantities the projections need
+are exposed: semi-axes, flattening, and eccentricities, plus ECEF conversion
+and great-circle distance used by tests and the LIDAR simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Ellipsoid",
+    "WGS84",
+    "GRS80",
+    "SPHERE",
+    "geodetic_to_ecef",
+    "ecef_to_geodetic",
+    "haversine_m",
+]
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """An oblate reference ellipsoid.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, also used for equality in CRS comparisons.
+    a:
+        Semi-major axis in meters.
+    inverse_flattening:
+        1/f; ``0`` denotes a perfect sphere (f = 0).
+    """
+
+    name: str
+    a: float
+    inverse_flattening: float
+
+    # Derived quantities, filled in __post_init__.
+    f: float = field(init=False)
+    b: float = field(init=False)
+    e2: float = field(init=False)
+    ep2: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        f = 0.0 if self.inverse_flattening == 0 else 1.0 / self.inverse_flattening
+        b = self.a * (1.0 - f)
+        e2 = f * (2.0 - f)
+        ep2 = e2 / (1.0 - e2) if e2 < 1.0 else math.inf
+        object.__setattr__(self, "f", f)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "e2", e2)
+        object.__setattr__(self, "ep2", ep2)
+
+    @property
+    def e(self) -> float:
+        """First eccentricity."""
+        return math.sqrt(self.e2)
+
+    @property
+    def is_sphere(self) -> bool:
+        return self.e2 == 0.0
+
+    @property
+    def mean_radius(self) -> float:
+        """Arithmetic mean radius (2a + b) / 3."""
+        return (2.0 * self.a + self.b) / 3.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ellipsoid({self.name}, a={self.a:.1f}, 1/f={self.inverse_flattening:g})"
+
+
+WGS84 = Ellipsoid("WGS84", 6378137.0, 298.257223563)
+GRS80 = Ellipsoid("GRS80", 6378137.0, 298.257222101)
+SPHERE = Ellipsoid("sphere", 6371000.0, 0.0)
+
+
+def geodetic_to_ecef(
+    lon_deg: np.ndarray | float,
+    lat_deg: np.ndarray | float,
+    height_m: np.ndarray | float = 0.0,
+    ellipsoid: Ellipsoid = WGS84,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert geodetic coordinates to Earth-Centered Earth-Fixed meters."""
+    lon = np.radians(np.asarray(lon_deg, dtype=float))
+    lat = np.radians(np.asarray(lat_deg, dtype=float))
+    h = np.asarray(height_m, dtype=float)
+    sin_lat = np.sin(lat)
+    n = ellipsoid.a / np.sqrt(1.0 - ellipsoid.e2 * sin_lat * sin_lat)
+    x = (n + h) * np.cos(lat) * np.cos(lon)
+    y = (n + h) * np.cos(lat) * np.sin(lon)
+    z = (n * (1.0 - ellipsoid.e2) + h) * sin_lat
+    return x, y, z
+
+
+def ecef_to_geodetic(
+    x: np.ndarray | float,
+    y: np.ndarray | float,
+    z: np.ndarray | float,
+    ellipsoid: Ellipsoid = WGS84,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert ECEF meters to geodetic (lon deg, lat deg, height m).
+
+    Uses Bowring's closed-form initial guess followed by one Newton step,
+    accurate to well under a millimeter for terrestrial points.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    z = np.asarray(z, dtype=float)
+    a, b, e2, ep2 = ellipsoid.a, ellipsoid.b, ellipsoid.e2, ellipsoid.ep2
+    lon = np.arctan2(y, x)
+    p = np.hypot(x, y)
+    if ellipsoid.is_sphere:
+        lat = np.arctan2(z, p)
+        h = np.sqrt(p * p + z * z) - a
+        return np.degrees(lon), np.degrees(lat), h
+    theta = np.arctan2(z * a, p * b)
+    lat = np.arctan2(
+        z + ep2 * b * np.sin(theta) ** 3,
+        p - e2 * a * np.cos(theta) ** 3,
+    )
+    sin_lat = np.sin(lat)
+    n = a / np.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    # Guard the polar singularity where cos(lat) ~ 0.
+    cos_lat = np.cos(lat)
+    h = np.where(
+        np.abs(cos_lat) > 1e-10,
+        p / np.maximum(np.abs(cos_lat), 1e-300) - n,
+        np.abs(z) / np.maximum(np.abs(sin_lat), 1e-300) - n * (1.0 - e2),
+    )
+    return np.degrees(lon), np.degrees(lat), h
+
+
+def haversine_m(
+    lon1: np.ndarray | float,
+    lat1: np.ndarray | float,
+    lon2: np.ndarray | float,
+    lat2: np.ndarray | float,
+    radius_m: float = SPHERE.a,
+) -> np.ndarray:
+    """Great-circle distance in meters on a sphere of the given radius."""
+    lam1 = np.radians(np.asarray(lon1, dtype=float))
+    phi1 = np.radians(np.asarray(lat1, dtype=float))
+    lam2 = np.radians(np.asarray(lon2, dtype=float))
+    phi2 = np.radians(np.asarray(lat2, dtype=float))
+    dphi = phi2 - phi1
+    dlam = lam2 - lam1
+    h = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * radius_m * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))

@@ -1,0 +1,498 @@
+"""Map projections implemented from scratch.
+
+The paper's prototype uses PROJ.4 for re-projections (Section 4); this
+module is the equivalent substrate. Each projection converts between
+geodetic coordinates (longitude/latitude in degrees) and projected
+coordinates (meters), vectorized over numpy arrays.
+
+Implemented projections, chosen to cover the paper's use cases:
+
+* :class:`PlateCarree` — the latitude/longitude grid the prototype's web
+  interface uses, expressed in meters so it composes with other CRSs.
+* :class:`Mercator` — standard conformal cylindrical (ellipsoidal).
+* :class:`TransverseMercator` / :func:`utm_projection` — the UTM target of
+  the paper's running query example (Snyder's series formulas).
+* :class:`LambertConformalConic` — common for weather products.
+* :class:`Sinusoidal` — equal-area, used by MODIS land products.
+* :class:`Geostationary` — the GOES fixed-grid view; the paper's "GOES
+  Variable Format" native coordinate system is a scaled version of these
+  scan angles.
+
+Formulas follow Snyder, *Map Projections: A Working Manual* (USGS PP 1395)
+and the GOES-R Product User Guide for the geostationary case. Points
+outside a projection's domain map to NaN rather than raising, so streaming
+operators can mask them; use :meth:`Projection.forward_strict` to raise
+:class:`~repro.errors.ProjectionDomainError` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..errors import ProjectionDomainError, ProjectionError
+from .datum import GRS80, SPHERE, WGS84, Ellipsoid
+
+__all__ = [
+    "Projection",
+    "PlateCarree",
+    "Mercator",
+    "TransverseMercator",
+    "utm_projection",
+    "LambertConformalConic",
+    "Sinusoidal",
+    "Geostationary",
+    "GOES_EAST_LON",
+    "GOES_WEST_LON",
+]
+
+GOES_EAST_LON = -75.0
+GOES_WEST_LON = -135.0
+
+_QUARTER_PI = math.pi / 4.0
+
+
+def _as_float_arrays(*values: Any) -> tuple[np.ndarray, ...]:
+    return tuple(np.asarray(v, dtype=float) for v in values)
+
+
+class Projection:
+    """Base class for map projections.
+
+    Subclasses implement :meth:`_forward` and :meth:`_inverse` on radians /
+    meters; the public API converts degrees and handles domain masking.
+    """
+
+    name = "abstract"
+
+    def __init__(self, ellipsoid: Ellipsoid, **params: float) -> None:
+        self.ellipsoid = ellipsoid
+        self.params = dict(params)
+
+    # -- public API ---------------------------------------------------
+
+    def forward(
+        self, lon_deg: np.ndarray | float, lat_deg: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project (lon, lat) degrees to (x, y) meters. NaN outside domain."""
+        lon, lat = _as_float_arrays(lon_deg, lat_deg)
+        return self._forward(np.radians(lon), np.radians(lat))
+
+    def inverse(
+        self, x_m: np.ndarray | float, y_m: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Unproject (x, y) meters to (lon, lat) degrees. NaN outside domain."""
+        x, y = _as_float_arrays(x_m, y_m)
+        lon, lat = self._inverse(x, y)
+        return np.degrees(lon), np.degrees(lat)
+
+    def forward_strict(
+        self, lon_deg: np.ndarray | float, lat_deg: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`forward` but raise if any point is outside the domain."""
+        x, y = self.forward(lon_deg, lat_deg)
+        if np.any(np.isnan(x)) or np.any(np.isnan(y)):
+            raise ProjectionDomainError(
+                f"{self.name}: input contains points outside the projection domain"
+            )
+        return x, y
+
+    # -- hooks ---------------------------------------------------------
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    # -- identity -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.ellipsoid == other.ellipsoid  # type: ignore[union-attr]
+            and self.params == other.params  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.ellipsoid, tuple(sorted(self.params.items()))))
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v:g}" for k, v in sorted(self.params.items()))
+        return f"{type(self).__name__}({self.ellipsoid.name}{', ' if args else ''}{args})"
+
+
+class PlateCarree(Projection):
+    """Equirectangular projection: x = R*lon, y = R*lat (radians scaled).
+
+    Uses the ellipsoid's semi-major axis as the scaling radius, so one
+    degree of longitude at the equator is ~111.3 km.
+    """
+
+    name = "plate_carree"
+
+    def __init__(self, ellipsoid: Ellipsoid = WGS84, lon_0: float = 0.0) -> None:
+        super().__init__(ellipsoid, lon_0=lon_0)
+        self._lam0 = math.radians(lon_0)
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a = self.ellipsoid.a
+        dlam = _wrap_longitude(lam - self._lam0)
+        return a * dlam, a * phi
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a = self.ellipsoid.a
+        lam = x / a + self._lam0
+        phi = y / a
+        bad = np.abs(phi) > math.pi / 2 + 1e-12
+        return _mask_nan(lam, bad), _mask_nan(phi, bad)
+
+
+def _wrap_longitude(lam: np.ndarray) -> np.ndarray:
+    """Wrap radian longitudes into (-pi, pi]."""
+    return lam - 2.0 * np.pi * np.round(lam / (2.0 * np.pi))
+
+
+def _mask_nan(arr: np.ndarray, bad: np.ndarray) -> np.ndarray:
+    if np.any(bad):
+        arr = np.where(bad, np.nan, arr)
+    return arr
+
+
+def _ts_from_phi(phi: np.ndarray, e: float) -> np.ndarray:
+    """Snyder's isometric-colatitude function t(phi) (eq. 15-9)."""
+    sin_phi = np.sin(phi)
+    con = e * sin_phi
+    return np.tan(_QUARTER_PI - phi / 2.0) / np.power(
+        (1.0 - con) / (1.0 + con), e / 2.0
+    )
+
+
+def _phi_from_ts(ts: np.ndarray, e: float, max_iter: int = 15) -> np.ndarray:
+    """Invert :func:`_ts_from_phi` by fixed-point iteration (eq. 7-9)."""
+    phi = _QUARTER_PI * 2.0 - 2.0 * np.arctan(ts)
+    for _ in range(max_iter):
+        con = e * np.sin(phi)
+        new = math.pi / 2.0 - 2.0 * np.arctan(
+            ts * np.power((1.0 - con) / (1.0 + con), e / 2.0)
+        )
+        if np.all(np.abs(new - phi) < 1e-12):
+            phi = new
+            break
+        phi = new
+    return phi
+
+
+class Mercator(Projection):
+    """Conformal cylindrical Mercator (ellipsoidal form; Snyder ch. 7)."""
+
+    name = "mercator"
+    MAX_LAT_DEG = 89.5
+
+    def __init__(self, ellipsoid: Ellipsoid = WGS84, lon_0: float = 0.0) -> None:
+        super().__init__(ellipsoid, lon_0=lon_0)
+        self._lam0 = math.radians(lon_0)
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e = self.ellipsoid.a, self.ellipsoid.e
+        bad = np.abs(phi) > math.radians(self.MAX_LAT_DEG)
+        phi_c = np.clip(phi, -math.radians(self.MAX_LAT_DEG), math.radians(self.MAX_LAT_DEG))
+        x = a * _wrap_longitude(lam - self._lam0)
+        if e == 0.0:
+            y = a * np.log(np.tan(_QUARTER_PI + phi_c / 2.0))
+        else:
+            y = -a * np.log(_ts_from_phi(phi_c, e))
+        return _mask_nan(x, bad), _mask_nan(y, bad)
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e = self.ellipsoid.a, self.ellipsoid.e
+        lam = x / a + self._lam0
+        if e == 0.0:
+            phi = 2.0 * np.arctan(np.exp(y / a)) - math.pi / 2.0
+        else:
+            phi = _phi_from_ts(np.exp(-y / a), e)
+        return lam, phi
+
+
+class TransverseMercator(Projection):
+    """Ellipsoidal transverse Mercator via Snyder's series (ch. 8).
+
+    Accurate to sub-millimeter within ~4 degrees of the central meridian,
+    which covers UTM zone usage. Points more than ~80 degrees of longitude
+    away from the central meridian are outside the domain and map to NaN.
+    """
+
+    name = "transverse_mercator"
+
+    def __init__(
+        self,
+        ellipsoid: Ellipsoid = WGS84,
+        lon_0: float = 0.0,
+        lat_0: float = 0.0,
+        k_0: float = 0.9996,
+        false_easting: float = 500_000.0,
+        false_northing: float = 0.0,
+    ) -> None:
+        super().__init__(
+            ellipsoid,
+            lon_0=lon_0,
+            lat_0=lat_0,
+            k_0=k_0,
+            false_easting=false_easting,
+            false_northing=false_northing,
+        )
+        self._lam0 = math.radians(lon_0)
+        self._phi0 = math.radians(lat_0)
+        self._k0 = k_0
+        self._fe = false_easting
+        self._fn = false_northing
+        e2 = ellipsoid.e2
+        # Meridional-arc series coefficients (Snyder eq. 3-21).
+        self._m_coeffs = (
+            1.0 - e2 / 4.0 - 3.0 * e2**2 / 64.0 - 5.0 * e2**3 / 256.0,
+            3.0 * e2 / 8.0 + 3.0 * e2**2 / 32.0 + 45.0 * e2**3 / 1024.0,
+            15.0 * e2**2 / 256.0 + 45.0 * e2**3 / 1024.0,
+            35.0 * e2**3 / 3072.0,
+        )
+        self._m0 = self._meridional_arc(np.asarray(self._phi0)).item()
+        sqrt1me2 = math.sqrt(1.0 - e2)
+        self._e1 = (1.0 - sqrt1me2) / (1.0 + sqrt1me2)
+
+    def _meridional_arc(self, phi: np.ndarray) -> np.ndarray:
+        c0, c2, c4, c6 = self._m_coeffs
+        a = self.ellipsoid.a
+        return a * (
+            c0 * phi - c2 * np.sin(2.0 * phi) + c4 * np.sin(4.0 * phi) - c6 * np.sin(6.0 * phi)
+        )
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e2, ep2 = self.ellipsoid.a, self.ellipsoid.e2, self.ellipsoid.ep2
+        dlam = _wrap_longitude(lam - self._lam0)
+        bad = np.abs(dlam) > math.radians(80.0)
+        sin_phi, cos_phi, tan_phi = np.sin(phi), np.cos(phi), np.tan(phi)
+        n = a / np.sqrt(1.0 - e2 * sin_phi**2)
+        t = tan_phi**2
+        c = ep2 * cos_phi**2
+        big_a = dlam * cos_phi
+        m = self._meridional_arc(phi)
+        x = self._k0 * n * (
+            big_a
+            + (1.0 - t + c) * big_a**3 / 6.0
+            + (5.0 - 18.0 * t + t**2 + 72.0 * c - 58.0 * ep2) * big_a**5 / 120.0
+        )
+        y = self._k0 * (
+            m
+            - self._m0
+            + n
+            * tan_phi
+            * (
+                big_a**2 / 2.0
+                + (5.0 - t + 9.0 * c + 4.0 * c**2) * big_a**4 / 24.0
+                + (61.0 - 58.0 * t + t**2 + 600.0 * c - 330.0 * ep2) * big_a**6 / 720.0
+            )
+        )
+        return _mask_nan(x + self._fe, bad), _mask_nan(y + self._fn, bad)
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e2, ep2 = self.ellipsoid.a, self.ellipsoid.e2, self.ellipsoid.ep2
+        e1 = self._e1
+        x = x - self._fe
+        y = y - self._fn
+        m = self._m0 + y / self._k0
+        mu = m / (a * self._m_coeffs[0])
+        phi1 = (
+            mu
+            + (3.0 * e1 / 2.0 - 27.0 * e1**3 / 32.0) * np.sin(2.0 * mu)
+            + (21.0 * e1**2 / 16.0 - 55.0 * e1**4 / 32.0) * np.sin(4.0 * mu)
+            + (151.0 * e1**3 / 96.0) * np.sin(6.0 * mu)
+            + (1097.0 * e1**4 / 512.0) * np.sin(8.0 * mu)
+        )
+        sin1, cos1, tan1 = np.sin(phi1), np.cos(phi1), np.tan(phi1)
+        c1 = ep2 * cos1**2
+        t1 = tan1**2
+        n1 = a / np.sqrt(1.0 - e2 * sin1**2)
+        r1 = a * (1.0 - e2) / np.power(1.0 - e2 * sin1**2, 1.5)
+        d = x / (n1 * self._k0)
+        phi = phi1 - (n1 * tan1 / r1) * (
+            d**2 / 2.0
+            - (5.0 + 3.0 * t1 + 10.0 * c1 - 4.0 * c1**2 - 9.0 * ep2) * d**4 / 24.0
+            + (61.0 + 90.0 * t1 + 298.0 * c1 + 45.0 * t1**2 - 252.0 * ep2 - 3.0 * c1**2)
+            * d**6
+            / 720.0
+        )
+        lam = self._lam0 + (
+            d
+            - (1.0 + 2.0 * t1 + c1) * d**3 / 6.0
+            + (5.0 - 2.0 * c1 + 28.0 * t1 - 3.0 * c1**2 + 8.0 * ep2 + 24.0 * t1**2)
+            * d**5
+            / 120.0
+        ) / np.where(np.abs(cos1) < 1e-12, np.nan, cos1)
+        return lam, phi
+
+
+def utm_projection(zone: int, north: bool = True, ellipsoid: Ellipsoid = WGS84) -> TransverseMercator:
+    """Build the transverse Mercator projection for a UTM zone (1..60)."""
+    if not 1 <= zone <= 60:
+        raise ProjectionError(f"UTM zone must be in 1..60, got {zone}")
+    lon_0 = -183.0 + 6.0 * zone
+    return TransverseMercator(
+        ellipsoid=ellipsoid,
+        lon_0=lon_0,
+        k_0=0.9996,
+        false_easting=500_000.0,
+        false_northing=0.0 if north else 10_000_000.0,
+    )
+
+
+class LambertConformalConic(Projection):
+    """Lambert conformal conic with two standard parallels (Snyder ch. 15)."""
+
+    name = "lambert_conformal_conic"
+
+    def __init__(
+        self,
+        ellipsoid: Ellipsoid = WGS84,
+        lat_1: float = 33.0,
+        lat_2: float = 45.0,
+        lat_0: float = 39.0,
+        lon_0: float = -96.0,
+    ) -> None:
+        super().__init__(ellipsoid, lat_1=lat_1, lat_2=lat_2, lat_0=lat_0, lon_0=lon_0)
+        e = ellipsoid.e
+        phi1, phi2, phi0 = (math.radians(v) for v in (lat_1, lat_2, lat_0))
+        self._lam0 = math.radians(lon_0)
+
+        def m_of(phi: float) -> float:
+            return math.cos(phi) / math.sqrt(1.0 - ellipsoid.e2 * math.sin(phi) ** 2)
+
+        def t_of(phi: float) -> float:
+            return float(_ts_from_phi(np.asarray(phi), e))
+
+        m1, m2 = m_of(phi1), m_of(phi2)
+        t0, t1, t2 = t_of(phi0), t_of(phi1), t_of(phi2)
+        if abs(phi1 - phi2) < 1e-12:
+            self._n = math.sin(phi1)
+        else:
+            self._n = (math.log(m1) - math.log(m2)) / (math.log(t1) - math.log(t2))
+        self._f = m1 / (self._n * t1**self._n)
+        self._rho0 = ellipsoid.a * self._f * t0**self._n
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e = self.ellipsoid.a, self.ellipsoid.e
+        n = self._n
+        # The pole opposite the cone apex is outside the domain.
+        bad = (phi * np.sign(n)) < math.radians(-89.999)
+        ts = _ts_from_phi(np.clip(phi, -math.pi / 2 + 1e-9, math.pi / 2 - 1e-9), e)
+        rho = a * self._f * np.power(ts, n)
+        theta = n * _wrap_longitude(lam - self._lam0)
+        x = rho * np.sin(theta)
+        y = self._rho0 - rho * np.cos(theta)
+        return _mask_nan(x, bad), _mask_nan(y, bad)
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a, e = self.ellipsoid.a, self.ellipsoid.e
+        n = self._n
+        sgn = 1.0 if n >= 0 else -1.0
+        rho = sgn * np.hypot(x, self._rho0 - y)
+        theta = np.arctan2(sgn * x, sgn * (self._rho0 - y))
+        lam = theta / n + self._lam0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ts = np.power(rho / (a * self._f), 1.0 / n)
+        phi = _phi_from_ts(ts, e)
+        phi = np.where(rho == 0.0, sgn * math.pi / 2.0, phi)
+        return lam, phi
+
+
+class Sinusoidal(Projection):
+    """Spherical sinusoidal (equal-area) projection, as used by MODIS."""
+
+    name = "sinusoidal"
+
+    def __init__(self, ellipsoid: Ellipsoid = SPHERE, lon_0: float = 0.0) -> None:
+        super().__init__(ellipsoid, lon_0=lon_0)
+        self._lam0 = math.radians(lon_0)
+        self._r = ellipsoid.mean_radius
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        r = self._r
+        x = r * _wrap_longitude(lam - self._lam0) * np.cos(phi)
+        y = r * phi
+        return x, y
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        r = self._r
+        phi = y / r
+        bad = np.abs(phi) > math.pi / 2.0 + 1e-12
+        cos_phi = np.cos(np.clip(phi, -math.pi / 2.0, math.pi / 2.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lam = x / (r * cos_phi) + self._lam0
+        bad = bad | (np.abs(lam - self._lam0) > math.pi + 1e-9)
+        return _mask_nan(lam, bad), _mask_nan(phi, bad)
+
+
+class Geostationary(Projection):
+    """Geostationary satellite view (GOES fixed grid / GVAR substrate).
+
+    Projection coordinates are scan angles multiplied by the satellite's
+    perspective height, following the CF convention, so they are in meters
+    like every other projection here. Points not visible from the satellite
+    map to NaN. Formulas follow the GOES-R Product Definition and User's
+    Guide, section 5.1.2.8 (sweep-angle axis x).
+    """
+
+    name = "geostationary"
+    DEFAULT_HEIGHT = 35_786_023.0  # meters above the ellipsoid surface
+
+    def __init__(
+        self,
+        ellipsoid: Ellipsoid = GRS80,
+        lon_0: float = GOES_WEST_LON,
+        height: float = DEFAULT_HEIGHT,
+    ) -> None:
+        super().__init__(ellipsoid, lon_0=lon_0, height=height)
+        self._lam0 = math.radians(lon_0)
+        self._h = height
+        self._big_h = height + ellipsoid.a  # distance from Earth's center
+
+    def _forward(self, lam: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ell = self.ellipsoid
+        req, rpol = ell.a, ell.b
+        big_h = self._big_h
+        phi_c = np.arctan((rpol**2 / req**2) * np.tan(phi))
+        r_c = rpol / np.sqrt(1.0 - ell.e2 * np.cos(phi_c) ** 2)
+        dlam = _wrap_longitude(lam - self._lam0)
+        s_x = big_h - r_c * np.cos(phi_c) * np.cos(dlam)
+        s_y = -r_c * np.cos(phi_c) * np.sin(dlam)
+        s_z = r_c * np.sin(phi_c)
+        # Visibility: the satellite must see the point, not the far side.
+        invisible = big_h * (big_h - s_x) < s_y**2 + (req**2 / rpol**2) * s_z**2
+        norm = np.sqrt(s_x**2 + s_y**2 + s_z**2)
+        x_scan = np.arcsin(np.clip(-s_y / norm, -1.0, 1.0))
+        y_scan = np.arctan2(s_z, s_x)
+        return _mask_nan(x_scan * self._h, invisible), _mask_nan(y_scan * self._h, invisible)
+
+    def _inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ell = self.ellipsoid
+        req, rpol = ell.a, ell.b
+        big_h = self._big_h
+        xs = x / self._h
+        ys = y / self._h
+        cos_x, sin_x = np.cos(xs), np.sin(xs)
+        cos_y, sin_y = np.cos(ys), np.sin(ys)
+        ratio = req**2 / rpol**2
+        a_ = sin_x**2 + cos_x**2 * (cos_y**2 + ratio * sin_y**2)
+        b_ = -2.0 * big_h * cos_x * cos_y
+        c_ = big_h**2 - req**2
+        disc = b_**2 - 4.0 * a_ * c_
+        bad = disc < 0.0
+        with np.errstate(invalid="ignore"):
+            r_s = (-b_ - np.sqrt(np.where(bad, np.nan, disc))) / (2.0 * a_)
+        s_x = r_s * cos_x * cos_y
+        s_y = -r_s * sin_x
+        s_z = r_s * cos_x * sin_y
+        with np.errstate(invalid="ignore"):
+            phi = np.arctan(ratio * s_z / np.sqrt((big_h - s_x) ** 2 + s_y**2))
+            lam = self._lam0 - np.arctan2(s_y, big_h - s_x)
+        return _mask_nan(lam, bad), _mask_nan(phi, bad)

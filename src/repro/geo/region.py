@@ -1,0 +1,544 @@
+"""Spatial regions for stream restrictions.
+
+Section 3.1 of the paper lists three ways to specify the region ``R`` of a
+spatial restriction:
+
+1. an enumeration of all (x, y) pairs — :class:`EnumeratedRegion`;
+2. expressions of a constraint data model (polynomials over x, y) —
+   :class:`ConstraintRegion` built from :class:`HalfPlane` or arbitrary
+   polynomial constraints;
+3. two corner points of a bounding rectangle — :class:`BoundingBox`,
+   "commonly used in graphical user interfaces".
+
+Every region knows its CRS, can test point membership vectorized, exposes a
+bounding box for index/planning purposes, and (where well-defined) can be
+transformed to another CRS — the operation the paper's query-rewriting
+example needs when pushing a UTM-specified restriction below a
+re-projection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import RegionError
+from .crs import CRS, LATLON, transform_points
+
+__all__ = [
+    "Region",
+    "BoundingBox",
+    "PolygonRegion",
+    "HalfPlane",
+    "PolynomialConstraint",
+    "ConstraintRegion",
+    "EnumeratedRegion",
+    "IntersectionRegion",
+    "UnionRegion",
+    "intersect_regions",
+]
+
+
+class Region:
+    """Abstract spatial region in some CRS."""
+
+    crs: CRS
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Boolean membership for coordinate arrays in this region's CRS."""
+        raise NotImplementedError
+
+    @property
+    def bounding_box(self) -> "BoundingBox":
+        raise NotImplementedError
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "Region":
+        """Return an equivalent (or conservative) region expressed in ``dst``."""
+        raise RegionError(f"{type(self).__name__} cannot be transformed to another CRS")
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return bool(self.mask(np.asarray([x]), np.asarray([y]))[0])
+
+
+@dataclass(frozen=True)
+class BoundingBox(Region):
+    """Axis-aligned rectangle given by two corner points (paper option 3)."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+    crs: CRS = LATLON
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise RegionError(
+                f"degenerate bounding box: ({self.xmin}, {self.ymin}) .. "
+                f"({self.xmax}, {self.ymax})"
+            )
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.width == 0.0 or self.height == 0.0
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return (x >= self.xmin) & (x <= self.xmax) & (y >= self.ymin) & (y <= self.ymax)
+
+    @property
+    def bounding_box(self) -> "BoundingBox":
+        return self
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        self.crs.require_same(other.crs, "bounding-box intersection")
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """The overlapping rectangle, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+            self.crs,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        self.crs.require_same(other.crs, "bounding-box union")
+        return BoundingBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+            self.crs,
+        )
+
+    def expanded(self, margin_x: float, margin_y: float | None = None) -> "BoundingBox":
+        my = margin_x if margin_y is None else margin_y
+        return BoundingBox(
+            self.xmin - margin_x, self.ymin - my, self.xmax + margin_x, self.ymax + my, self.crs
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        self.crs.require_same(other.crs, "bounding-box containment")
+        return (
+            other.xmin >= self.xmin
+            and other.xmax <= self.xmax
+            and other.ymin >= self.ymin
+            and other.ymax <= self.ymax
+        )
+
+    @staticmethod
+    def from_points(x: np.ndarray, y: np.ndarray, crs: CRS = LATLON) -> "BoundingBox":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        good = np.isfinite(x) & np.isfinite(y)
+        if not np.any(good):
+            raise RegionError("cannot build a bounding box from only non-finite points")
+        return BoundingBox(
+            float(np.min(x[good])),
+            float(np.min(y[good])),
+            float(np.max(x[good])),
+            float(np.max(y[good])),
+            crs,
+        )
+
+    def corners(self) -> np.ndarray:
+        """The four corners as an array of shape (4, 2), counterclockwise."""
+        return np.asarray(
+            [
+                [self.xmin, self.ymin],
+                [self.xmax, self.ymin],
+                [self.xmax, self.ymax],
+                [self.xmin, self.ymax],
+            ]
+        )
+
+    def boundary_samples(self, n_per_edge: int = 33) -> tuple[np.ndarray, np.ndarray]:
+        """Densified boundary points, used for conservative reprojection."""
+        ts = np.linspace(0.0, 1.0, max(2, n_per_edge))
+        xs = np.concatenate(
+            [
+                self.xmin + ts * self.width,
+                np.full_like(ts, self.xmax),
+                self.xmax - ts * self.width,
+                np.full_like(ts, self.xmin),
+            ]
+        )
+        ys = np.concatenate(
+            [
+                np.full_like(ts, self.ymin),
+                self.ymin + ts * self.height,
+                np.full_like(ts, self.ymax),
+                self.ymax - ts * self.height,
+            ]
+        )
+        return xs, ys
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "BoundingBox":
+        """Conservative bounding box of this rectangle in another CRS.
+
+        The rectangle's densified boundary (and interior grid, to handle
+        projections whose extrema fall inside the rectangle) is
+        transformed and re-boxed. The result *contains* the true image of
+        the region, which is the property restriction pushdown needs.
+        """
+        if dst == self.crs:
+            return self
+        bx, by = self.boundary_samples(densify)
+        gx, gy = np.meshgrid(
+            np.linspace(self.xmin, self.xmax, 9), np.linspace(self.ymin, self.ymax, 9)
+        )
+        xs = np.concatenate([bx, gx.ravel()])
+        ys = np.concatenate([by, gy.ravel()])
+        tx, ty = transform_points(self.crs, dst, xs, ys)
+        return BoundingBox.from_points(tx, ty, dst)
+
+
+class PolygonRegion(Region):
+    """A simple polygon region (even-odd rule, vectorized ray casting)."""
+
+    def __init__(self, vertices: Sequence[tuple[float, float]], crs: CRS = LATLON) -> None:
+        verts = np.asarray(vertices, dtype=float)
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise RegionError("a polygon needs at least 3 (x, y) vertices")
+        # Drop an explicit closing vertex if present.
+        if np.allclose(verts[0], verts[-1]):
+            verts = verts[:-1]
+        if verts.shape[0] < 3:
+            raise RegionError("a polygon needs at least 3 distinct vertices")
+        self.vertices = verts
+        self.crs = crs
+        self._bbox = BoundingBox.from_points(verts[:, 0], verts[:, 1], crs)
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        shape = np.broadcast(x, y).shape
+        px = np.broadcast_to(x, shape).ravel()
+        py = np.broadcast_to(y, shape).ravel()
+        inside = np.zeros(px.shape, dtype=bool)
+        verts = self.vertices
+        n = verts.shape[0]
+        for i in range(n):
+            x1, y1 = verts[i]
+            x2, y2 = verts[(i + 1) % n]
+            crosses = (y1 > py) != (y2 > py)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x_at = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+            inside ^= crosses & (px < x_at)
+        return inside.reshape(shape)
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "PolygonRegion":
+        if dst == self.crs:
+            return self
+        # Densify each edge so curved images of straight edges stay covered.
+        pts: list[np.ndarray] = []
+        n = self.vertices.shape[0]
+        ts = np.linspace(0.0, 1.0, max(2, densify), endpoint=False)
+        for i in range(n):
+            p0 = self.vertices[i]
+            p1 = self.vertices[(i + 1) % n]
+            pts.append(p0[None, :] + ts[:, None] * (p1 - p0)[None, :])
+        dense = np.concatenate(pts, axis=0)
+        tx, ty = transform_points(self.crs, dst, dense[:, 0], dense[:, 1])
+        good = np.isfinite(tx) & np.isfinite(ty)
+        if not np.any(good):
+            raise RegionError("polygon lies entirely outside the target CRS domain")
+        return PolygonRegion(np.stack([tx[good], ty[good]], axis=1), dst)
+
+
+@dataclass(frozen=True)
+class HalfPlane:
+    """Linear constraint a*x + b*y <= c."""
+
+    a: float
+    b: float
+    c: float
+
+    def satisfied(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.a * x + self.b * y <= self.c
+
+
+@dataclass(frozen=True)
+class PolynomialConstraint:
+    """Polynomial constraint p(x, y) <= 0 with terms {(i, j): coeff}.
+
+    ``(i, j)`` are the powers of x and y. This is the paper's "expressions
+    of a constraint data model, i.e., polynomials on variables x, y".
+    """
+
+    terms: tuple[tuple[tuple[int, int], float], ...]
+
+    @staticmethod
+    def from_dict(terms: dict[tuple[int, int], float]) -> "PolynomialConstraint":
+        return PolynomialConstraint(tuple(sorted(terms.items())))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        total = np.zeros(np.broadcast(x, y).shape, dtype=float)
+        for (i, j), coeff in self.terms:
+            total = total + coeff * np.power(x, i) * np.power(y, j)
+        return total
+
+    def satisfied(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.evaluate(x, y) <= 0.0
+
+
+class ConstraintRegion(Region):
+    """Conjunction of constraints (paper option 2).
+
+    Constraints may be :class:`HalfPlane`, :class:`PolynomialConstraint`,
+    or any object with a ``satisfied(x, y) -> bool array`` method. A
+    bounding box must be supplied (or derivable from half-planes) because
+    constraint systems do not expose their extent cheaply.
+    """
+
+    def __init__(
+        self,
+        constraints: Iterable[HalfPlane | PolynomialConstraint],
+        crs: CRS = LATLON,
+        bounding_box: BoundingBox | None = None,
+    ) -> None:
+        self.constraints = tuple(constraints)
+        if not self.constraints:
+            raise RegionError("a constraint region needs at least one constraint")
+        self.crs = crs
+        if bounding_box is None:
+            bounding_box = _halfplane_bbox(self.constraints, crs)
+        if bounding_box is None:
+            raise RegionError(
+                "cannot derive a bounding box from these constraints; pass one explicitly"
+            )
+        self.crs.require_same(bounding_box.crs, "constraint region bounding box")
+        self._bbox = bounding_box
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        out = np.ones(np.broadcast(x, y).shape, dtype=bool)
+        for c in self.constraints:
+            out &= c.satisfied(x, y)
+        return out
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    @staticmethod
+    def disk(cx: float, cy: float, radius: float, crs: CRS = LATLON) -> "ConstraintRegion":
+        """(x-cx)^2 + (y-cy)^2 <= r^2 as a polynomial constraint region."""
+        poly = PolynomialConstraint.from_dict(
+            {
+                (2, 0): 1.0,
+                (0, 2): 1.0,
+                (1, 0): -2.0 * cx,
+                (0, 1): -2.0 * cy,
+                (0, 0): cx * cx + cy * cy - radius * radius,
+            }
+        )
+        bbox = BoundingBox(cx - radius, cy - radius, cx + radius, cy + radius, crs)
+        return ConstraintRegion([poly], crs, bbox)
+
+
+def _halfplane_bbox(
+    constraints: Sequence[HalfPlane | PolynomialConstraint], crs: CRS
+) -> BoundingBox | None:
+    """Bounding box of a polytope given purely by axis-aligned half-planes."""
+    xmin = ymin = -math.inf
+    xmax = ymax = math.inf
+    for c in constraints:
+        if not isinstance(c, HalfPlane):
+            return None
+        if c.b == 0 and c.a > 0:
+            xmax = min(xmax, c.c / c.a)
+        elif c.b == 0 and c.a < 0:
+            xmin = max(xmin, c.c / c.a)
+        elif c.a == 0 and c.b > 0:
+            ymax = min(ymax, c.c / c.b)
+        elif c.a == 0 and c.b < 0:
+            ymin = max(ymin, c.c / c.b)
+        else:
+            return None
+    if any(not math.isfinite(v) for v in (xmin, ymin, xmax, ymax)):
+        return None
+    return BoundingBox(xmin, ymin, xmax, ymax, crs)
+
+
+class EnumeratedRegion(Region):
+    """Explicit enumeration of member points (paper option 1).
+
+    Membership is tested to a snapping tolerance, which should be set to
+    half the lattice resolution so each enumerated pair claims one pixel.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]],
+        crs: CRS = LATLON,
+        tolerance: float = 1e-9,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] == 0:
+            raise RegionError("an enumerated region needs at least one (x, y) pair")
+        if tolerance <= 0:
+            raise RegionError("tolerance must be positive")
+        self.crs = crs
+        self.tolerance = tolerance
+        self._keys = {self._key(float(px), float(py)) for px, py in pts}
+        self._bbox = BoundingBox.from_points(pts[:, 0], pts[:, 1], crs).expanded(tolerance)
+        self._points = pts
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (round(x / self.tolerance), round(y / self.tolerance))
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        shape = np.broadcast(x, y).shape
+        px = np.broadcast_to(x, shape).ravel()
+        py = np.broadcast_to(y, shape).ravel()
+        kx = np.round(px / self.tolerance).astype(np.int64)
+        ky = np.round(py / self.tolerance).astype(np.int64)
+        out = np.fromiter(
+            ((int(a), int(b)) in self._keys for a, b in zip(kx, ky)),
+            dtype=bool,
+            count=px.size,
+        )
+        return out.reshape(shape)
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "EnumeratedRegion":
+        if dst == self.crs:
+            return self
+        tx, ty = transform_points(self.crs, dst, self._points[:, 0], self._points[:, 1])
+        good = np.isfinite(tx) & np.isfinite(ty)
+        if not np.any(good):
+            raise RegionError("all enumerated points fall outside the target CRS domain")
+        return EnumeratedRegion(np.stack([tx[good], ty[good]], axis=1), dst, self.tolerance)
+
+
+class IntersectionRegion(Region):
+    """Conjunction of regions; produced when merging stacked restrictions."""
+
+    def __init__(self, parts: Sequence[Region]) -> None:
+        if not parts:
+            raise RegionError("intersection of zero regions")
+        crs = parts[0].crs
+        for p in parts[1:]:
+            crs.require_same(p.crs, "region intersection")
+        self.parts = tuple(parts)
+        self.crs = crs
+        bbox = parts[0].bounding_box
+        for p in parts[1:]:
+            nxt = bbox.intersection(p.bounding_box)
+            if nxt is None:
+                # Disjoint: represent as a degenerate box at the first corner.
+                nxt = BoundingBox(bbox.xmin, bbox.ymin, bbox.xmin, bbox.ymin, crs)
+                self._empty = True
+                bbox = nxt
+                break
+            bbox = nxt
+        else:
+            self._empty = False
+        self._bbox = bbox
+
+    @property
+    def is_empty_hint(self) -> bool:
+        """True when the parts' bounding boxes are disjoint (definitely empty)."""
+        return self._empty
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if self._empty:
+            return np.zeros(np.broadcast(x, y).shape, dtype=bool)
+        out = self.parts[0].mask(x, y)
+        for p in self.parts[1:]:
+            out = out & p.mask(x, y)
+        return out
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "IntersectionRegion":
+        return IntersectionRegion([p.transformed(dst, densify) for p in self.parts])
+
+
+class UnionRegion(Region):
+    """Disjunction of regions (e.g. several areas of interest in one query)."""
+
+    def __init__(self, parts: Sequence[Region]) -> None:
+        if not parts:
+            raise RegionError("union of zero regions")
+        crs = parts[0].crs
+        for p in parts[1:]:
+            crs.require_same(p.crs, "region union")
+        self.parts = tuple(parts)
+        self.crs = crs
+        bbox = parts[0].bounding_box
+        for p in parts[1:]:
+            bbox = bbox.union(p.bounding_box)
+        self._bbox = bbox
+
+    def mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        out = self.parts[0].mask(x, y)
+        for p in self.parts[1:]:
+            out = out | p.mask(x, y)
+        return out
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    def transformed(self, dst: CRS, densify: int = 33) -> "UnionRegion":
+        return UnionRegion([p.transformed(dst, densify) for p in self.parts])
+
+
+def intersect_regions(r1: Region, r2: Region) -> Region:
+    """Merge two regions into one, simplifying box-box intersections."""
+    r1.crs.require_same(r2.crs, "region intersection")
+    if isinstance(r1, BoundingBox) and isinstance(r2, BoundingBox):
+        inter = r1.intersection(r2)
+        if inter is None:
+            return IntersectionRegion([r1, r2])  # carries the empty hint
+        return inter
+    return IntersectionRegion([r1, r2])

@@ -1,0 +1,15 @@
+"""Spatial indexes over continuous-query regions (Section 4 / ref [10])."""
+
+from .base import RegionIndex
+from .cascade_tree import CascadeTree
+from .grid import GridRegionIndex
+from .interval_tree import IntervalTree
+from .naive import NaiveRegionIndex
+
+__all__ = [
+    "RegionIndex",
+    "CascadeTree",
+    "GridRegionIndex",
+    "IntervalTree",
+    "NaiveRegionIndex",
+]

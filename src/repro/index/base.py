@@ -1,0 +1,41 @@
+"""Region-index interface for the shared spatial restriction stage.
+
+Section 4: "Multiple queries against a single GeoStream are optimized
+using a dynamic cascade tree structure, which acts as a single spatial
+restriction operator and efficiently streams only the point data of
+interest to current continuous queries." A region index holds the
+rectangles of all registered continuous queries and answers, for incoming
+data, *which queries want it* — by stabbing point or by window overlap.
+"""
+
+from __future__ import annotations
+
+from ..geo.region import BoundingBox
+
+__all__ = ["RegionIndex"]
+
+
+class RegionIndex:
+    """Dynamic set of named rectangles with stabbing and window queries."""
+
+    def insert(self, query_id: object, box: BoundingBox) -> None:
+        """Register a query's region rectangle."""
+        raise NotImplementedError
+
+    def remove(self, query_id: object) -> None:
+        """Deregister a query."""
+        raise NotImplementedError
+
+    def stab(self, x: float, y: float) -> list[object]:
+        """Ids of all regions containing the point (x, y)."""
+        raise NotImplementedError
+
+    def overlapping(self, box: BoundingBox) -> list[object]:
+        """Ids of all regions intersecting the window ``box``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, query_id: object) -> bool:
+        raise NotImplementedError

@@ -1,0 +1,198 @@
+"""Dynamic cascade tree for indexing continuous-query regions.
+
+Stand-in for the structure of Hart, Gertz & Zhang, "Evaluation of a
+Dynamic Tree Structure for Indexing Query Regions on Streaming Geospatial
+Data" (SSTD 2005, the paper's ref [10]), which the prototype uses as "a
+single spatial restriction operator" over all registered queries.
+
+Structure: a dynamic interval tree over the regions' **x** extents whose
+nodes *cascade* into secondary interval trees over the **y** extents of
+the rectangles stored there. A stab descends one x-path (O(log n) nodes)
+and stabs each node's y-tree, giving O(log^2 n + k) point queries and the
+analogous bound for window overlap — versus O(n) for the naive scan.
+Insertions and deletions are O(log n) amortized (lazy deletion plus
+median rebuilds, inherited from :class:`~repro.index.interval_tree.
+IntervalTree`).
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from ..geo.region import BoundingBox
+from .base import RegionIndex
+from .interval_tree import IntervalTree
+
+__all__ = ["CascadeTree"]
+
+
+class _XNode:
+    """One level-1 node: x-center plus a cascaded y-interval tree."""
+
+    __slots__ = ("center", "left", "right", "ytree", "x_of")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        self.left: "_XNode | None" = None
+        self.right: "_XNode | None" = None
+        self.ytree = IntervalTree()
+        self.x_of: dict[object, tuple[float, float]] = {}
+
+
+class CascadeTree(RegionIndex):
+    """Two-level dynamic interval tree over query rectangles."""
+
+    def __init__(self) -> None:
+        self._root: _XNode | None = None
+        self._node_of: dict[object, _XNode] = {}
+        self._boxes: dict[object, BoundingBox] = {}
+        self._ops = 0
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, query_id: object) -> bool:
+        return query_id in self._boxes
+
+    def box_of(self, query_id: object) -> BoundingBox:
+        try:
+            return self._boxes[query_id]
+        except KeyError:
+            raise IndexError_(f"unknown query id {query_id!r}") from None
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, query_id: object, box: BoundingBox) -> None:
+        if query_id in self._boxes:
+            raise IndexError_(f"duplicate query id {query_id!r}")
+        self._boxes[query_id] = box
+        self._insert_entry(query_id, box)
+        self._maybe_rebuild()
+
+    def _insert_entry(self, query_id: object, box: BoundingBox) -> None:
+        if self._root is None:
+            self._root = _XNode((box.xmin + box.xmax) / 2.0)
+        node = self._root
+        while True:
+            if box.xmax < node.center:
+                if node.left is None:
+                    node.left = _XNode((box.xmin + box.xmax) / 2.0)
+                node = node.left
+            elif box.xmin > node.center:
+                if node.right is None:
+                    node.right = _XNode((box.xmin + box.xmax) / 2.0)
+                node = node.right
+            else:
+                node.ytree.insert(query_id, box.ymin, box.ymax)
+                node.x_of[query_id] = (box.xmin, box.xmax)
+                self._node_of[query_id] = node
+                return
+
+    def remove(self, query_id: object) -> None:
+        node = self._node_of.pop(query_id, None)
+        if node is None:
+            raise IndexError_(f"unknown query id {query_id!r}")
+        node.ytree.remove(query_id)
+        del node.x_of[query_id]
+        del self._boxes[query_id]
+        self._maybe_rebuild()
+
+    # -- queries -----------------------------------------------------------------
+
+    def stab(self, x: float, y: float) -> list[object]:
+        out: list[object] = []
+        node = self._root
+        while node is not None:
+            # Every rectangle at this node spans node.center in x; cascade
+            # into its y-tree, then confirm x containment per candidate.
+            if node.x_of:
+                for qid in node.ytree.stab(y):
+                    xlo, xhi = node.x_of[qid]
+                    if xlo <= x <= xhi:
+                        out.append(qid)
+            node = node.left if x < node.center else (node.right if x > node.center else None)
+        return out
+
+    def overlapping(self, box: BoundingBox) -> list[object]:
+        out: list[object] = []
+        self._overlap(self._root, box, out)
+        return out
+
+    def _overlap(self, node: _XNode | None, box: BoundingBox, out: list[object]) -> None:
+        if node is None:
+            return
+        if node.center < box.xmin:
+            self._check_node(node, box, out, need_xhi_ge=box.xmin)
+            self._overlap(node.right, box, out)
+        elif node.center > box.xmax:
+            self._check_node(node, box, out, need_xlo_le=box.xmax)
+            self._overlap(node.left, box, out)
+        else:
+            self._check_node(node, box, out)
+            self._overlap(node.left, box, out)
+            self._overlap(node.right, box, out)
+
+    def _check_node(
+        self,
+        node: _XNode,
+        box: BoundingBox,
+        out: list[object],
+        need_xhi_ge: float | None = None,
+        need_xlo_le: float | None = None,
+    ) -> None:
+        if not node.x_of:
+            return
+        for qid in node.ytree.overlapping(box.ymin, box.ymax):
+            xlo, xhi = node.x_of[qid]
+            if need_xhi_ge is not None and xhi < need_xhi_ge:
+                continue
+            if need_xlo_le is not None and xlo > need_xlo_le:
+                continue
+            out.append(qid)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _maybe_rebuild(self) -> None:
+        self._ops += 1
+        if self._ops > 4 * max(16, len(self._boxes)):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Median rebuild of the x-level (y-trees rebuild themselves)."""
+        entries = list(self._boxes.items())
+        self._root = None
+        self._node_of.clear()
+        self._ops = 0
+        self._root = self._build(entries)
+
+    def _build(self, entries: list[tuple[object, BoundingBox]]) -> _XNode | None:
+        if not entries:
+            return None
+        endpoints = sorted(e for _, b in entries for e in (b.xmin, b.xmax))
+        center = endpoints[len(endpoints) // 2]
+        node = _XNode(center)
+        left: list[tuple[object, BoundingBox]] = []
+        right: list[tuple[object, BoundingBox]] = []
+        for qid, box in entries:
+            if box.xmax < center:
+                left.append((qid, box))
+            elif box.xmin > center:
+                right.append((qid, box))
+            else:
+                node.ytree.insert(qid, box.ymin, box.ymax)
+                node.x_of[qid] = (box.xmin, box.xmax)
+                self._node_of[qid] = node
+        node.left = self._build(left)
+        node.right = self._build(right)
+        return node
+
+    # -- introspection ------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Height of the x-level tree (for balance diagnostics)."""
+
+        def _d(node: _XNode | None) -> int:
+            if node is None:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        return _d(self._root)

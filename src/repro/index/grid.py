@@ -1,0 +1,89 @@
+"""Uniform grid region index: the mid-tier baseline.
+
+Bucketizes rectangle ids into fixed grid cells over a declared domain.
+Fast when regions are small relative to the domain and evenly spread;
+degrades when regions cluster in a few cells — which is where the cascade
+tree keeps its logarithmic behaviour (experiment E8 sweeps both regimes).
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from ..geo.region import BoundingBox
+from .base import RegionIndex
+
+__all__ = ["GridRegionIndex"]
+
+
+class GridRegionIndex(RegionIndex):
+    """Fixed uniform grid over a domain bounding box."""
+
+    def __init__(self, domain: BoundingBox, cells_x: int = 32, cells_y: int = 32) -> None:
+        if cells_x < 1 or cells_y < 1:
+            raise IndexError_("grid index needs at least one cell per axis")
+        if domain.is_degenerate:
+            raise IndexError_("grid index domain must have positive area")
+        self.domain = domain
+        self.cells_x = cells_x
+        self.cells_y = cells_y
+        self._cells: dict[tuple[int, int], set[object]] = {}
+        self._boxes: dict[object, BoundingBox] = {}
+
+    # -- cell mapping ----------------------------------------------------------
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        cx = int((x - self.domain.xmin) / self.domain.width * self.cells_x)
+        cy = int((y - self.domain.ymin) / self.domain.height * self.cells_y)
+        return (
+            min(max(cx, 0), self.cells_x - 1),
+            min(max(cy, 0), self.cells_y - 1),
+        )
+
+    def _cells_of_box(self, box: BoundingBox) -> list[tuple[int, int]]:
+        c0x, c0y = self._cell_of(box.xmin, box.ymin)
+        c1x, c1y = self._cell_of(box.xmax, box.ymax)
+        return [(i, j) for i in range(c0x, c1x + 1) for j in range(c0y, c1y + 1)]
+
+    # -- RegionIndex API -----------------------------------------------------------
+
+    def insert(self, query_id: object, box: BoundingBox) -> None:
+        if query_id in self._boxes:
+            raise IndexError_(f"duplicate query id {query_id!r}")
+        self._boxes[query_id] = box
+        for cell in self._cells_of_box(box):
+            self._cells.setdefault(cell, set()).add(query_id)
+
+    def remove(self, query_id: object) -> None:
+        box = self._boxes.pop(query_id, None)
+        if box is None:
+            raise IndexError_(f"unknown query id {query_id!r}")
+        for cell in self._cells_of_box(box):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(query_id)
+                if not bucket:
+                    del self._cells[cell]
+
+    def stab(self, x: float, y: float) -> list[object]:
+        bucket = self._cells.get(self._cell_of(x, y), ())
+        return [
+            qid
+            for qid in bucket
+            if (b := self._boxes[qid]).xmin <= x <= b.xmax and b.ymin <= y <= b.ymax
+        ]
+
+    def overlapping(self, box: BoundingBox) -> list[object]:
+        seen: set[object] = set()
+        out: list[object] = []
+        for cell in self._cells_of_box(box):
+            for qid in self._cells.get(cell, ()):
+                if qid not in seen and self._boxes[qid].intersects(box):
+                    seen.add(qid)
+                    out.append(qid)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, query_id: object) -> bool:
+        return query_id in self._boxes

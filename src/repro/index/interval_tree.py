@@ -1,0 +1,211 @@
+"""Dynamic 1-D interval tree (building block of the cascade tree).
+
+A centered interval tree: every node has a center value and stores the
+intervals containing it, in two endpoint-sorted lists; intervals entirely
+left/right of the center live in the corresponding subtree. Supports
+
+* ``insert`` / ``remove`` by payload id (lazy deletion with tombstones),
+* ``stab(v)`` — all intervals containing v,
+* ``overlapping(a, b)`` — all intervals intersecting [a, b],
+
+with automatic rebuilds (median-of-endpoints) when the structure drifts
+too far from balance or accumulates too many tombstones, giving amortized
+O(log n) updates and O(log n + k) queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..errors import IndexError_
+
+__all__ = ["IntervalTree"]
+
+
+class _Node:
+    __slots__ = ("center", "left", "right", "by_lo", "by_hi", "size")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        # (endpoint, id) tuples; ids are unique so tuples sort stably.
+        self.by_lo: list[tuple[float, object]] = []
+        self.by_hi: list[tuple[float, object]] = []
+        self.size = 0  # live items in this subtree
+
+
+class IntervalTree:
+    """Dynamic set of closed intervals keyed by a unique payload id."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self._items: dict[object, tuple[float, float]] = {}
+        self._dead: set[object] = set()
+        self._ops_since_rebuild = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: object) -> bool:
+        return item_id in self._items
+
+    def interval_of(self, item_id: object) -> tuple[float, float]:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise IndexError_(f"unknown interval id {item_id!r}") from None
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, item_id: object, lo: float, hi: float) -> None:
+        if lo > hi:
+            raise IndexError_(f"degenerate interval [{lo}, {hi}]")
+        if item_id in self._items:
+            raise IndexError_(f"duplicate interval id {item_id!r}")
+        if item_id in self._dead:
+            # Re-inserting a tombstoned id would corrupt lazy deletion;
+            # purge it eagerly.
+            self._rebuild()
+        self._items[item_id] = (lo, hi)
+        if self._root is None:
+            self._root = _Node((lo + hi) / 2.0)
+        node = self._root
+        while True:
+            node.size += 1
+            if hi < node.center:
+                if node.left is None:
+                    node.left = _Node((lo + hi) / 2.0)
+                node = node.left
+            elif lo > node.center:
+                if node.right is None:
+                    node.right = _Node((lo + hi) / 2.0)
+                node = node.right
+            else:
+                # Endpoint lists hold (endpoint, orderable-key, id) so that
+                # heterogeneous ids never hit Python's cross-type compare.
+                bisect.insort(node.by_lo, (lo, _key(item_id), item_id))
+                bisect.insort(node.by_hi, (-hi, _key(item_id), item_id))
+                break
+        self._maybe_rebuild()
+
+    def remove(self, item_id: object) -> None:
+        if item_id not in self._items:
+            raise IndexError_(f"unknown interval id {item_id!r}")
+        del self._items[item_id]
+        self._dead.add(item_id)
+        self._maybe_rebuild()
+
+    # -- queries --------------------------------------------------------------
+
+    def stab(self, v: float) -> list[object]:
+        """Ids of all live intervals containing ``v``."""
+        out: list[object] = []
+        node = self._root
+        while node is not None:
+            if v < node.center:
+                for lo, _, item_id in node.by_lo:
+                    if lo > v:
+                        break
+                    if item_id not in self._dead:
+                        out.append(item_id)
+                node = node.left
+            elif v > node.center:
+                for neg_hi, _, item_id in node.by_hi:
+                    if -neg_hi < v:
+                        break
+                    if item_id not in self._dead:
+                        out.append(item_id)
+                node = node.right
+            else:
+                for lo, _, item_id in node.by_lo:
+                    if item_id not in self._dead:
+                        out.append(item_id)
+                break
+        return out
+
+    def overlapping(self, a: float, b: float) -> list[object]:
+        """Ids of all live intervals intersecting [a, b]."""
+        if a > b:
+            raise IndexError_(f"degenerate query interval [{a}, {b}]")
+        out: list[object] = []
+        self._overlap(self._root, a, b, out)
+        return out
+
+    def _overlap(self, node: _Node | None, a: float, b: float, out: list[object]) -> None:
+        if node is None:
+            return
+        if node.center < a:
+            # Only intervals reaching right to >= a qualify at this node,
+            # and only the right subtree can contain further matches.
+            for neg_hi, _, item_id in node.by_hi:
+                if -neg_hi < a:
+                    break
+                if item_id not in self._dead:
+                    out.append(item_id)
+            self._overlap(node.right, a, b, out)
+        elif node.center > b:
+            for lo, _, item_id in node.by_lo:
+                if lo > b:
+                    break
+                if item_id not in self._dead:
+                    out.append(item_id)
+            self._overlap(node.left, a, b, out)
+        else:
+            for lo, _, item_id in node.by_lo:
+                if item_id not in self._dead:
+                    out.append(item_id)
+            self._overlap(node.left, a, b, out)
+            self._overlap(node.right, a, b, out)
+
+    def items(self) -> Iterator[tuple[object, float, float]]:
+        for item_id, (lo, hi) in self._items.items():
+            yield item_id, lo, hi
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _maybe_rebuild(self) -> None:
+        self._ops_since_rebuild += 1
+        dead = len(self._dead)
+        live = len(self._items)
+        if dead > 16 and dead > live:
+            self._rebuild()
+        elif self._ops_since_rebuild > 4 * max(16, live):
+            # Periodic rebalance against adversarial insertion orders.
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        items = list(self._items.items())
+        self._root = None
+        self._dead.clear()
+        self._ops_since_rebuild = 0
+        self._root = self._build([(iid, lo, hi) for iid, (lo, hi) in items])
+
+    def _build(self, items: list[tuple[object, float, float]]) -> _Node | None:
+        if not items:
+            return None
+        endpoints = sorted(e for _, lo, hi in items for e in (lo, hi))
+        center = endpoints[len(endpoints) // 2]
+        node = _Node(center)
+        node.size = len(items)
+        here: list[tuple[object, float, float]] = []
+        left: list[tuple[object, float, float]] = []
+        right: list[tuple[object, float, float]] = []
+        for iid, lo, hi in items:
+            if hi < center:
+                left.append((iid, lo, hi))
+            elif lo > center:
+                right.append((iid, lo, hi))
+            else:
+                here.append((iid, lo, hi))
+        node.by_lo = sorted((lo, _key(iid), iid) for iid, lo, hi in here)
+        node.by_hi = sorted((-hi, _key(iid), iid) for iid, lo, hi in here)
+        node.left = self._build(left)
+        node.right = self._build(right)
+        return node
+
+
+def _key(item_id: object) -> str:
+    """A total order for heterogeneous ids inside sorted endpoint lists."""
+    return f"{type(item_id).__name__}:{item_id!r}"

@@ -1,0 +1,47 @@
+"""Naive per-query scan: the baseline the cascade tree is measured against.
+
+Evaluating every registered query's region independently against incoming
+data is exactly what the paper's shared restriction stage avoids; this
+index is that strawman — O(n) per stab/overlap.
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from ..geo.region import BoundingBox
+from .base import RegionIndex
+
+__all__ = ["NaiveRegionIndex"]
+
+
+class NaiveRegionIndex(RegionIndex):
+    """Linear scan over all registered rectangles."""
+
+    def __init__(self) -> None:
+        self._boxes: dict[object, BoundingBox] = {}
+
+    def insert(self, query_id: object, box: BoundingBox) -> None:
+        if query_id in self._boxes:
+            raise IndexError_(f"duplicate query id {query_id!r}")
+        self._boxes[query_id] = box
+
+    def remove(self, query_id: object) -> None:
+        if query_id not in self._boxes:
+            raise IndexError_(f"unknown query id {query_id!r}")
+        del self._boxes[query_id]
+
+    def stab(self, x: float, y: float) -> list[object]:
+        return [
+            qid
+            for qid, b in self._boxes.items()
+            if b.xmin <= x <= b.xmax and b.ymin <= y <= b.ymax
+        ]
+
+    def overlapping(self, box: BoundingBox) -> list[object]:
+        return [qid for qid, b in self._boxes.items() if b.intersects(box)]
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, query_id: object) -> bool:
+        return query_id in self._boxes

@@ -1,0 +1,26 @@
+"""Instrument simulators and the raw-record stream generator (Fig. 3)."""
+
+from .airborne import AirborneCamera
+from .generator import RawRecord, StreamGenerator, decode_record, encode_record
+from .goes import GOES_VIS_FRAME_SHAPE, GOESImager, full_disk_sector, western_us_sector
+from .instrument import Instrument
+from .lidar import LidarScanner
+from .scene import SCENE_BANDS, Hotspot, SyntheticEarth, ValueNoise2D
+
+__all__ = [
+    "AirborneCamera",
+    "GOESImager",
+    "GOES_VIS_FRAME_SHAPE",
+    "western_us_sector",
+    "full_disk_sector",
+    "Instrument",
+    "LidarScanner",
+    "SyntheticEarth",
+    "ValueNoise2D",
+    "Hotspot",
+    "SCENE_BANDS",
+    "StreamGenerator",
+    "RawRecord",
+    "encode_record",
+    "decode_record",
+]

@@ -1,0 +1,116 @@
+"""Airborne frame camera simulator (image-by-image organization, Fig. 1a).
+
+"Airborne cameras typically obtain data in an image-by-image fashion ...
+there are several consecutive frames that cover possibly different
+spatial regions." Each emitted chunk is a complete frame whose lattice
+slides along a flight path, so consecutive points are spatially close
+*within* a frame but jump at frame boundaries — the proximity property
+experiment F1 measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..core.chunk import GridChunk
+from ..core.lattice import GridLattice
+from ..core.metadata import FrameInfo
+from ..core.stream import GeoStream, Organization, StreamMetadata
+from ..core.valueset import GRAY8
+from ..errors import StreamError
+from ..geo.crs import LATLON
+from .instrument import Instrument
+from .scene import SCENE_BANDS, SyntheticEarth
+
+__all__ = ["AirborneCamera"]
+
+
+class AirborneCamera(Instrument):
+    """A frame camera flown along a straight path over the scene."""
+
+    def __init__(
+        self,
+        scene: SyntheticEarth | None = None,
+        start_lon: float = -122.5,
+        start_lat: float = 38.0,
+        heading_deg: float = 90.0,
+        frame_spacing_deg: float = 0.05,
+        n_frames: int = 6,
+        frame_width: int = 64,
+        frame_height: int = 48,
+        resolution_deg: float = 0.002,
+        frame_interval_s: float = 5.0,
+        band: str = "vis",
+        t0: float = 36_000.0,  # mid-morning so the visible band is lit
+    ) -> None:
+        super().__init__(scene or SyntheticEarth())
+        if band not in SCENE_BANDS:
+            raise StreamError(f"unknown band {band!r}; scene provides {SCENE_BANDS}")
+        if n_frames < 1 or frame_width < 1 or frame_height < 1:
+            raise StreamError("camera needs at least one non-empty frame")
+        self.start_lon = start_lon
+        self.start_lat = start_lat
+        self.heading = math.radians(heading_deg)
+        self.frame_spacing = frame_spacing_deg
+        self.n_frames = n_frames
+        self.frame_width = frame_width
+        self.frame_height = frame_height
+        self.resolution = resolution_deg
+        self.frame_interval = frame_interval_s
+        self.band = band
+        self.t0 = t0
+
+    def frame_lattice(self, index: int) -> GridLattice:
+        """Lattice of the ``index``-th frame, centered on the flight path."""
+        center_lon = self.start_lon + math.sin(self.heading) * self.frame_spacing * index
+        center_lat = self.start_lat + math.cos(self.heading) * self.frame_spacing * index
+        return GridLattice(
+            crs=LATLON,
+            x0=center_lon - self.resolution * (self.frame_width - 1) / 2.0,
+            y0=center_lat + self.resolution * (self.frame_height - 1) / 2.0,
+            dx=self.resolution,
+            dy=-self.resolution,
+            width=self.frame_width,
+            height=self.frame_height,
+        )
+
+    def _chunks(self) -> Iterator[GridChunk]:
+        for index in range(self.n_frames):
+            lattice = self.frame_lattice(index)
+            lon, lat = self.lonlat_grid(lattice)
+            statics = self.scene_statics(lattice)
+            t = self.t0 + index * self.frame_interval
+            counts = self.scene.digitize(
+                self.band, lon, lat, t, bits=8, statics=statics
+            ).astype(np.uint8)
+            yield GridChunk(
+                values=counts,
+                lattice=lattice,
+                band=self.band,
+                t=t,
+                sector=index,
+                frame=FrameInfo(frame_id=index, lattice=lattice),
+                row0=0,
+                col0=0,
+                last_in_frame=True,
+            )
+
+    def stream(self) -> GeoStream:
+        metadata = StreamMetadata(
+            stream_id=f"airborne.{self.band}",
+            band=self.band,
+            crs=LATLON,
+            organization=Organization.IMAGE_BY_IMAGE,
+            value_set=GRAY8,
+            timestamp_policy="measured",
+            description=(
+                f"simulated airborne camera, {self.n_frames} frames of "
+                f"{self.frame_height}x{self.frame_width} along a "
+                f"{math.degrees(self.heading):g} deg track"
+            ),
+            max_frame_shape=(self.frame_height, self.frame_width),
+        )
+        return GeoStream(metadata, self._chunks)

@@ -1,0 +1,101 @@
+"""LIDAR scanner simulator (point-by-point organization, Fig. 1c).
+
+"Some instruments, such as LIDAR, have non-uniform point lattice
+structures, and points are only ordered by time." The simulated scanner
+flies a track and emits batches of individually-timestamped points whose
+cross-track positions jitter, so no regular lattice exists. Point values
+are pseudo-elevations in meters derived from the scene's terrain field.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..core.chunk import PointChunk
+from ..core.stream import GeoStream, Organization, StreamMetadata
+from ..core.valueset import FLOAT32
+from ..errors import StreamError
+from ..geo.crs import LATLON
+from .instrument import Instrument
+from .scene import SyntheticEarth, ValueNoise2D
+
+__all__ = ["LidarScanner"]
+
+
+class LidarScanner(Instrument):
+    """An along-track profiling LIDAR with jittered cross-track sampling."""
+
+    def __init__(
+        self,
+        scene: SyntheticEarth | None = None,
+        start_lon: float = -121.8,
+        start_lat: float = 37.2,
+        heading_deg: float = 30.0,
+        along_spacing_deg: float = 0.0005,
+        cross_jitter_deg: float = 0.002,
+        n_points: int = 5_000,
+        points_per_chunk: int = 250,
+        point_interval_s: float = 0.001,
+        elevation_scale_m: float = 3_000.0,
+        t0: float = 0.0,
+    ) -> None:
+        super().__init__(scene or SyntheticEarth())
+        if n_points < 1 or points_per_chunk < 1:
+            raise StreamError("scanner needs at least one point per chunk")
+        self.start_lon = start_lon
+        self.start_lat = start_lat
+        self.heading = math.radians(heading_deg)
+        self.along_spacing = along_spacing_deg
+        self.cross_jitter = cross_jitter_deg
+        self.n_points = n_points
+        self.points_per_chunk = points_per_chunk
+        self.point_interval = point_interval_s
+        self.elevation_scale = elevation_scale_m
+        self.t0 = t0
+        self._jitter_noise = ValueNoise2D(self.scene.seed * 11 + 9)
+
+    def _positions(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(lon, lat) of the given point indices along the jittered track."""
+        along = indices * self.along_spacing
+        # Cross-track offset varies smoothly but unpredictably with index.
+        jitter = (self._jitter_noise.noise(indices * 0.11, indices * 0.017) - 0.5) * 2.0
+        cross = jitter * self.cross_jitter
+        sin_h, cos_h = math.sin(self.heading), math.cos(self.heading)
+        lon = self.start_lon + sin_h * along + cos_h * cross
+        lat = self.start_lat + cos_h * along - sin_h * cross
+        return lon, lat
+
+    def _chunks(self) -> Iterator[PointChunk]:
+        for start in range(0, self.n_points, self.points_per_chunk):
+            indices = np.arange(start, min(start + self.points_per_chunk, self.n_points))
+            lon, lat = self._positions(indices.astype(float))
+            t = self.t0 + indices * self.point_interval
+            elevation = (
+                self.scene.elevation(lon, lat).astype(np.float32) * self.elevation_scale
+            )
+            yield PointChunk(
+                x=lon,
+                y=lat,
+                values=elevation,
+                band="elevation",
+                t=t,
+                crs=LATLON,
+            )
+
+    def stream(self) -> GeoStream:
+        metadata = StreamMetadata(
+            stream_id="lidar.elevation",
+            band="elevation",
+            crs=LATLON,
+            organization=Organization.POINT_BY_POINT,
+            value_set=FLOAT32,
+            timestamp_policy="measured",
+            description=(
+                f"simulated profiling LIDAR, {self.n_points} points in batches "
+                f"of {self.points_per_chunk}"
+            ),
+        )
+        return GeoStream(metadata, self._chunks)

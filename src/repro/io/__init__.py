@@ -1,0 +1,5 @@
+"""File substrate: archive and replay GeoStreams."""
+
+from .archive import ARCHIVE_MAGIC, read_archive, write_archive
+
+__all__ = ["write_archive", "read_archive", "ARCHIVE_MAGIC"]

@@ -1,0 +1,261 @@
+"""Stream archives: persist and replay GeoStreams as files.
+
+The paper's introduction observes that today "data is typically
+replicated using file-based approaches and has to undergo several
+batch-oriented processing steps" — the very workflow a DSMS replaces.
+Ground stations still archive the downlink, though, and tests and
+examples benefit from replayable captured streams, so this module
+provides the file substrate:
+
+* :func:`write_archive` — serialize any GeoStream (grid or point chunks)
+  to a self-describing binary file: a JSON header with the stream
+  metadata, then length-prefixed, CRC-checked chunk records.
+* :func:`read_archive` — open an archive as a *re-openable* GeoStream
+  that can feed the same operators and DSMS as a live instrument.
+
+The format is deliberately simple (no compression; numpy buffers are
+stored raw, C-order, little-endian dtype strings), and every value-set
+and CRS is rebuilt from its spec so archives are portable between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+import zlib
+from typing import IO, Iterator
+
+import numpy as np
+
+from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.lattice import GridLattice
+from ..core.metadata import FrameInfo
+from ..core.stream import GeoStream, Organization, StreamMetadata
+from ..core.valueset import ValueSet
+from ..errors import CodecError
+from ..geo.crs import from_spec, spec_of
+
+__all__ = ["write_archive", "read_archive", "ARCHIVE_MAGIC"]
+
+ARCHIVE_MAGIC = b"GSARCH1\n"
+_LEN = struct.Struct(">I")
+
+
+# -- (de)serialization helpers -----------------------------------------------
+
+
+def _lattice_to_json(lattice: GridLattice) -> dict:
+    return {
+        "crs": spec_of(lattice.crs),
+        "x0": lattice.x0,
+        "y0": lattice.y0,
+        "dx": lattice.dx,
+        "dy": lattice.dy,
+        "width": lattice.width,
+        "height": lattice.height,
+    }
+
+
+def _lattice_from_json(data: dict) -> GridLattice:
+    return GridLattice(
+        crs=from_spec(data["crs"]),
+        x0=data["x0"],
+        y0=data["y0"],
+        dx=data["dx"],
+        dy=data["dy"],
+        width=data["width"],
+        height=data["height"],
+    )
+
+
+def _value_set_to_json(value_set: ValueSet) -> dict:
+    return {
+        "name": value_set.name,
+        "dtype": value_set.dtype.str,
+        "channels": value_set.channels,
+        "lo": value_set.lo,
+        "hi": value_set.hi,
+    }
+
+
+def _value_set_from_json(data: dict) -> ValueSet:
+    return ValueSet(
+        data["name"], np.dtype(data["dtype"]), data["channels"], data["lo"], data["hi"]
+    )
+
+
+def _metadata_to_json(metadata: StreamMetadata) -> dict:
+    return {
+        "stream_id": metadata.stream_id,
+        "band": metadata.band,
+        "crs": spec_of(metadata.crs),
+        "organization": metadata.organization.value,
+        "value_set": _value_set_to_json(metadata.value_set),
+        "timestamp_policy": metadata.timestamp_policy,
+        "description": metadata.description,
+        "max_frame_shape": list(metadata.max_frame_shape)
+        if metadata.max_frame_shape
+        else None,
+    }
+
+
+def _metadata_from_json(data: dict) -> StreamMetadata:
+    return StreamMetadata(
+        stream_id=data["stream_id"],
+        band=data["band"],
+        crs=from_spec(data["crs"]),
+        organization=Organization(data["organization"]),
+        value_set=_value_set_from_json(data["value_set"]),
+        timestamp_policy=data["timestamp_policy"],
+        description=data.get("description", ""),
+        max_frame_shape=tuple(data["max_frame_shape"])
+        if data.get("max_frame_shape")
+        else None,
+    )
+
+
+def _chunk_to_record(chunk: Chunk) -> bytes:
+    if isinstance(chunk, GridChunk):
+        header = {
+            "kind": "grid",
+            "band": chunk.band,
+            "t": chunk.t,
+            "sector": chunk.sector,
+            "dtype": chunk.values.dtype.str,
+            "shape": list(chunk.values.shape),
+            "lattice": _lattice_to_json(chunk.lattice),
+            "frame": (
+                {
+                    "frame_id": chunk.frame.frame_id,
+                    "lattice": _lattice_to_json(chunk.frame.lattice),
+                }
+                if chunk.frame is not None
+                else None
+            ),
+            "row0": chunk.row0,
+            "col0": chunk.col0,
+            "last": chunk.last_in_frame,
+        }
+        blobs = [np.ascontiguousarray(chunk.values).tobytes()]
+    else:
+        header = {
+            "kind": "point",
+            "band": chunk.band,
+            "sector": chunk.sector,
+            "dtype": chunk.values.dtype.str,
+            "vshape": list(chunk.values.shape),
+            "n": chunk.n_points,
+            "crs": spec_of(chunk.crs),
+        }
+        blobs = [
+            chunk.x.astype("<f8").tobytes(),
+            chunk.y.astype("<f8").tobytes(),
+            chunk.t.astype("<f8").tobytes(),
+            np.ascontiguousarray(chunk.values).tobytes(),
+        ]
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload = _LEN.pack(len(header_bytes)) + header_bytes + b"".join(blobs)
+    return payload + _LEN.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+
+
+def _chunk_from_record(record: bytes) -> Chunk:
+    payload, crc_bytes = record[:-4], record[-4:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != _LEN.unpack(crc_bytes)[0]:
+        raise CodecError("archive chunk record CRC mismatch")
+    (hlen,) = _LEN.unpack(payload[:4])
+    header = json.loads(payload[4 : 4 + hlen].decode("utf-8"))
+    body = payload[4 + hlen :]
+    if header["kind"] == "grid":
+        values = np.frombuffer(body, dtype=np.dtype(header["dtype"])).reshape(
+            header["shape"]
+        )
+        frame = None
+        if header["frame"] is not None:
+            frame = FrameInfo(
+                header["frame"]["frame_id"], _lattice_from_json(header["frame"]["lattice"])
+            )
+        return GridChunk(
+            values=values,
+            lattice=_lattice_from_json(header["lattice"]),
+            band=header["band"],
+            t=header["t"],
+            sector=header["sector"],
+            frame=frame,
+            row0=header["row0"],
+            col0=header["col0"],
+            last_in_frame=header["last"],
+        )
+    if header["kind"] == "point":
+        n = header["n"]
+        offset = 0
+        x = np.frombuffer(body, dtype="<f8", count=n, offset=offset); offset += 8 * n
+        y = np.frombuffer(body, dtype="<f8", count=n, offset=offset); offset += 8 * n
+        t = np.frombuffer(body, dtype="<f8", count=n, offset=offset); offset += 8 * n
+        values = np.frombuffer(body, dtype=np.dtype(header["dtype"]), offset=offset)
+        values = values.reshape(header["vshape"])
+        return PointChunk(
+            x=x,
+            y=y,
+            values=values,
+            band=header["band"],
+            t=t,
+            crs=from_spec(header["crs"]),
+            sector=header["sector"],
+        )
+    raise CodecError(f"unknown archive chunk kind {header['kind']!r}")
+
+
+# -- public API --------------------------------------------------------------------
+
+
+def write_archive(stream: GeoStream, path: str | pathlib.Path) -> int:
+    """Serialize a (finite) GeoStream to ``path``; returns chunks written."""
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("wb") as fh:
+        fh.write(ARCHIVE_MAGIC)
+        header = json.dumps(
+            {"metadata": _metadata_to_json(stream.metadata)}, separators=(",", ":")
+        ).encode("utf-8")
+        fh.write(_LEN.pack(len(header)))
+        fh.write(header)
+        for chunk in stream.chunks():
+            record = _chunk_to_record(chunk)
+            fh.write(_LEN.pack(len(record)))
+            fh.write(record)
+            count += 1
+    return count
+
+
+def _read_exact(fh: IO[bytes], n: int, context: str) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise CodecError(f"truncated archive while reading {context}")
+    return data
+
+
+def _iter_archive_chunks(path: pathlib.Path) -> Iterator[Chunk]:
+    with path.open("rb") as fh:
+        if _read_exact(fh, len(ARCHIVE_MAGIC), "magic") != ARCHIVE_MAGIC:
+            raise CodecError(f"{path} is not a GeoStream archive")
+        (hlen,) = _LEN.unpack(_read_exact(fh, 4, "header length"))
+        _read_exact(fh, hlen, "header")  # metadata already parsed at open
+        while True:
+            raw_len = fh.read(4)
+            if not raw_len:
+                return
+            (rlen,) = _LEN.unpack(raw_len)
+            yield _chunk_from_record(_read_exact(fh, rlen, "chunk record"))
+
+
+def read_archive(path: str | pathlib.Path) -> GeoStream:
+    """Open an archive as a re-openable GeoStream."""
+    path = pathlib.Path(path)
+    with path.open("rb") as fh:
+        if _read_exact(fh, len(ARCHIVE_MAGIC), "magic") != ARCHIVE_MAGIC:
+            raise CodecError(f"{path} is not a GeoStream archive")
+        (hlen,) = _LEN.unpack(_read_exact(fh, 4, "header length"))
+        header = json.loads(_read_exact(fh, hlen, "header").decode("utf-8"))
+    metadata = _metadata_from_json(header["metadata"])
+    return GeoStream(metadata, lambda: _iter_archive_chunks(path))

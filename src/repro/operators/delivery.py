@@ -1,0 +1,93 @@
+"""Stream delivery (Section 4).
+
+"This spatial restriction operator then streams the point data to a
+specialized stream delivery operator that ships stream results back to
+clients using the PNG image format." :class:`Delivery` assembles frames
+from its input, encodes each completed frame as PNG, and hands the bytes
+to a sink — while passing the chunks through unchanged so delivery can
+sit anywhere in a pipeline without breaking closure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.chunk import Chunk, PointChunk
+from ..core.image import RasterImage
+from ..errors import OperatorError
+from .aggregate import _FrameCollector
+from .base import Operator
+
+__all__ = ["Delivery", "DeliveredFrame", "CollectingSink"]
+
+
+class DeliveredFrame:
+    """One frame shipped to a client: PNG bytes plus its georeferencing."""
+
+    __slots__ = ("png", "image")
+
+    def __init__(self, png: bytes, image: RasterImage) -> None:
+        self.png = png
+        self.image = image
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveredFrame({len(self.png)} bytes, {self.image.shape[0]}x"
+            f"{self.image.shape[1]} {self.image.band!r} @t={self.image.t:g})"
+        )
+
+
+class CollectingSink:
+    """Default sink: keep every delivered frame in memory."""
+
+    def __init__(self) -> None:
+        self.frames: list[DeliveredFrame] = []
+
+    def __call__(self, frame: DeliveredFrame) -> None:
+        self.frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+class Delivery(Operator):
+    """Encode completed frames as PNG and push them to a client sink."""
+
+    name = "delivery"
+
+    def __init__(
+        self,
+        sink: Callable[[DeliveredFrame], None] | None = None,
+        encode: bool = True,
+    ) -> None:
+        super().__init__()
+        self.sink = sink if sink is not None else CollectingSink()
+        self.encode = encode
+        self._collector = _FrameCollector(self)
+
+    def _reset_state(self) -> None:
+        self._collector = _FrameCollector(self)
+
+    def _ship(self, image: RasterImage) -> None:
+        png = image.to_png_bytes() if self.encode else b""
+        self.sink(DeliveredFrame(png, image))
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError(
+                "PNG delivery is defined on raster streams; aggregate point "
+                "results are shipped by the server session layer instead"
+            )
+        image = self._collector.add(chunk)
+        if image is not None:
+            self._ship(image)
+        yield chunk
+
+    def _flush(self) -> Iterable[Chunk]:
+        image = self._collector.finish()
+        if image is not None:
+            self._ship(image)
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Delivery(encode={self.encode})"

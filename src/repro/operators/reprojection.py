@@ -1,0 +1,285 @@
+"""Re-projection to a new coordinate system (Section 3.2, Fig. 2b).
+
+"From a query processing point of view ... such types of spatial
+transform operators may block for a considerable amount of time, as the
+computation of the value of a point y in Y may require any number of
+points from X. An implementation ... can be tailored by utilizing
+metadata about the spatial extent of the current scan sector and the
+spatial resolution associated with X and Y."
+
+:class:`Reproject` implements exactly that tailoring:
+
+* When the first chunk of a frame arrives, the scan-sector metadata
+  (:class:`~repro.core.metadata.FrameInfo`) gives the full source extent,
+  from which the output lattice is derived ("a regular lattice
+  corresponding in size and aspect to the lattice of the original point
+  set X is overlayed over the spatial extent of the new point lattice").
+* For every output row, the operator precomputes which band of source
+  rows it needs (inverse-projected coordinates plus the interpolation
+  kernel footprint). Output rows are emitted *as soon as* their band is
+  complete, and source rows no longer needed by any pending output row
+  are evicted — so the buffer high-water mark is the worst-case row band,
+  not the whole frame, for row-aligned projections (experiment E4).
+* At frame end, remaining output rows are emitted using boundary
+  interpolation over whatever source rows exist, the paper's remedy for
+  the operator that "could potentially block forever".
+* A stream with **no** frame metadata and no user-supplied output lattice
+  raises :class:`~repro.errors.BlockingHazardError` — the very hazard the
+  paper warns about.
+
+Point streams re-project point-by-point with no buffering at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace as dc_replace
+from typing import Iterable
+
+import numpy as np
+
+from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.lattice import GridLattice
+from ..core.metadata import FrameInfo
+from ..core.stream import StreamMetadata
+from ..core.valueset import FLOAT32
+from ..errors import BlockingHazardError, OperatorError, RegionError
+from ..geo.crs import CRS, transform_points
+from ..raster.interpolate import KERNEL_FOOTPRINT, sample
+from .base import Operator
+
+__all__ = ["Reproject"]
+
+
+class _FrameReprojection:
+    """Per-frame navigation state: where each output row reads from."""
+
+    def __init__(
+        self,
+        src_lattice: GridLattice,
+        dst_lattice: GridLattice,
+        footprint: int,
+    ) -> None:
+        self.src_lattice = src_lattice
+        self.dst_lattice = dst_lattice
+        ox, oy = dst_lattice.meshgrid()
+        sx, sy = transform_points(dst_lattice.crs, src_lattice.crs, ox, oy)
+        self.rows = src_lattice.fractional_row(sy)
+        self.cols = src_lattice.fractional_col(sx)
+        h_out = dst_lattice.height
+        self.row_min = np.full(h_out, 0, dtype=np.int64)
+        self.row_max = np.full(h_out, -1, dtype=np.int64)
+        for j in range(h_out):
+            finite = self.rows[j][np.isfinite(self.rows[j])]
+            if finite.size == 0:
+                continue  # row entirely outside the source: emit as fill
+            self.row_min[j] = max(0, int(math.floor(finite.min())) - footprint)
+            self.row_max[j] = min(
+                src_lattice.height - 1, int(math.ceil(finite.max())) + footprint
+            )
+        self.next_out = 0
+
+    def needed_floor(self) -> int:
+        """Lowest source row any not-yet-emitted output row still needs."""
+        if self.next_out >= self.dst_lattice.height:
+            return self.src_lattice.height
+        pending = self.row_min[self.next_out :]
+        return int(pending.min()) if pending.size else self.src_lattice.height
+
+
+class Reproject(Operator):
+    """Resample a stream onto a lattice in a different coordinate system."""
+
+    name = "reproject"
+
+    def __init__(
+        self,
+        dst_crs: CRS,
+        dst_lattice: GridLattice | None = None,
+        resolution: tuple[float, float] | None = None,
+        method: str = "bilinear",
+        fill: float = np.nan,
+    ) -> None:
+        super().__init__()
+        if method not in KERNEL_FOOTPRINT:
+            raise OperatorError(
+                f"unknown interpolation method {method!r}; expected one of "
+                f"{sorted(KERNEL_FOOTPRINT)}"
+            )
+        if dst_lattice is not None and dst_lattice.crs != dst_crs:
+            raise OperatorError("dst_lattice must live in dst_crs")
+        self.dst_crs = dst_crs
+        self.dst_lattice = dst_lattice
+        self.resolution = resolution
+        self.method = method
+        self.fill = fill
+        self._footprint = KERNEL_FOOTPRINT[method]
+        self._nav: _FrameReprojection | None = None
+        self._frame_id: int | None = None
+        self._src_rows: dict[int, GridChunk] = {}
+        self._meta: tuple[str, float, int | None] = ("", 0.0, None)
+
+    def _reset_state(self) -> None:
+        self._nav = None
+        self._frame_id = None
+        self._src_rows = {}
+
+    # -- output lattice derivation --------------------------------------------
+
+    def _derive_dst_lattice(self, src_lattice: GridLattice) -> GridLattice:
+        if self.dst_lattice is not None:
+            return self.dst_lattice
+        try:
+            dst_bbox = src_lattice.bbox.transformed(self.dst_crs)
+        except RegionError as exc:
+            raise OperatorError(
+                f"source frame extent has no image in {self.dst_crs.name}: {exc}"
+            ) from exc
+        if self.resolution is not None:
+            dx, dy = self.resolution
+        else:
+            dx = dst_bbox.width / src_lattice.width
+            dy = dst_bbox.height / src_lattice.height
+        return GridLattice.from_bbox(dst_bbox, dx, dy, self.dst_crs)
+
+    # -- frame lifecycle ---------------------------------------------------------
+
+    def _begin_frame(self, chunk: GridChunk) -> None:
+        if chunk.frame is not None:
+            src_lattice = chunk.frame.lattice
+            self._frame_id = chunk.frame.frame_id
+        elif chunk.last_in_frame and chunk.row0 == 0:
+            src_lattice = chunk.lattice
+            self._frame_id = None
+        else:
+            raise BlockingHazardError(
+                "re-projection needs scan-sector metadata (FrameInfo) or an "
+                "explicit output lattice; without knowing the frame extent the "
+                "operator could block forever (Section 3.2)"
+            )
+        self._nav = _FrameReprojection(
+            src_lattice, self._derive_dst_lattice(src_lattice), self._footprint
+        )
+
+    def _store_rows(self, chunk: GridChunk) -> None:
+        for local_row in range(chunk.lattice.height):
+            row = chunk.subwindow(local_row, 0, 1, chunk.lattice.width)
+            abs_row = row.row0
+            if abs_row in self._src_rows:
+                self.stats.buffer_remove_chunk(self._src_rows[abs_row])
+            self._src_rows[abs_row] = row
+            self.stats.buffer_add_chunk(row)
+
+    def _highest_contiguous_row(self) -> int:
+        """Highest source row r such that all rows 0..r have been seen or
+        evicted (evicted rows were already consumed)."""
+        # Rows are delivered in order by our instruments; the max stored
+        # row is the watermark. Out-of-order delivery would need a gap set;
+        # the ordered-stream model of the paper makes this sufficient.
+        return max(self._src_rows, default=-1)
+
+    def _emit_ready(self, force: bool) -> Iterable[GridChunk]:
+        nav = self._nav
+        assert nav is not None
+        watermark = self._highest_contiguous_row()
+        h_out = nav.dst_lattice.height
+        while nav.next_out < h_out:
+            j = nav.next_out
+            if not force and nav.row_max[j] > watermark:
+                break
+            yield self._emit_row(j)
+            nav.next_out += 1
+            # Evict source rows nothing pending needs anymore.
+            floor = nav.needed_floor()
+            for r in [r for r in self._src_rows if r < floor]:
+                self.stats.buffer_remove_chunk(self._src_rows.pop(r))
+        if force:
+            for r in list(self._src_rows):
+                self.stats.buffer_remove_chunk(self._src_rows.pop(r))
+            self._nav = None
+            self._frame_id = None
+
+    def _emit_row(self, j: int) -> GridChunk:
+        nav = self._nav
+        assert nav is not None
+        band, t, sector = self._meta
+        r_lo, r_hi = int(nav.row_min[j]), int(nav.row_max[j])
+        if r_hi < r_lo:
+            out = np.full((1, nav.dst_lattice.width), self.fill, dtype=np.float64)
+        else:
+            stack = np.full(
+                (r_hi - r_lo + 1, nav.src_lattice.width), np.nan, dtype=np.float64
+            )
+            for r in range(r_lo, r_hi + 1):
+                row = self._src_rows.get(r)
+                if row is not None:
+                    # Rows may be partial windows of the frame (e.g. after
+                    # a spatial restriction): paste at the column offset.
+                    c0 = row.col0
+                    stack[r - r_lo, c0 : c0 + row.lattice.width] = row.values[0].astype(
+                        np.float64
+                    )
+            out = sample(
+                self.method,
+                stack,
+                nav.rows[j] - r_lo,
+                nav.cols[j],
+                fill=self.fill,
+            ).reshape(1, -1)
+        frame_id = self._frame_id if self._frame_id is not None else 0
+        return GridChunk(
+            values=out.astype(np.float32),
+            lattice=nav.dst_lattice.row_lattice(j),
+            band=band,
+            t=t,
+            sector=sector,
+            frame=FrameInfo(frame_id, nav.dst_lattice),
+            row0=j,
+            col0=0,
+            last_in_frame=(j == nav.dst_lattice.height - 1),
+        )
+
+    # -- operator hooks -----------------------------------------------------------
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            # Point streams re-project pointwise: no buffering at all.
+            nx, ny = transform_points(chunk.crs, self.dst_crs, chunk.x, chunk.y)
+            keep = np.isfinite(nx) & np.isfinite(ny)
+            moved = PointChunk(
+                x=nx[keep],
+                y=ny[keep],
+                values=np.asarray(chunk.values)[keep],
+                band=chunk.band,
+                t=chunk.t[keep],
+                crs=self.dst_crs,
+                sector=chunk.sector,
+            )
+            if moved.n_points:
+                yield moved
+            return
+
+        if chunk.values.ndim != 2:
+            raise OperatorError("re-projection of vector-valued streams is not supported")
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._nav is not None and frame_id != self._frame_id:
+            yield from self._emit_ready(force=True)
+        if self._nav is None:
+            self._begin_frame(chunk)
+        self._meta = (chunk.band, chunk.t, chunk.sector)
+        self._store_rows(chunk)
+        yield from self._emit_ready(force=chunk.last_in_frame)
+
+    def _flush(self) -> Iterable[Chunk]:
+        if self._nav is not None:
+            yield from self._emit_ready(force=True)
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        return dc_replace(
+            metadata,
+            crs=self.dst_crs,
+            value_set=FLOAT32 if not metadata.value_set.is_vector else metadata.value_set,
+        )
+
+    def __repr__(self) -> str:
+        return f"Reproject(to={self.dst_crs.name!r}, method={self.method!r})"

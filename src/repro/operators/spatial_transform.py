@@ -1,0 +1,378 @@
+"""Spatial transforms (Def. 9, Fig. 2a): zoom, resolution change, warp.
+
+Costs mirror the paper's analysis:
+
+* :class:`Magnify` — "an operator that increases the spatial resolution
+  would take an incoming point x and produce a rectangular lattice of
+  k x k points ... no neighboring points for x are required": zero
+  buffering, chunk-at-a-time.
+* :class:`Coarsen` — decreasing resolution by 1/k needs "a rectangular
+  lattice of k x k neighboring points surrounding x", so a row-organized
+  stream buffers a k-row band before each output row can be emitted
+  (experiment E3 reads the high-water mark).
+* :class:`Rotate` / :class:`AffineWarp` — general affine transforms whose
+  output points may depend on arbitrary input points; they buffer a whole
+  frame, bounded by the scan-sector metadata on the stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from dataclasses import replace as dc_replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.lattice import GridLattice
+from ..core.metadata import FrameInfo
+from ..core.stream import StreamMetadata
+from ..core.valueset import FLOAT32
+from ..errors import BlockingHazardError, OperatorError
+from ..geo.region import BoundingBox
+from ..raster.interpolate import block_reduce, sample
+from .base import Operator
+
+__all__ = ["Magnify", "Coarsen", "AffineTransform", "AffineWarp", "Rotate"]
+
+
+class Magnify(Operator):
+    """Increase spatial resolution by integer factor k (pixel replication).
+
+    Each input point becomes a k x k block of identical values, exactly as
+    the paper describes; no neighbours and no buffering are needed.
+    """
+
+    name = "magnify"
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        if k < 1:
+            raise OperatorError(f"magnification factor must be >= 1, got {k}")
+        self.k = k
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError("magnification is defined on grid streams only")
+        k = self.k
+        if k == 1:
+            yield chunk
+            return
+        values = np.repeat(np.repeat(chunk.values, k, axis=0), k, axis=1)
+        frame = chunk.frame
+        if frame is not None:
+            frame = FrameInfo(frame.frame_id, frame.lattice.magnified(k))
+        yield GridChunk(
+            values=values,
+            lattice=chunk.lattice.magnified(k),
+            band=chunk.band,
+            t=chunk.t,
+            sector=chunk.sector,
+            frame=frame,
+            row0=chunk.row0 * k,
+            col0=chunk.col0 * k,
+            last_in_frame=chunk.last_in_frame,
+        )
+
+    def __repr__(self) -> str:
+        return f"Magnify(k={self.k})"
+
+
+class Coarsen(Operator):
+    """Decrease spatial resolution by 1/k: reduce k x k blocks (Fig. 2a).
+
+    Buffers incoming rows of the current frame until a complete k-row band
+    is available, reduces it, and emits one output row — so the buffer
+    high-water mark is ~k input rows for a row-by-row stream, and zero
+    extra for whole-frame chunks (fast path). Trailing rows/columns not
+    filling a block are dropped, matching ``GridLattice.coarsened``.
+    """
+
+    name = "coarsen"
+
+    def __init__(self, k: int, reducer: Callable[..., np.ndarray] = np.mean) -> None:
+        super().__init__()
+        if k < 1:
+            raise OperatorError(f"coarsening factor must be >= 1, got {k}")
+        self.k = k
+        self.reducer = reducer
+        self._band: list[GridChunk] = []
+        self._band_rows = 0
+        self._frame_id: int | None = None
+
+    def _reset_state(self) -> None:
+        self._band = []
+        self._band_rows = 0
+        self._frame_id = None
+
+    def _drop_band(self) -> None:
+        for c in self._band:
+            self.stats.buffer_remove_chunk(c)
+        self._band = []
+        self._band_rows = 0
+
+    def _emit_band(self, last: bool) -> GridChunk:
+        """Reduce the buffered k-row band into one output row chunk."""
+        k = self.k
+        stack = np.vstack([c.values for c in self._band])
+        first = self._band[0]
+        width = stack.shape[1]
+        reduced = block_reduce(stack.astype(np.float64), k, self.reducer)
+        out_lattice = first.lattice.window(0, 0, k, width).coarsened(k)
+        frame = first.frame
+        out_frame = None
+        out_row0 = first.row0 // k
+        if frame is not None:
+            out_frame = FrameInfo(frame.frame_id, frame.lattice.coarsened(k))
+        chunk = GridChunk(
+            values=reduced.astype(np.float32),
+            lattice=out_lattice,
+            band=first.band,
+            t=self._band[-1].t,
+            sector=first.sector,
+            frame=out_frame,
+            row0=out_row0,
+            col0=first.col0 // k,
+            last_in_frame=last,
+        )
+        self._drop_band()
+        return chunk
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError("coarsening is defined on grid streams only")
+        k = self.k
+        if k == 1:
+            yield chunk
+            return
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._band and frame_id != self._frame_id:
+            # Frame changed with an incomplete band: the trailing rows do
+            # not fill a block and are dropped.
+            self._drop_band()
+        self._frame_id = frame_id
+
+        # Fast path: a whole-frame chunk reduces directly, no buffering.
+        if (
+            not self._band
+            and chunk.last_in_frame
+            and chunk.row0 == 0
+            and chunk.lattice.height >= k
+            and chunk.lattice.width >= k
+        ):
+            reduced = block_reduce(chunk.values.astype(np.float64), k, self.reducer)
+            frame = chunk.frame
+            out_frame = FrameInfo(frame.frame_id, frame.lattice.coarsened(k)) if frame else None
+            yield GridChunk(
+                values=reduced.astype(np.float32),
+                lattice=chunk.lattice.coarsened(k),
+                band=chunk.band,
+                t=chunk.t,
+                sector=chunk.sector,
+                frame=out_frame,
+                row0=0,
+                col0=chunk.col0 // k,
+                last_in_frame=True,
+            )
+            return
+
+        # Row-accumulation path: split multi-row chunks into rows so bands
+        # always align to k-row boundaries.
+        for local_row in range(chunk.lattice.height):
+            row = chunk.subwindow(local_row, 0, 1, chunk.lattice.width)
+            is_input_last = chunk.last_in_frame and local_row == chunk.lattice.height - 1
+            self._band.append(row)
+            self.stats.buffer_add_chunk(row)
+            self._band_rows += 1
+            if self._band_rows == k:
+                yield self._emit_band(last=is_input_last)
+            elif is_input_last:
+                self._drop_band()  # incomplete trailing band
+
+    def _flush(self) -> Iterable[Chunk]:
+        self._drop_band()
+        return ()
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        shape = metadata.max_frame_shape
+        if shape is not None:
+            shape = (shape[0] // self.k, shape[1] // self.k)
+        return dc_replace(metadata, value_set=FLOAT32, max_frame_shape=shape)
+
+    def __repr__(self) -> str:
+        return f"Coarsen(k={self.k})"
+
+
+@dataclass(frozen=True)
+class AffineTransform:
+    """2-D affine map (x, y) -> (a x + b y + c, d x + e y + f)."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+    e: float
+    f: float
+
+    def apply(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.a * x + self.b * y + self.c, self.d * x + self.e * y + self.f
+
+    def inverse(self) -> "AffineTransform":
+        det = self.a * self.e - self.b * self.d
+        if abs(det) < 1e-15:
+            raise OperatorError("affine transform is singular and cannot be inverted")
+        ia, ib = self.e / det, -self.b / det
+        id_, ie = -self.d / det, self.a / det
+        return AffineTransform(
+            ia, ib, -(ia * self.c + ib * self.f),
+            id_, ie, -(id_ * self.c + ie * self.f),
+        )
+
+    @staticmethod
+    def rotation(angle_deg: float, cx: float = 0.0, cy: float = 0.0) -> "AffineTransform":
+        """Rotation by ``angle_deg`` counterclockwise about (cx, cy)."""
+        th = math.radians(angle_deg)
+        cos_t, sin_t = math.cos(th), math.sin(th)
+        return AffineTransform(
+            cos_t, -sin_t, cx - cos_t * cx + sin_t * cy,
+            sin_t, cos_t, cy - sin_t * cx - cos_t * cy,
+        )
+
+    @staticmethod
+    def identity() -> "AffineTransform":
+        return AffineTransform(1.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+
+
+class _FrameWarp(Operator):
+    """Shared machinery: buffer a frame, then warp it as one image."""
+
+    def __init__(self, method: str = "bilinear", fill: float = np.nan) -> None:
+        super().__init__()
+        self.method = method
+        self.fill = fill
+        self._pending: list[GridChunk] = []
+        self._frame_id: int | None = None
+
+    def _reset_state(self) -> None:
+        self._pending = []
+        self._frame_id = None
+
+    def _frame_affine(self, lattice: GridLattice) -> AffineTransform:
+        raise NotImplementedError
+
+    def _emit(self) -> Iterable[Chunk]:
+        if not self._pending:
+            return
+        first = self._pending[0]
+        if first.frame is not None:
+            frame_lattice = first.frame.lattice
+        elif len(self._pending) == 1 and first.last_in_frame:
+            frame_lattice = first.lattice
+        else:
+            raise BlockingHazardError(
+                "frame warp needs scan-sector metadata (FrameInfo) to know the "
+                "frame extent; without it the operator could block forever "
+                "(Section 3.2)"
+            )
+        canvas = np.full(frame_lattice.shape, np.nan, dtype=np.float64)
+        for c in self._pending:
+            canvas[c.row0 : c.row0 + c.lattice.height, c.col0 : c.col0 + c.lattice.width] = (
+                c.values.astype(np.float64)
+            )
+
+        affine = self._frame_affine(frame_lattice)
+        inverse = affine.inverse()
+        # Output lattice: same resolution, covering the warped extent.
+        corners = frame_lattice.bbox.corners()
+        wx, wy = affine.apply(corners[:, 0], corners[:, 1])
+        out_bbox = BoundingBox.from_points(wx, wy, frame_lattice.crs)
+        out_lattice = GridLattice.from_bbox(
+            out_bbox, frame_lattice.dx, frame_lattice.dy, frame_lattice.crs
+        )
+        ox, oy = out_lattice.meshgrid()
+        sx, sy = inverse.apply(ox, oy)
+        rows = frame_lattice.fractional_row(sy)
+        cols = frame_lattice.fractional_col(sx)
+        warped = sample(self.method, canvas, rows, cols, fill=self.fill)
+
+        frame_id = self._pending[0].frame.frame_id if self._pending[0].frame else 0
+        out = GridChunk(
+            values=warped.astype(np.float32),
+            lattice=out_lattice,
+            band=first.band,
+            t=self._pending[-1].t,
+            sector=first.sector,
+            frame=FrameInfo(frame_id, out_lattice),
+            row0=0,
+            col0=0,
+            last_in_frame=True,
+        )
+        for c in self._pending:
+            self.stats.buffer_remove_chunk(c)
+        self._pending = []
+        self._frame_id = None
+        yield out
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError("frame warps are defined on grid streams only")
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._pending and frame_id != self._frame_id:
+            yield from self._emit()
+        self._pending.append(chunk)
+        self._frame_id = frame_id
+        self.stats.buffer_add_chunk(chunk)
+        if chunk.last_in_frame:
+            yield from self._emit()
+
+    def _flush(self) -> Iterable[Chunk]:
+        yield from self._emit()
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        return dc_replace(metadata, value_set=FLOAT32)
+
+
+class AffineWarp(_FrameWarp):
+    """Apply a fixed affine transform to every frame's point lattice."""
+
+    name = "affine-warp"
+
+    def __init__(
+        self,
+        affine: AffineTransform,
+        method: str = "bilinear",
+        fill: float = np.nan,
+    ) -> None:
+        super().__init__(method=method, fill=fill)
+        self.affine = affine
+
+    def _frame_affine(self, lattice: GridLattice) -> AffineTransform:
+        return self.affine
+
+    def __repr__(self) -> str:
+        return f"AffineWarp({self.affine})"
+
+
+class Rotate(_FrameWarp):
+    """Rotate each frame about its own center (a classic GIS transform)."""
+
+    name = "rotate"
+
+    def __init__(
+        self,
+        angle_deg: float,
+        method: str = "bilinear",
+        fill: float = np.nan,
+    ) -> None:
+        super().__init__(method=method, fill=fill)
+        self.angle_deg = angle_deg
+
+    def _frame_affine(self, lattice: GridLattice) -> AffineTransform:
+        cx, cy = lattice.bbox.center
+        # Normalize so exact multiples of 360 are exact identities rather
+        # than near-identities that perturb the output lattice extent.
+        return AffineTransform.rotation(self.angle_deg % 360.0, cx, cy)
+
+    def __repr__(self) -> str:
+        return f"Rotate({self.angle_deg:g} deg)"

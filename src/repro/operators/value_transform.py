@@ -1,0 +1,242 @@
+"""Value transforms (Def. 8).
+
+Two families, with very different costs (Section 3.2):
+
+* **Pointwise** transforms (``f_val`` applied per point) — color to
+  grayscale, radiometric calibration, gamma, arbitrary ufuncs. These
+  "allow for processing on a point-by-point basis": no buffering.
+* **Frame-scaling** transforms — linear contrast stretch, histogram
+  equalization, Gaussian stretch — need the whole frame's value
+  distribution before any point can be emitted, so "the cost of a stretch
+  transform operator is determined by the size of the largest frame that
+  can occur in G". :class:`FrameStretch` buffers the current frame's
+  chunks and re-emits them transformed when the frame ends; its
+  ``stats.max_buffered_points`` equals the frame size (experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.stream import StreamMetadata
+from ..core.valueset import FLOAT32, GRAY8, ValueSet
+from ..errors import OperatorError
+from ..raster.stretch import gaussian_stretch, histogram_equalize, linear_stretch
+from .base import Operator
+
+__all__ = [
+    "PointwiseTransform",
+    "Rescale",
+    "CountsToReflectance",
+    "ColorToGray",
+    "FrameStretch",
+]
+
+
+class PointwiseTransform(Operator):
+    """Apply a vectorized function to every point value (non-blocking)."""
+
+    name = "value-transform"
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        output_value_set: ValueSet | None = None,
+        band: str | None = None,
+        label: str = "f_val",
+    ) -> None:
+        super().__init__()
+        self.fn = fn
+        self.out_value_set = output_value_set
+        self.band = band
+        self.label = label
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        out = np.asarray(self.fn(chunk.values))
+        if self.out_value_set is not None:
+            out = self.out_value_set.coerce(out)
+        # Point-count compatibility is enforced by the chunk constructor.
+        yield chunk.with_values(out, band=self.band)
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        changes: dict[str, object] = {}
+        if self.out_value_set is not None:
+            changes["value_set"] = self.out_value_set
+        if self.band is not None:
+            changes["band"] = self.band
+        return dc_replace(metadata, **changes) if changes else metadata
+
+    def __repr__(self) -> str:
+        return f"PointwiseTransform({self.label})"
+
+
+class Rescale(PointwiseTransform):
+    """Affine value map ``gain * v + offset`` (radiometric calibration)."""
+
+    def __init__(
+        self,
+        gain: float,
+        offset: float = 0.0,
+        output_value_set: ValueSet | None = None,
+    ) -> None:
+        super().__init__(
+            lambda v: gain * v.astype(np.float32) + offset,
+            output_value_set=output_value_set,
+            label=f"{gain:g}*v+{offset:g}",
+        )
+        self.gain = gain
+        self.offset = offset
+
+
+class CountsToReflectance(Rescale):
+    """Instrument counts -> reflectance in [0, 1] given the bit depth."""
+
+    def __init__(self, bits: int = 10) -> None:
+        from ..core.valueset import REFLECTANCE
+
+        full_scale = float((1 << bits) - 1)
+        super().__init__(1.0 / full_scale, 0.0, output_value_set=REFLECTANCE)
+        self.bits = bits
+
+
+class ColorToGray(PointwiseTransform):
+    """Z^3 -> Z luminance transform (the paper's simple f_val example)."""
+
+    def __init__(self, weights: tuple[float, float, float] = (0.299, 0.587, 0.114)) -> None:
+        w = np.asarray(weights, dtype=np.float32)
+
+        def to_gray(values: np.ndarray) -> np.ndarray:
+            if values.ndim < 2 or values.shape[-1] != 3:
+                raise OperatorError(
+                    f"color-to-gray expects 3-channel values, got shape {values.shape}"
+                )
+            return values.astype(np.float32) @ w
+
+        super().__init__(to_gray, output_value_set=None, label="rgb->gray")
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        return dc_replace(metadata, value_set=FLOAT32)
+
+
+_STRETCHES = ("linear", "equalize", "gaussian")
+
+
+class FrameStretch(Operator):
+    """Frame-buffered contrast scaling (linear / equalize / gaussian).
+
+    Buffers every chunk of the current frame; when the frame's last chunk
+    arrives (or the stream flushes), computes the scaling over the frame's
+    complete value distribution and re-emits each buffered chunk with
+    transformed values. Frames are delimited by ``last_in_frame`` /
+    frame-id changes; a whole-frame chunk passes through with only its own
+    transient buffering.
+    """
+
+    name = "frame-stretch"
+
+    def __init__(
+        self,
+        kind: str = "linear",
+        out_lo: float = 0.0,
+        out_hi: float = 255.0,
+        bins: int = 256,
+        clip_sigma: float = 3.0,
+        output_value_set: ValueSet | None = None,
+    ) -> None:
+        super().__init__()
+        if kind not in _STRETCHES:
+            raise OperatorError(f"unknown stretch {kind!r}; expected one of {_STRETCHES}")
+        self.kind = kind
+        self.out_lo = out_lo
+        self.out_hi = out_hi
+        self.bins = bins
+        self.clip_sigma = clip_sigma
+        self.out_value_set = output_value_set if output_value_set is not None else GRAY8
+        self._pending: list[GridChunk] = []
+        self._frame_id: int | None = None
+
+    def _reset_state(self) -> None:
+        self._pending = []
+        self._frame_id = None
+
+    # -- frame machinery ---------------------------------------------------------
+
+    def _emit_frame(self) -> Iterable[Chunk]:
+        if not self._pending:
+            return
+        frame_values = np.concatenate(
+            [c.values.astype(np.float64).ravel() for c in self._pending]
+        )
+        if self.kind == "linear":
+            finite = frame_values[np.isfinite(frame_values)]
+            if finite.size == 0:
+                lo = hi = 0.0
+            else:
+                lo, hi = float(finite.min()), float(finite.max())
+
+            def scale(v: np.ndarray) -> np.ndarray:
+                return linear_stretch(v, lo, hi, self.out_lo, self.out_hi)
+
+        elif self.kind == "equalize":
+            # Equalization and the Gaussian stretch are distribution maps;
+            # compute them on the whole frame at once, then split back.
+            transformed = histogram_equalize(
+                frame_values, bins=self.bins, out_lo=self.out_lo, out_hi=self.out_hi
+            )
+            yield from self._emit_split(transformed)
+            return
+        else:
+            transformed = gaussian_stretch(
+                frame_values,
+                out_lo=self.out_lo,
+                out_hi=self.out_hi,
+                clip_sigma=self.clip_sigma,
+            )
+            yield from self._emit_split(transformed)
+            return
+
+        for chunk in self._pending:
+            self.stats.buffer_remove_chunk(chunk)
+            yield chunk.with_values(self.out_value_set.coerce(scale(chunk.values)))
+        self._pending = []
+        self._frame_id = None
+
+    def _emit_split(self, transformed: np.ndarray) -> Iterable[Chunk]:
+        offset = 0
+        for chunk in self._pending:
+            size = chunk.values.size
+            block = transformed[offset : offset + size].reshape(chunk.values.shape)
+            offset += size
+            self.stats.buffer_remove_chunk(chunk)
+            yield chunk.with_values(self.out_value_set.coerce(block))
+        self._pending = []
+        self._frame_id = None
+
+    def _process(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError(
+                "frame stretches are defined on raster streams; point streams "
+                "have no frames to scale over"
+            )
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._pending and frame_id != self._frame_id:
+            # A new frame started without a last_in_frame marker.
+            yield from self._emit_frame()
+        self._pending.append(chunk)
+        self._frame_id = frame_id
+        self.stats.buffer_add_chunk(chunk)
+        if chunk.last_in_frame:
+            yield from self._emit_frame()
+
+    def _flush(self) -> Iterable[Chunk]:
+        yield from self._emit_frame()
+
+    def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
+        return dc_replace(metadata, value_set=self.out_value_set)
+
+    def __repr__(self) -> str:
+        return f"FrameStretch({self.kind!r})"

@@ -1,0 +1,24 @@
+"""Query layer: AST, textual parser, fluent builder, optimizer, planner, costs."""
+
+from . import ast
+from .builder import Q, QueryBuilder
+from .cost import Estimate, NodeCost, StreamProfile, estimate_query
+from .optimizer import OptimizeResult, infer_crs, optimize
+from .parser import parse_query, resolve_crs
+from .planner import plan_query
+
+__all__ = [
+    "ast",
+    "Q",
+    "QueryBuilder",
+    "parse_query",
+    "resolve_crs",
+    "optimize",
+    "OptimizeResult",
+    "infer_crs",
+    "plan_query",
+    "estimate_query",
+    "StreamProfile",
+    "Estimate",
+    "NodeCost",
+]

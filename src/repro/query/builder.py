@@ -1,0 +1,144 @@
+"""Fluent Python builder for query trees.
+
+The textual language (:mod:`repro.query.parser`) serves remote clients;
+Python applications compose the same algebra with method chaining::
+
+    from repro.query import Q
+
+    tree = (
+        Q.ndvi("goes.nir", "goes.vis")
+        .stretch("linear")
+        .reproject(utm(10))
+        .within(roi)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.timeset import RecurringInterval, TimeInterval, TimeSet
+from ..errors import QueryError
+from ..geo.crs import CRS
+from ..geo.region import Region
+from . import ast as q
+
+__all__ = ["Q", "QueryBuilder"]
+
+
+class QueryBuilder:
+    """Wraps a query node and grows it with chained operators."""
+
+    def __init__(self, node: q.QueryNode) -> None:
+        self._node = node
+
+    def build(self) -> q.QueryNode:
+        """The accumulated query tree."""
+        return self._node
+
+    # -- restrictions ------------------------------------------------------------
+
+    def within(self, region: Region) -> "QueryBuilder":
+        return QueryBuilder(q.SpatialRestrict(self._node, region))
+
+    def during(self, t_start: float, t_end: float) -> "QueryBuilder":
+        interval = TimeInterval(t_start, t_end, closed_end=False)
+        return QueryBuilder(q.TemporalRestrict(self._node, interval))
+
+    def when(self, timeset: TimeSet, on_sector: bool = False) -> "QueryBuilder":
+        return QueryBuilder(q.TemporalRestrict(self._node, timeset, on_sector))
+
+    def sectors(self, first: int, last: int) -> "QueryBuilder":
+        interval = TimeInterval(float(first), float(last))
+        return QueryBuilder(q.TemporalRestrict(self._node, interval, on_sector=True))
+
+    def daily(self, start_offset: float, end_offset: float, period: float = 86_400.0) -> "QueryBuilder":
+        return QueryBuilder(
+            q.TemporalRestrict(self._node, RecurringInterval(start_offset, end_offset, period))
+        )
+
+    def vrange(self, lo: float | None, hi: float | None) -> "QueryBuilder":
+        return QueryBuilder(q.ValueRestrict(self._node, lo, hi))
+
+    # -- transforms --------------------------------------------------------------
+
+    def reflectance(self, bits: int = 10) -> "QueryBuilder":
+        return QueryBuilder(q.ValueMap(self._node, "reflectance", (("bits", float(bits)),)))
+
+    def rescale(self, gain: float, offset: float = 0.0) -> "QueryBuilder":
+        return QueryBuilder(
+            q.ValueMap(self._node, "rescale", (("gain", gain), ("offset", offset)))
+        )
+
+    def stretch(self, kind: str = "linear") -> "QueryBuilder":
+        return QueryBuilder(q.Stretch(self._node, kind))
+
+    def magnify(self, k: int) -> "QueryBuilder":
+        return QueryBuilder(q.Magnify(self._node, k))
+
+    def coarsen(self, k: int) -> "QueryBuilder":
+        return QueryBuilder(q.Coarsen(self._node, k))
+
+    def rotate(self, angle_deg: float) -> "QueryBuilder":
+        return QueryBuilder(q.Rotate(self._node, angle_deg))
+
+    def reproject(self, dst_crs: CRS, method: str = "bilinear") -> "QueryBuilder":
+        return QueryBuilder(q.Reproject(self._node, dst_crs, method))
+
+    # -- compositions ---------------------------------------------------------------
+
+    def compose(self, other: "QueryBuilder | q.QueryNode", gamma: str) -> "QueryBuilder":
+        right = other.build() if isinstance(other, QueryBuilder) else other
+        if not isinstance(right, q.QueryNode):
+            raise QueryError("compose() expects a QueryBuilder or QueryNode")
+        return QueryBuilder(q.Compose(self._node, right, gamma))
+
+    def __add__(self, other: "QueryBuilder") -> "QueryBuilder":
+        return self.compose(other, "+")
+
+    def __sub__(self, other: "QueryBuilder") -> "QueryBuilder":
+        return self.compose(other, "-")
+
+    def __mul__(self, other: "QueryBuilder") -> "QueryBuilder":
+        return self.compose(other, "*")
+
+    def __truediv__(self, other: "QueryBuilder") -> "QueryBuilder":
+        return self.compose(other, "/")
+
+    # -- aggregates --------------------------------------------------------------
+
+    def temporal_agg(self, func: str, window: int, mode: str = "sliding") -> "QueryBuilder":
+        return QueryBuilder(q.TemporalAgg(self._node, func, window, mode))
+
+    def region_agg(
+        self, regions: dict[str, Region] | Iterable[tuple[str, Region]], func: str = "mean"
+    ) -> "QueryBuilder":
+        pairs = tuple(regions.items() if isinstance(regions, dict) else regions)
+        return QueryBuilder(q.RegionAgg(self._node, pairs, func))
+
+    def __repr__(self) -> str:
+        return f"QueryBuilder({self._node.describe()})"
+
+
+class _QFactory:
+    """Entry points for building queries (exposed as ``Q``)."""
+
+    @staticmethod
+    def stream(stream_id: str) -> QueryBuilder:
+        return QueryBuilder(q.StreamRef(stream_id))
+
+    @staticmethod
+    def wrap(node: q.QueryNode) -> QueryBuilder:
+        return QueryBuilder(node)
+
+    @staticmethod
+    def ndvi(nir: str, vis: str) -> QueryBuilder:
+        return QueryBuilder(q.Compose(q.StreamRef(nir), q.StreamRef(vis), "ndvi"))
+
+    @staticmethod
+    def evi2(nir: str, vis: str) -> QueryBuilder:
+        return QueryBuilder(q.Compose(q.StreamRef(nir), q.StreamRef(vis), "evi2"))
+
+
+Q = _QFactory()

@@ -1,0 +1,262 @@
+"""Operator cost model (Section 3's space/time discussion, quantified).
+
+For each query node the model predicts, per source frame:
+
+* ``work`` — point touches (time proxy),
+* ``buffer`` — points of intermediate image data the operator must hold,
+
+from stream profiles (frame geometry per source stream). The predictions
+deliberately use only information the paper says is available — known
+maximum frame sizes, scan organizations, region geometry — and experiment
+A1 compares them against the engine's measured buffer high-water marks.
+
+The optimizer uses the aggregate estimate to pick between equivalent
+rewrites; "optimizing queries with respect to regions of interest has the
+greatest benefit" falls out of the spatial-selectivity term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..core.stream import Organization, StreamMetadata
+from ..errors import PlanError, RegionError
+from ..geo.crs import CRS
+from ..geo.region import BoundingBox
+from . import ast as q
+
+__all__ = ["StreamProfile", "Estimate", "NodeCost", "estimate_query", "REPROJECT_BAND_FRACTION"]
+
+# Fraction of a frame a re-projection is assumed to buffer when emitting
+# incrementally (row-band reprojection; see operators/reprojection.py).
+REPROJECT_BAND_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """What the planner knows about a source stream's geometry."""
+
+    frame_points: int
+    frame_bbox: BoundingBox
+    row_width: int
+    organization: Organization
+    crs: CRS
+
+    @staticmethod
+    def from_metadata(metadata: StreamMetadata, frame_bbox: BoundingBox) -> "StreamProfile":
+        if metadata.max_frame_shape is None:
+            raise PlanError(
+                f"stream {metadata.stream_id!r} has no max_frame_shape; cost "
+                "estimation needs the known frame size (Section 3.2)"
+            )
+        h, w = metadata.max_frame_shape
+        return StreamProfile(
+            frame_points=h * w,
+            frame_bbox=frame_bbox,
+            row_width=w,
+            organization=metadata.organization,
+            crs=metadata.crs,
+        )
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Running estimate while folding over a query tree."""
+
+    points: float  # points per source frame flowing at this level
+    bbox: BoundingBox | None
+    crs: CRS
+    row_width: float
+    organization: Organization
+    work: float
+    buffer: float  # total buffered points across operators so far
+    max_op_buffer: float
+
+    def charged(self, work: float = 0.0, op_buffer: float = 0.0) -> "Estimate":
+        return replace(
+            self,
+            work=self.work + work,
+            buffer=self.buffer + op_buffer,
+            max_op_buffer=max(self.max_op_buffer, op_buffer),
+        )
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Per-node breakdown entry for EXPLAIN output and the A1 ablation."""
+
+    node: q.QueryNode
+    points_in: float
+    points_out: float
+    op_buffer: float
+    op_work: float
+
+
+def _spatial_selectivity(bbox: BoundingBox | None, region_bbox: BoundingBox, crs: CRS) -> tuple[float, float, BoundingBox | None]:
+    """(area fraction, width fraction, new bbox) of a restriction."""
+    if region_bbox.crs != crs:
+        try:
+            region_bbox = region_bbox.transformed(crs)
+        except RegionError:
+            return 0.0, 0.0, None
+    if bbox is None:
+        return 1.0, 1.0, region_bbox
+    inter = bbox.intersection(region_bbox)
+    if inter is None or bbox.area == 0:
+        return 0.0, 0.0, None
+    return (
+        inter.area / bbox.area,
+        (inter.width / bbox.width) if bbox.width else 1.0,
+        inter,
+    )
+
+
+def estimate_query(
+    node: q.QueryNode, profiles: Mapping[str, StreamProfile]
+) -> tuple[Estimate, list[NodeCost]]:
+    """Estimate per-frame cost of a query tree bottom-up."""
+    breakdown: list[NodeCost] = []
+
+    def visit(n: q.QueryNode) -> Estimate:
+        if isinstance(n, q.Empty):
+            from ..geo.crs import LATLON
+
+            est = Estimate(
+                points=0.0,
+                bbox=None,
+                crs=LATLON,
+                row_width=0.0,
+                organization=Organization.IMAGE_BY_IMAGE,
+                work=0.0,
+                buffer=0.0,
+                max_op_buffer=0.0,
+            )
+            breakdown.append(NodeCost(n, 0.0, 0.0, 0.0, 0.0))
+            return est
+        if isinstance(n, q.StreamRef):
+            try:
+                p = profiles[n.stream_id]
+            except KeyError:
+                raise PlanError(f"no profile for stream {n.stream_id!r}") from None
+            est = Estimate(
+                points=float(p.frame_points),
+                bbox=p.frame_bbox,
+                crs=p.crs,
+                row_width=float(p.row_width),
+                organization=p.organization,
+                work=0.0,
+                buffer=0.0,
+                max_op_buffer=0.0,
+            )
+            breakdown.append(NodeCost(n, 0.0, est.points, 0.0, 0.0))
+            return est
+
+        if isinstance(n, q.Compose):
+            left = visit(n.left)
+            right = visit(n.right)
+            points = min(left.points, right.points)
+            if left.organization is Organization.IMAGE_BY_IMAGE:
+                op_buffer = min(left.points, right.points)  # a full image waits
+            else:
+                op_buffer = max(left.row_width, right.row_width)  # one row waits
+            work = left.points + right.points
+            est = Estimate(
+                points=points,
+                bbox=left.bbox,
+                crs=left.crs,
+                row_width=min(left.row_width, right.row_width),
+                organization=left.organization,
+                work=left.work + right.work + work,
+                buffer=left.buffer + right.buffer + op_buffer,
+                max_op_buffer=max(left.max_op_buffer, right.max_op_buffer, op_buffer),
+            )
+            breakdown.append(NodeCost(n, work, points, op_buffer, work))
+            return est
+
+        child = visit(n.children[0]) if n.children else None
+        if child is None:
+            raise PlanError(f"unhandled leaf node {type(n).__name__}")
+
+        if isinstance(n, q.SpatialRestrict):
+            frac, wfrac, bbox = _spatial_selectivity(
+                child.bbox, n.region.bounding_box, child.crs
+            )
+            points = child.points * frac
+            est = replace(
+                child, points=points, bbox=bbox, row_width=child.row_width * wfrac
+            ).charged(work=child.points)
+            breakdown.append(NodeCost(n, child.points, points, 0.0, child.points))
+            return est
+
+        if isinstance(n, (q.TemporalRestrict, q.ValueRestrict, q.ValueMap)):
+            est = child.charged(work=child.points)
+            breakdown.append(NodeCost(n, child.points, child.points, 0.0, child.points))
+            return est
+
+        if isinstance(n, q.Stretch):
+            est = child.charged(work=2.0 * child.points, op_buffer=child.points)
+            breakdown.append(
+                NodeCost(n, child.points, child.points, child.points, 2.0 * child.points)
+            )
+            return est
+
+        if isinstance(n, q.Magnify):
+            k2 = float(n.k * n.k)
+            points = child.points * k2
+            est = replace(
+                child, points=points, row_width=child.row_width * n.k
+            ).charged(work=points)
+            breakdown.append(NodeCost(n, child.points, points, 0.0, points))
+            return est
+
+        if isinstance(n, q.Coarsen):
+            k2 = float(n.k * n.k)
+            points = child.points / k2
+            op_buffer = n.k * child.row_width
+            est = replace(
+                child, points=points, row_width=child.row_width / n.k
+            ).charged(work=child.points, op_buffer=op_buffer)
+            breakdown.append(NodeCost(n, child.points, points, op_buffer, child.points))
+            return est
+
+        if isinstance(n, q.Rotate):
+            # Output covers the rotated extent; points grow by <= 2x.
+            work = 2.0 * child.points
+            est = child.charged(work=work, op_buffer=child.points)
+            breakdown.append(NodeCost(n, child.points, child.points, child.points, work))
+            return est
+
+        if isinstance(n, q.Reproject):
+            op_buffer = REPROJECT_BAND_FRACTION * child.points
+            work = 4.0 * child.points  # bilinear: four taps per output point
+            bbox = None
+            if child.bbox is not None:
+                try:
+                    bbox = child.bbox.transformed(n.dst_crs)
+                except RegionError:
+                    bbox = None
+            est = replace(child, bbox=bbox, crs=n.dst_crs).charged(
+                work=work, op_buffer=op_buffer
+            )
+            breakdown.append(NodeCost(n, child.points, child.points, op_buffer, work))
+            return est
+
+        if isinstance(n, q.TemporalAgg):
+            op_buffer = float(n.window) * child.points
+            est = child.charged(work=child.points * n.window, op_buffer=op_buffer)
+            breakdown.append(
+                NodeCost(n, child.points, child.points, op_buffer, child.points * n.window)
+            )
+            return est
+
+        if isinstance(n, q.RegionAgg):
+            points = float(len(n.regions))
+            est = replace(child, points=points).charged(work=child.points)
+            breakdown.append(NodeCost(n, child.points, points, 0.0, child.points))
+            return est
+
+        raise PlanError(f"cost model does not know node type {type(n).__name__}")
+
+    total = visit(node)
+    return total, breakdown

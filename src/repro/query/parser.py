@@ -1,0 +1,504 @@
+"""Textual query language.
+
+The prototype's web interface converts user selections into "specialized
+HTTP requests" that the server parses into algebra expressions
+(Section 4). This module is that parser: a small functional language over
+the closed algebra, with infix band arithmetic. The paper's Section 3.4
+example reads::
+
+    within(reproject(stretch(ndvi(goes.nir, goes.vis), 'linear'), 'utm:10'),
+           bbox(500000, 4000000, 700000, 4400000, crs='utm:10'))
+
+Grammar (recursive descent, standard precedence)::
+
+    expr    := add
+    add     := mul (('+' | '-') mul)*
+    mul     := unary (('*' | '/') unary)*
+    unary   := '-' unary | primary
+    primary := NUMBER | STRING | IDENT '(' args ')' | IDENT | '(' expr ')'
+    args    := [arg (',' arg)*]        arg := [IDENT '='] expr
+
+Infix operators between two stream expressions become stream compositions
+(Def. 10); between a stream and a number they become pointwise rescales
+(Def. 8); between two numbers they fold to constants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.timeset import RecurringInterval, TimeInterval
+from ..errors import QuerySyntaxError
+from ..geo import crs as crs_mod
+from ..geo.crs import CRS
+from ..geo.region import BoundingBox, ConstraintRegion, PolygonRegion, Region
+from . import ast as q
+
+__all__ = ["parse_query", "resolve_crs"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.\d*(?:[eE][-+]?\d+)?|-?\.\d+(?:[eE][-+]?\d+)?|-?\d+(?:[eE][-+]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_.]*)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\")"
+    r"|(?P<punct>[()+\-*/,=])"
+    r")"
+)
+
+
+def resolve_crs(name: str) -> CRS:
+    """Resolve a CRS name used in query text to a CRS object.
+
+    Accepted forms: ``latlon``, ``plate_carree``, ``mercator``,
+    ``sinusoidal``, ``utm:10`` / ``utm:10N`` / ``utm:33S``,
+    ``geos`` / ``geos:-135`` (GOES fixed grid at that longitude),
+    ``lcc`` (CONUS Lambert conformal conic). Delegates to
+    :func:`repro.geo.crs.from_spec`.
+    """
+    from ..errors import CRSError
+
+    try:
+        return crs_mod.from_spec(name)
+    except CRSError as exc:
+        raise QuerySyntaxError(str(exc)) from exc
+
+
+@dataclass
+class _Token:
+    kind: str  # number | ident | string | punct
+    value: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QuerySyntaxError(f"cannot tokenize query at position {pos}: {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("number", "ident", "string", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                # '-' adjacent to a number is tokenized as part of the
+                # number only when it cannot be a binary minus.
+                if kind == "number" and value.startswith("-") and tokens and (
+                    tokens[-1].kind in ("number", "ident", "string")
+                    or tokens[-1].value == ")"
+                ):
+                    tokens.append(_Token("punct", "-", match.start()))
+                    tokens.append(_Token("number", value[1:], match.start() + 1))
+                else:
+                    tokens.append(_Token(kind, value, match.start()))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise QuerySyntaxError(f"unexpected end of query: {self.text!r}")
+        self.index += 1
+        return tok
+
+    def _expect(self, value: str) -> None:
+        tok = self._next()
+        if tok.kind != "punct" or tok.value != value:
+            raise QuerySyntaxError(
+                f"expected {value!r} at position {tok.pos}, got {tok.value!r}"
+            )
+
+    def _accept(self, value: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "punct" and tok.value == value:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Any:
+        value = self.expr()
+        tok = self._peek()
+        if tok is not None:
+            raise QuerySyntaxError(
+                f"trailing input at position {tok.pos}: {tok.value!r}"
+            )
+        return value
+
+    def expr(self) -> Any:
+        return self.add()
+
+    def add(self) -> Any:
+        left = self.mul()
+        while True:
+            if self._accept("+"):
+                left = _combine(left, self.mul(), "+")
+            elif self._accept("-"):
+                left = _combine(left, self.mul(), "-")
+            else:
+                return left
+
+    def mul(self) -> Any:
+        left = self.unary()
+        while True:
+            if self._accept("*"):
+                left = _combine(left, self.unary(), "*")
+            elif self._accept("/"):
+                left = _combine(left, self.unary(), "/")
+            else:
+                return left
+
+    def unary(self) -> Any:
+        if self._accept("-"):
+            operand = self.unary()
+            if isinstance(operand, (int, float)):
+                return -operand
+            if isinstance(operand, q.QueryNode):
+                return q.ValueMap(operand, "rescale", (("gain", -1.0), ("offset", 0.0)))
+            raise QuerySyntaxError("unary minus applies to numbers or stream expressions")
+        return self.primary()
+
+    def primary(self) -> Any:
+        tok = self._next()
+        if tok.kind == "number":
+            text = tok.value
+            return float(text) if any(c in text for c in ".eE") else int(text)
+        if tok.kind == "string":
+            return tok.value[1:-1]
+        if tok.kind == "punct" and tok.value == "(":
+            inner = self.expr()
+            self._expect(")")
+            return inner
+        if tok.kind == "ident":
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.value == "(":
+                self._next()
+                args, kwargs = self.arguments()
+                return _call_function(tok.value, args, kwargs, tok.pos)
+            return q.StreamRef(tok.value)
+        raise QuerySyntaxError(f"unexpected token {tok.value!r} at position {tok.pos}")
+
+    def arguments(self) -> tuple[list[Any], dict[str, Any]]:
+        args: list[Any] = []
+        kwargs: dict[str, Any] = {}
+        if self._accept(")"):
+            return args, kwargs
+        while True:
+            tok = self._peek()
+            nxt = (
+                self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+            )
+            if (
+                tok is not None
+                and tok.kind == "ident"
+                and nxt is not None
+                and nxt.kind == "punct"
+                and nxt.value == "="
+            ):
+                self.index += 2
+                kwargs[tok.value] = self.expr()
+            else:
+                if kwargs:
+                    raise QuerySyntaxError(
+                        "positional argument after keyword argument"
+                    )
+                args.append(self.expr())
+            if self._accept(")"):
+                return args, kwargs
+            self._expect(",")
+
+
+def _combine(left: Any, right: Any, op: str) -> Any:
+    """Infix semantics: composition, pointwise rescale, or constant fold."""
+    num_l = isinstance(left, (int, float))
+    num_r = isinstance(right, (int, float))
+    if num_l and num_r:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if left == 0 and op == "/":
+            return 0.0
+        if op == "/":
+            if right == 0:
+                raise QuerySyntaxError("division by zero in constant expression")
+            return left / right
+    if isinstance(left, q.QueryNode) and isinstance(right, q.QueryNode):
+        return q.Compose(left, right, op)
+    if isinstance(left, q.QueryNode) and num_r:
+        value = float(right)
+        if op == "+":
+            return q.ValueMap(left, "rescale", (("gain", 1.0), ("offset", value)))
+        if op == "-":
+            return q.ValueMap(left, "rescale", (("gain", 1.0), ("offset", -value)))
+        if op == "*":
+            return q.ValueMap(left, "rescale", (("gain", value), ("offset", 0.0)))
+        if op == "/":
+            if value == 0:
+                raise QuerySyntaxError("division of a stream by zero")
+            return q.ValueMap(left, "rescale", (("gain", 1.0 / value), ("offset", 0.0)))
+    if num_l and isinstance(right, q.QueryNode):
+        value = float(left)
+        if op == "+":
+            return q.ValueMap(right, "rescale", (("gain", 1.0), ("offset", value)))
+        if op == "*":
+            return q.ValueMap(right, "rescale", (("gain", value), ("offset", 0.0)))
+        if op == "-":
+            return q.ValueMap(right, "rescale", (("gain", -1.0), ("offset", value)))
+        raise QuerySyntaxError("constant / stream is not expressible as a rescale")
+    raise QuerySyntaxError(
+        f"operator {op!r} cannot combine {type(left).__name__} and {type(right).__name__}"
+    )
+
+
+# -- function table --------------------------------------------------------------
+
+
+def _need_node(value: Any, fn: str, arg: str = "expression") -> q.QueryNode:
+    if not isinstance(value, q.QueryNode):
+        raise QuerySyntaxError(f"{fn}() expects a stream {arg}, got {type(value).__name__}")
+    return value
+
+
+def _need_number(value: Any, fn: str) -> float:
+    if not isinstance(value, (int, float)):
+        raise QuerySyntaxError(f"{fn}() expects a number, got {type(value).__name__}")
+    return float(value)
+
+
+def _need_region(value: Any, fn: str) -> Region:
+    if not isinstance(value, Region):
+        raise QuerySyntaxError(f"{fn}() expects a region, got {type(value).__name__}")
+    return value
+
+
+def _fn_bbox(args: list[Any], kwargs: dict[str, Any]) -> Region:
+    if len(args) != 4:
+        raise QuerySyntaxError("bbox() takes (xmin, ymin, xmax, ymax [, crs=...])")
+    crs = resolve_crs(kwargs.pop("crs", "latlon"))
+    if kwargs:
+        raise QuerySyntaxError(f"bbox() got unexpected keywords {sorted(kwargs)}")
+    vals = [_need_number(a, "bbox") for a in args]
+    return BoundingBox(vals[0], vals[1], vals[2], vals[3], crs)
+
+
+def _fn_disk(args: list[Any], kwargs: dict[str, Any]) -> Region:
+    if len(args) != 3:
+        raise QuerySyntaxError("disk() takes (cx, cy, radius [, crs=...])")
+    crs = resolve_crs(kwargs.pop("crs", "latlon"))
+    if kwargs:
+        raise QuerySyntaxError(f"disk() got unexpected keywords {sorted(kwargs)}")
+    cx, cy, r = (_need_number(a, "disk") for a in args)
+    return ConstraintRegion.disk(cx, cy, r, crs)
+
+
+def _fn_polygon(args: list[Any], kwargs: dict[str, Any]) -> Region:
+    crs = resolve_crs(kwargs.pop("crs", "latlon"))
+    if kwargs:
+        raise QuerySyntaxError(f"polygon() got unexpected keywords {sorted(kwargs)}")
+    if len(args) < 6 or len(args) % 2 != 0:
+        raise QuerySyntaxError("polygon() takes x1, y1, x2, y2, x3, y3, ... pairs")
+    coords = [_need_number(a, "polygon") for a in args]
+    vertices = list(zip(coords[0::2], coords[1::2]))
+    return PolygonRegion(vertices, crs)
+
+
+def _fn_within(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 2 or kwargs:
+        raise QuerySyntaxError("within() takes (expression, region)")
+    return q.SpatialRestrict(_need_node(args[0], "within"), _need_region(args[1], "within"))
+
+
+def _fn_during(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 3 or kwargs:
+        raise QuerySyntaxError("during() takes (expression, t_start, t_end)")
+    node = _need_node(args[0], "during")
+    t0, t1 = _need_number(args[1], "during"), _need_number(args[2], "during")
+    return q.TemporalRestrict(node, TimeInterval(t0, t1, closed_end=False))
+
+
+def _fn_sectors(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 3 or kwargs:
+        raise QuerySyntaxError("sectors() takes (expression, first, last)")
+    node = _need_node(args[0], "sectors")
+    s0, s1 = _need_number(args[1], "sectors"), _need_number(args[2], "sectors")
+    return q.TemporalRestrict(node, TimeInterval(s0, s1), on_sector=True)
+
+
+def _fn_daily(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 3:
+        raise QuerySyntaxError("daily() takes (expression, start_offset, end_offset [, period=...])")
+    period = _need_number(kwargs.pop("period", 86_400.0), "daily")
+    if kwargs:
+        raise QuerySyntaxError(f"daily() got unexpected keywords {sorted(kwargs)}")
+    node = _need_node(args[0], "daily")
+    start, end = _need_number(args[1], "daily"), _need_number(args[2], "daily")
+    return q.TemporalRestrict(node, RecurringInterval(start, end, period))
+
+
+def _fn_vrange(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 3 or kwargs:
+        raise QuerySyntaxError("vrange() takes (expression, lo, hi)")
+    node = _need_node(args[0], "vrange")
+    return q.ValueRestrict(node, _need_number(args[1], "vrange"), _need_number(args[2], "vrange"))
+
+
+def _fn_stretch(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if not 1 <= len(args) <= 2 or kwargs:
+        raise QuerySyntaxError("stretch() takes (expression [, kind])")
+    kind = args[1] if len(args) == 2 else "linear"
+    if not isinstance(kind, str):
+        raise QuerySyntaxError("stretch() kind must be a string")
+    return q.Stretch(_need_node(args[0], "stretch"), kind)
+
+
+def _fn_reproject(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 2:
+        raise QuerySyntaxError("reproject() takes (expression, crs_name [, method=...])")
+    method = kwargs.pop("method", "bilinear")
+    if kwargs:
+        raise QuerySyntaxError(f"reproject() got unexpected keywords {sorted(kwargs)}")
+    if not isinstance(args[1], str):
+        raise QuerySyntaxError("reproject() CRS must be a string name")
+    return q.Reproject(_need_node(args[0], "reproject"), resolve_crs(args[1]), str(method))
+
+
+def _fn_tagg(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 3:
+        raise QuerySyntaxError("tagg() takes (expression, func, window [, mode=...])")
+    mode = kwargs.pop("mode", "sliding")
+    if kwargs:
+        raise QuerySyntaxError(f"tagg() got unexpected keywords {sorted(kwargs)}")
+    node = _need_node(args[0], "tagg")
+    func = args[1]
+    if not isinstance(func, str):
+        raise QuerySyntaxError("tagg() func must be a string")
+    return q.TemporalAgg(node, func, int(_need_number(args[2], "tagg")), str(mode))
+
+
+def _fn_stagg(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    """Spatio-temporal aggregate (ref [27]): coarsen k then window-aggregate."""
+    if len(args) != 4:
+        raise QuerySyntaxError("stagg() takes (expression, func, spatial_k, window [, mode=...])")
+    mode = kwargs.pop("mode", "sliding")
+    if kwargs:
+        raise QuerySyntaxError(f"stagg() got unexpected keywords {sorted(kwargs)}")
+    node = _need_node(args[0], "stagg")
+    func = args[1]
+    if not isinstance(func, str):
+        raise QuerySyntaxError("stagg() func must be a string")
+    spatial_k = int(_need_number(args[2], "stagg"))
+    window = int(_need_number(args[3], "stagg"))
+    return q.TemporalAgg(q.Coarsen(node, spatial_k), func, window, str(mode))
+
+
+def _fn_ragg(args: list[Any], kwargs: dict[str, Any]) -> q.QueryNode:
+    if len(args) != 4 or kwargs:
+        raise QuerySyntaxError("ragg() takes (expression, func, name, region)")
+    node = _need_node(args[0], "ragg")
+    func, name = args[1], args[2]
+    if not isinstance(func, str) or not isinstance(name, str):
+        raise QuerySyntaxError("ragg() func and name must be strings")
+    region = _need_region(args[3], "ragg")
+    return q.RegionAgg(node, ((name, region),), func)
+
+
+_FUNCTIONS: dict[str, Callable[[list[Any], dict[str, Any]], Any]] = {
+    "bbox": _fn_bbox,
+    "disk": _fn_disk,
+    "polygon": _fn_polygon,
+    "within": _fn_within,
+    "during": _fn_during,
+    "sectors": _fn_sectors,
+    "daily": _fn_daily,
+    "vrange": _fn_vrange,
+    "stretch": _fn_stretch,
+    "reproject": _fn_reproject,
+    "tagg": _fn_tagg,
+    "ragg": _fn_ragg,
+    "stagg": _fn_stagg,
+}
+
+
+def _fn_simple_unary(name: str) -> Callable[[list[Any], dict[str, Any]], Any]:
+    def handler(args: list[Any], kwargs: dict[str, Any]) -> Any:
+        if kwargs:
+            raise QuerySyntaxError(f"{name}() got unexpected keywords {sorted(kwargs)}")
+        if name in ("equalize", "gaussian"):
+            if len(args) != 1:
+                raise QuerySyntaxError(f"{name}() takes (expression)")
+            return q.Stretch(_need_node(args[0], name), name if name != "gaussian" else "gaussian")
+        if name == "reflectance":
+            if not 1 <= len(args) <= 2:
+                raise QuerySyntaxError("reflectance() takes (expression [, bits])")
+            bits = _need_number(args[1], name) if len(args) == 2 else 10.0
+            return q.ValueMap(_need_node(args[0], name), "reflectance", (("bits", bits),))
+        if name == "rescale":
+            if not 2 <= len(args) <= 3:
+                raise QuerySyntaxError("rescale() takes (expression, gain [, offset])")
+            gain = _need_number(args[1], name)
+            offset = _need_number(args[2], name) if len(args) == 3 else 0.0
+            return q.ValueMap(
+                _need_node(args[0], name), "rescale", (("gain", gain), ("offset", offset))
+            )
+        if name in ("magnify", "coarsen"):
+            if len(args) != 2:
+                raise QuerySyntaxError(f"{name}() takes (expression, k)")
+            k = int(_need_number(args[1], name))
+            node = _need_node(args[0], name)
+            return q.Magnify(node, k) if name == "magnify" else q.Coarsen(node, k)
+        if name == "rotate":
+            if len(args) != 2:
+                raise QuerySyntaxError("rotate() takes (expression, degrees)")
+            return q.Rotate(_need_node(args[0], name), _need_number(args[1], name))
+        if name in ("ndvi", "evi2", "sup", "inf", "mosaic"):
+            if len(args) != 2:
+                raise QuerySyntaxError(f"{name}() takes two stream expressions")
+            return q.Compose(_need_node(args[0], name), _need_node(args[1], name), name)
+        raise QuerySyntaxError(f"unknown function {name!r}")
+
+    return handler
+
+
+for _name in ("equalize", "gaussian", "reflectance", "rescale", "magnify", "coarsen", "rotate", "ndvi", "evi2", "sup", "inf", "mosaic"):
+    _FUNCTIONS[_name] = _fn_simple_unary(_name)
+
+
+def _call_function(name: str, args: list[Any], kwargs: dict[str, Any], pos: int) -> Any:
+    handler = _FUNCTIONS.get(name)
+    if handler is None:
+        raise QuerySyntaxError(
+            f"unknown function {name!r} at position {pos}; available: "
+            f"{', '.join(sorted(_FUNCTIONS))}"
+        )
+    return handler(args, kwargs)
+
+
+def parse_query(text: str) -> q.QueryNode:
+    """Parse query text into an algebra tree."""
+    result = _Parser(text).parse()
+    if not isinstance(result, q.QueryNode):
+        raise QuerySyntaxError(
+            f"query text denotes a {type(result).__name__}, not a stream expression"
+        )
+    return result

@@ -1,0 +1,184 @@
+"""Resampling kernels for spatial transforms (Def. 9).
+
+Section 3.2 describes re-projection as choosing, for every output point,
+either "the nearest point in the original point lattice" or "a function
+applied to a neighborhood of pixels" — "linear interpolations or
+higher-order fitting routines". These are those functions: nearest,
+bilinear, and bicubic (Catmull-Rom) sampling at fractional grid
+coordinates, plus block reduction for resolution decreases.
+
+All kernels take fractional (row, col) coordinates, handle out-of-range
+samples with a fill value, and propagate NaN coordinates to fill.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import OperatorError
+
+__all__ = [
+    "sample_nearest",
+    "sample_bilinear",
+    "sample_bicubic",
+    "sample",
+    "block_reduce",
+    "KERNEL_FOOTPRINT",
+]
+
+# Half-width of each kernel's neighborhood, in pixels. Used by operators
+# to size their row buffers: bilinear needs the 2x2 surrounding block,
+# bicubic the 4x4 block.
+KERNEL_FOOTPRINT = {"nearest": 0, "bilinear": 1, "bicubic": 2}
+
+
+def _prepare(
+    values: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise OperatorError(f"interpolation expects a 2-D array, got shape {values.shape}")
+    rows = np.asarray(rows, dtype=float)
+    cols = np.asarray(cols, dtype=float)
+    bad = ~(np.isfinite(rows) & np.isfinite(cols))
+    return values, rows, cols, bad
+
+
+def sample_nearest(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fill: float = np.nan,
+) -> np.ndarray:
+    """Nearest-neighbour sample at fractional (row, col) positions."""
+    values, rows, cols, bad = _prepare(values, rows, cols)
+    h, w = values.shape
+    r = np.rint(np.where(bad, 0.0, rows)).astype(np.int64)
+    c = np.rint(np.where(bad, 0.0, cols)).astype(np.int64)
+    outside = bad | (r < 0) | (r >= h) | (c < 0) | (c >= w)
+    r = np.clip(r, 0, h - 1)
+    c = np.clip(c, 0, w - 1)
+    out = values[r, c].astype(np.float64)
+    out[outside] = fill
+    return out
+
+
+def sample_bilinear(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fill: float = np.nan,
+) -> np.ndarray:
+    """Bilinear sample; positions needing pixels outside the array get fill."""
+    values, rows, cols, bad = _prepare(values, rows, cols)
+    h, w = values.shape
+    rows = np.where(bad, 0.0, rows)
+    cols = np.where(bad, 0.0, cols)
+    r0 = np.floor(rows).astype(np.int64)
+    c0 = np.floor(cols).astype(np.int64)
+    fr = rows - r0
+    fc = cols - c0
+    # Positions exactly on the last row/column are valid (weight 0 on the
+    # out-of-range neighbour); the clamped second index handles them.
+    outside = bad | (rows < 0) | (rows > h - 1) | (cols < 0) | (cols > w - 1)
+    r0 = np.clip(r0, 0, h - 1)
+    c0 = np.clip(c0, 0, w - 1)
+    r1 = np.clip(r0 + 1, 0, h - 1)
+    c1 = np.clip(c0 + 1, 0, w - 1)
+    v = values.astype(np.float64)
+    top = v[r0, c0] * (1.0 - fc) + v[r0, c1] * fc
+    bot = v[r1, c0] * (1.0 - fc) + v[r1, c1] * fc
+    out = top * (1.0 - fr) + bot * fr
+    out[outside] = fill
+    return out
+
+
+def _cubic_weights(f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Catmull-Rom weights for the 4 taps around fractional offset f in [0,1)."""
+    f2 = f * f
+    f3 = f2 * f
+    w0 = -0.5 * f3 + f2 - 0.5 * f
+    w1 = 1.5 * f3 - 2.5 * f2 + 1.0
+    w2 = -1.5 * f3 + 2.0 * f2 + 0.5 * f
+    w3 = 0.5 * f3 - 0.5 * f2
+    return w0, w1, w2, w3
+
+
+def sample_bicubic(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fill: float = np.nan,
+) -> np.ndarray:
+    """Catmull-Rom bicubic sample over the surrounding 4x4 neighborhood."""
+    values, rows, cols, bad = _prepare(values, rows, cols)
+    h, w = values.shape
+    rows_c = np.where(bad, 0.0, rows)
+    cols_c = np.where(bad, 0.0, cols)
+    r0 = np.floor(rows_c).astype(np.int64)
+    c0 = np.floor(cols_c).astype(np.int64)
+    fr = rows_c - r0
+    fc = cols_c - c0
+    outside = bad | (rows < 1) | (rows > h - 2) | (cols < 1) | (cols > w - 2)
+    wr = _cubic_weights(fr)
+    wc = _cubic_weights(fc)
+    v = values.astype(np.float64)
+    out = np.zeros(rows_c.shape, dtype=np.float64)
+    for i in range(4):
+        ri = np.clip(r0 - 1 + i, 0, h - 1)
+        row_acc = np.zeros(rows_c.shape, dtype=np.float64)
+        for j in range(4):
+            cj = np.clip(c0 - 1 + j, 0, w - 1)
+            row_acc += wc[j] * v[ri, cj]
+        out += wr[i] * row_acc
+    out[outside] = fill
+    return out
+
+
+_SAMPLERS: dict[str, Callable[..., np.ndarray]] = {
+    "nearest": sample_nearest,
+    "bilinear": sample_bilinear,
+    "bicubic": sample_bicubic,
+}
+
+
+def sample(
+    method: str,
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fill: float = np.nan,
+) -> np.ndarray:
+    """Dispatch to a sampler by name ('nearest' | 'bilinear' | 'bicubic')."""
+    try:
+        fn = _SAMPLERS[method]
+    except KeyError:
+        raise OperatorError(
+            f"unknown interpolation method {method!r}; expected one of "
+            f"{sorted(_SAMPLERS)}"
+        ) from None
+    return fn(values, rows, cols, fill=fill)
+
+
+def block_reduce(
+    values: np.ndarray, k: int, func: Callable[..., np.ndarray] = np.mean
+) -> np.ndarray:
+    """Reduce k x k blocks with ``func`` (resolution decrease, Fig. 2a).
+
+    Trailing rows/columns that do not fill a complete block are dropped,
+    matching :meth:`GridLattice.coarsened`.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise OperatorError(f"block_reduce expects a 2-D array, got shape {values.shape}")
+    if k < 1:
+        raise OperatorError(f"block factor must be >= 1, got {k}")
+    h, w = values.shape
+    if h < k or w < k:
+        raise OperatorError(f"cannot reduce a {h}x{w} array by {k}")
+    hh, ww = h // k, w // k
+    trimmed = values[: hh * k, : ww * k]
+    blocks = trimmed.reshape(hh, k, ww, k)
+    return func(blocks, axis=(1, 3))

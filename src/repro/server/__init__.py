@@ -1,0 +1,21 @@
+"""DSMS server (Fig. 3): catalog, protocol, push compiler, sessions, router."""
+
+from .catalog import StreamCatalog
+from .compiler import PushNetwork, compile_push_network
+from .dsms import DSMSServer, RouterStats, source_prune_boxes
+from .protocol import Request, format_query_request, parse_request
+from .session import AggregateRecord, ClientSession
+
+__all__ = [
+    "StreamCatalog",
+    "PushNetwork",
+    "compile_push_network",
+    "DSMSServer",
+    "RouterStats",
+    "source_prune_boxes",
+    "Request",
+    "parse_request",
+    "format_query_request",
+    "ClientSession",
+    "AggregateRecord",
+]

@@ -1,0 +1,167 @@
+"""Push-network compilation of query trees.
+
+Pull-style execution (``plan_query``) has every registered query re-read
+its source streams — N queries means N scans of the downlink, which a
+stream system cannot afford. The DSMS therefore compiles each query into
+a *push network*: a DAG of operator stages fed chunk-by-chunk from the
+shared source scan, with results pushed into the client's sink. This is
+the execution side of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.chunk import Chunk
+from ..errors import PlanError
+from ..operators.aggregate import RegionAggregate as RegionAggregateOp
+from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
+from ..operators.base import BinaryOperator, Operator
+from ..operators.reprojection import Reproject as ReprojectOp
+from ..operators.restriction import (
+    SpatialRestriction,
+    TemporalRestriction,
+    ValueRestriction,
+)
+from ..operators.spatial_transform import Coarsen as CoarsenOp
+from ..operators.spatial_transform import Magnify as MagnifyOp
+from ..operators.spatial_transform import Rotate as RotateOp
+from ..operators.value_transform import FrameStretch
+from ..query import ast as q
+from ..query.planner import _composition_operator, build_value_map
+
+__all__ = ["PushNetwork", "compile_push_network"]
+
+_Sink = Callable[[Chunk], None]
+
+
+class _Stage:
+    """One operator wired to its downstream sink."""
+
+    __slots__ = ("op", "side", "downstream")
+
+    def __init__(
+        self,
+        op: Operator | BinaryOperator,
+        downstream: _Sink,
+        side: str | None = None,
+    ) -> None:
+        self.op = op
+        self.side = side
+        self.downstream = downstream
+
+    def feed(self, chunk: Chunk) -> None:
+        outs = (
+            self.op.process_side(self.side, chunk)
+            if self.side is not None
+            else self.op.process(chunk)
+        )
+        for out in outs:
+            self.downstream(out)
+
+    def flush(self) -> None:
+        for out in self.op.flush():
+            self.downstream(out)
+
+
+class PushNetwork:
+    """A compiled query: feed source chunks in, results push to the sink."""
+
+    def __init__(
+        self,
+        inputs: dict[str, list[_Sink]],
+        flush_order: list[_Stage | Operator],
+        operators: list[Operator | BinaryOperator],
+    ) -> None:
+        self.inputs = inputs
+        self._flush_order = flush_order
+        self.operators = operators
+        self._flushed = False
+
+    @property
+    def source_ids(self) -> list[str]:
+        return sorted(self.inputs)
+
+    def feed(self, stream_id: str, chunk: Chunk) -> None:
+        """Push one source chunk into every place the query consumes it."""
+        if self._flushed:
+            raise PlanError("push network already flushed")
+        for sink in self.inputs.get(stream_id, ()):
+            sink(chunk)
+
+    def flush(self) -> None:
+        """End of input: drain every operator, sources-first."""
+        if self._flushed:
+            return
+        self._flushed = True
+        for stage in self._flush_order:
+            stage.flush()
+
+    def reset(self) -> None:
+        for op in self.operators:
+            op.reset()
+        self._flushed = False
+
+
+def _build_operator(node: q.QueryNode) -> Operator:
+    """Operator instance for a unary AST node (mirrors the pull planner)."""
+    if isinstance(node, q.SpatialRestrict):
+        return SpatialRestriction(node.region)
+    if isinstance(node, q.TemporalRestrict):
+        return TemporalRestriction(node.timeset, on_sector=node.on_sector)
+    if isinstance(node, q.ValueRestrict):
+        return ValueRestriction(lo=node.lo, hi=node.hi)
+    if isinstance(node, q.ValueMap):
+        return build_value_map(node)
+    if isinstance(node, q.Stretch):
+        return FrameStretch(node.kind)
+    if isinstance(node, q.Magnify):
+        return MagnifyOp(node.k)
+    if isinstance(node, q.Coarsen):
+        return CoarsenOp(node.k)
+    if isinstance(node, q.Rotate):
+        return RotateOp(node.angle_deg)
+    if isinstance(node, q.Reproject):
+        return ReprojectOp(node.dst_crs, method=node.method)
+    if isinstance(node, q.TemporalAgg):
+        return TemporalAggregateOp(node.window, node.func, node.mode)
+    if isinstance(node, q.RegionAgg):
+        return RegionAggregateOp(dict(node.regions), node.func)
+    raise PlanError(f"push compiler does not know node type {type(node).__name__}")
+
+
+def compile_push_network(
+    node: q.QueryNode,
+    sink: _Sink,
+    timestamp_policy: str = "sector",
+) -> PushNetwork:
+    """Compile a query tree into a push network ending at ``sink``."""
+    inputs: dict[str, list[_Sink]] = {}
+    flush_order: list[_Stage] = []
+    operators: list[Operator | BinaryOperator] = []
+
+    def compile_node(n: q.QueryNode, downstream: _Sink) -> None:
+        # Stages are appended child-first so flushing drains upstream
+        # operators before the ones they feed.
+        if isinstance(n, q.StreamRef):
+            inputs.setdefault(n.stream_id, []).append(downstream)
+            return
+        if isinstance(n, q.Empty):
+            return  # never produces or consumes anything
+        if isinstance(n, q.Compose):
+            op = _composition_operator(n.gamma, timestamp_policy)
+            operators.append(op)
+            stage_left = _Stage(op, downstream, side="left")
+            stage_right = _Stage(op, downstream, side="right")
+            compile_node(n.left, stage_left.feed)
+            compile_node(n.right, stage_right.feed)
+            flush_order.append(stage_left)  # binary op flushes once
+            return
+        op = _build_operator(n)
+        operators.append(op)
+        stage = _Stage(op, downstream)
+        compile_node(n.children[0], stage.feed)
+        flush_order.append(stage)
+
+    compile_node(node, sink)
+    return PushNetwork(inputs, flush_order, operators)

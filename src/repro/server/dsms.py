@@ -1,0 +1,341 @@
+"""The Data Stream Management System server (Fig. 3).
+
+Ties everything together: queries arrive as specialized HTTP requests,
+are parsed into the algebra, optimized (restriction pushdown with region
+re-mapping), compiled into push networks, and registered. A single scan
+of the source streams then drives all registered queries, with a dynamic
+cascade tree acting "as a single spatial restriction operator" that
+routes each incoming chunk only to the queries whose regions it can
+contribute to — the architecture of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..core.chunk import Chunk, GridChunk
+from ..engine.pipeline import chunk_time
+from ..engine.scheduler import merge_sources
+from ..errors import RegionError, ServerError
+from ..geo.region import BoundingBox
+from ..index.base import RegionIndex
+from ..index.cascade_tree import CascadeTree
+from ..query import ast as q
+from ..query.optimizer import optimize
+from ..query.parser import parse_query
+from .catalog import StreamCatalog
+from .compiler import PushNetwork, compile_push_network
+from .protocol import Request, parse_request
+from .session import ClientSession
+
+__all__ = ["DSMSServer", "source_prune_boxes", "RouterStats"]
+
+# Nodes a source-level pruning box may pass through unchanged: they keep
+# point geometry intact (values and timestamps may change freely).
+_GEOMETRY_PRESERVING = (
+    q.TemporalRestrict,
+    q.ValueRestrict,
+    q.ValueMap,
+    q.Stretch,
+    q.TemporalAgg,
+)
+
+
+def source_prune_boxes(node: q.QueryNode) -> dict[str, BoundingBox | None]:
+    """Per-source routing rectangles implied by a (rewritten) query tree.
+
+    Walks the tree carrying the intersection of spatial restrictions seen
+    on the path, resetting at geometry-changing operators (re-projection,
+    zooming, warps). A source mapped to ``None`` needs every chunk.
+    Multiple references to the same source union their boxes.
+    """
+    out: dict[str, BoundingBox | None] = {}
+
+    def visit(n: q.QueryNode, box: BoundingBox | None) -> None:
+        if isinstance(n, q.StreamRef):
+            if n.stream_id in out:
+                prev = out[n.stream_id]
+                if prev is None or box is None:
+                    out[n.stream_id] = None
+                elif prev.crs == box.crs:
+                    out[n.stream_id] = prev.union(box)
+                else:
+                    out[n.stream_id] = None
+            else:
+                out[n.stream_id] = box
+            return
+        if isinstance(n, q.SpatialRestrict):
+            rbox = n.region.bounding_box
+            if box is not None and box.crs == rbox.crs:
+                inter = box.intersection(rbox)
+                rbox = inter if inter is not None else BoundingBox(
+                    rbox.xmin, rbox.ymin, rbox.xmin, rbox.ymin, rbox.crs
+                )
+            visit(n.child, rbox)
+            return
+        if isinstance(n, _GEOMETRY_PRESERVING):
+            visit(n.children[0], box)
+            return
+        if isinstance(n, q.Compose):
+            visit(n.left, box)
+            visit(n.right, box)
+            return
+        # Geometry-changing operator: the box (in output coordinates) says
+        # nothing directly about source coordinates.
+        for child in n.children:
+            visit(child, None)
+
+    visit(node, None)
+    return out
+
+
+@dataclass
+class RouterStats:
+    """How much work the shared restriction stage saved."""
+
+    chunks_scanned: int = 0
+    pairs_routed: int = 0  # (chunk, query) pairs actually fed
+    pairs_skipped: int = 0  # pairs pruned by the region index
+
+    @property
+    def prune_fraction(self) -> float:
+        total = self.pairs_routed + self.pairs_skipped
+        return self.pairs_skipped / total if total else 0.0
+
+
+class _Fanout:
+    """Terminal sink that forwards results to every subscribed session.
+
+    The paper's introduction motivates the DSMS with exactly this
+    duplication: "these processes are often duplicated at many sites for
+    different and even the same type of applications". When two clients
+    register queries whose *optimized* trees are equal, the server runs
+    one push network and fans its results out.
+    """
+
+    def __init__(self) -> None:
+        self.sessions: list[ClientSession] = []
+
+    def __call__(self, chunk: Chunk) -> None:
+        for session in self.sessions:
+            session.receive(chunk)
+
+
+@dataclass
+class _Registration:
+    fanout: _Fanout
+    network: PushNetwork
+    boxes: dict[str, BoundingBox | None]
+    key: q.QueryNode
+
+    @property
+    def sessions(self) -> list[ClientSession]:
+        return self.fanout.sessions
+
+
+class DSMSServer:
+    """In-process DSMS: register continuous queries, then run the scan."""
+
+    def __init__(
+        self,
+        catalog: StreamCatalog,
+        index_factory: type[RegionIndex] = CascadeTree,
+        optimize_queries: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.optimize_queries = optimize_queries
+        self._index_factory = index_factory
+        # One region index per source stream (regions live in that CRS).
+        self._routers: dict[str, RegionIndex] = {}
+        self._always: dict[str, set[int]] = {}
+        # reg_id -> shared registration; session_id -> reg_id.
+        self._registrations: dict[int, _Registration] = {}
+        self._session_to_reg: dict[int, int] = {}
+        self._next_session_id = 1
+        self._next_reg_id = 1
+        self._now = 0.0  # stream-time clock: measured time of the latest chunk
+        self.router_stats = RouterStats()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, query: str | q.QueryNode, encode_png: bool = True) -> ClientSession:
+        """Parse, optimize, compile, and route one continuous query."""
+        if isinstance(query, str):
+            text = query
+            tree = parse_query(query)
+        else:
+            text = query.pretty()
+            tree = query
+        for ref in (n for n in q.walk(tree) if isinstance(n, q.StreamRef)):
+            if ref.stream_id not in self.catalog:
+                raise ServerError(
+                    f"query references unknown stream {ref.stream_id!r}; "
+                    f"catalog has {self.catalog.ids()}"
+                )
+        if self.optimize_queries:
+            result = optimize(tree, self.catalog.crs_of())
+            optimized, applied = result.node, result.applied
+        else:
+            optimized, applied = tree, []
+
+        session = ClientSession(
+            self._next_session_id, text, tree, optimized, applied, encode_png=encode_png
+        )
+        session.set_clock(lambda: self._now)
+        self._next_session_id += 1
+
+        # Identical optimized queries share one push network: the intro's
+        # "duplicated processes" collapse into a single execution whose
+        # results fan out to every subscriber.
+        shared = self._find_shared(optimized)
+        if shared is not None:
+            shared.fanout.sessions.append(session)
+            self._session_to_reg[session.session_id] = next(
+                rid for rid, reg in self._registrations.items() if reg is shared
+            )
+            return session
+
+        fanout = _Fanout()
+        fanout.sessions.append(session)
+        policy = self._common_timestamp_policy(optimized)
+        network = compile_push_network(optimized, fanout, timestamp_policy=policy)
+        boxes = source_prune_boxes(optimized)
+        registration = _Registration(fanout, network, boxes, optimized)
+        reg_id = self._next_reg_id
+        self._next_reg_id += 1
+        self._registrations[reg_id] = registration
+        self._session_to_reg[session.session_id] = reg_id
+        self._route(reg_id, boxes)
+        return session
+
+    def _find_shared(self, optimized: q.QueryNode) -> _Registration | None:
+        for registration in self._registrations.values():
+            if registration.key == optimized:
+                return registration
+        return None
+
+    def _common_timestamp_policy(self, tree: q.QueryNode) -> str:
+        policies = {
+            self.catalog.get(n.stream_id).metadata.timestamp_policy
+            for n in q.walk(tree)
+            if isinstance(n, q.StreamRef)
+        }
+        return policies.pop() if len(policies) == 1 else "sector"  # default
+
+    def _route(self, reg_id: int, boxes: dict[str, BoundingBox | None]) -> None:
+        for stream_id, box in boxes.items():
+            if box is None:
+                self._always.setdefault(stream_id, set()).add(reg_id)
+                continue
+            stream_crs = self.catalog.get(stream_id).crs
+            if box.crs != stream_crs:
+                try:
+                    box = box.transformed(stream_crs)
+                except RegionError:
+                    self._always.setdefault(stream_id, set()).add(reg_id)
+                    continue
+            router = self._routers.get(stream_id)
+            if router is None:
+                router = self._index_factory()
+                self._routers[stream_id] = router
+            router.insert(reg_id, box)
+
+    def deregister(self, session_id: int) -> None:
+        reg_id = self._session_to_reg.pop(session_id, None)
+        if reg_id is None:
+            raise ServerError(f"unknown session id {session_id}")
+        registration = self._registrations[reg_id]
+        session = next(
+            s for s in registration.sessions if s.session_id == session_id
+        )
+        registration.fanout.sessions.remove(session)
+        session.close()
+        if registration.sessions:
+            return  # other subscribers keep the shared network alive
+        del self._registrations[reg_id]
+        for stream_id in registration.boxes:
+            router = self._routers.get(stream_id)
+            if router is not None and reg_id in router:
+                router.remove(reg_id)
+            always = self._always.get(stream_id)
+            if always is not None:
+                always.discard(reg_id)
+
+    # -- protocol front door ----------------------------------------------------------
+
+    def handle_request(self, line: str) -> object:
+        """Serve one request-line; returns a session, a listing, or None."""
+        request: Request = parse_request(line)
+        kind = request.kind
+        if kind == "list-streams":
+            return self.catalog.ids()
+        if kind == "register-query":
+            if "q" not in request.params:
+                raise ServerError("register-query request missing 'q' parameter")
+            fmt = request.params.get("format", "png")
+            return self.register(request.params["q"], encode_png=(fmt == "png"))
+        if kind == "deregister-query":
+            self.deregister(request.session_id)
+            return None
+        raise ServerError(f"unhandled request kind {kind!r}")  # pragma: no cover
+
+    # -- execution ------------------------------------------------------------------
+
+    def active_sessions(self) -> list[ClientSession]:
+        return [s for r in self._registrations.values() for s in r.sessions]
+
+    @property
+    def shared_network_count(self) -> int:
+        """Distinct push networks currently executing."""
+        return len(self._registrations)
+
+    def _chunk_bbox(self, chunk: Chunk) -> BoundingBox | None:
+        if isinstance(chunk, GridChunk):
+            return chunk.lattice.bbox
+        if chunk.n_points == 0:
+            return None
+        return BoundingBox.from_points(chunk.x, chunk.y, chunk.crs)
+
+    def run(self, max_chunks: int | None = None, close: bool = True) -> RouterStats:
+        """Scan all needed sources once, driving every registered query.
+
+        Each chunk is offered only to the queries whose region rectangles
+        intersect it (the shared restriction stage); the returned stats
+        quantify the pruning.
+        """
+        needed = {
+            sid
+            for reg in self._registrations.values()
+            for sid in reg.network.source_ids
+        }
+        sources = {sid: self.catalog.get(sid) for sid in sorted(needed)}
+        consumers: dict[str, list[_Registration]] = {
+            sid: [r for r in self._registrations.values() if sid in r.network.inputs]
+            for sid in sources
+        }
+        reg_ids = {id(r): rid for rid, r in self._registrations.items()}
+        count = 0
+        for stream_id, chunk in merge_sources(sources):
+            if max_chunks is not None and count >= max_chunks:
+                break
+            count += 1
+            self.router_stats.chunks_scanned += 1
+            self._now = chunk_time(chunk)
+            router = self._routers.get(stream_id)
+            always = self._always.get(stream_id, set())
+            matched: set[int] = set(always)
+            if router is not None:
+                bbox = self._chunk_bbox(chunk)
+                if bbox is not None:
+                    matched.update(router.overlapping(bbox))
+            for registration in consumers[stream_id]:
+                if reg_ids[id(registration)] in matched:
+                    registration.network.feed(stream_id, chunk)
+                    self.router_stats.pairs_routed += 1
+                else:
+                    self.router_stats.pairs_skipped += 1
+        if close:
+            for registration in self._registrations.values():
+                registration.network.flush()
+                for session in registration.sessions:
+                    session.close()
+        return self.router_stats

@@ -1,0 +1,78 @@
+"""HTTP-style request protocol (Section 4).
+
+"User queries, which are converted by the interface to specialized HTTP
+requests, are transmitted to the server, parsed, and registered." The
+protocol here is that specialized request format:
+
+* ``GET /streams`` — list the catalog.
+* ``GET /query?q=<urlencoded query text>&format=png|raw`` — register a
+  continuous query.
+* ``DELETE /query/<id>`` — deregister.
+
+Only the request line is modeled (headers carry nothing we need); the
+DSMS object is the in-process server behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, quote, urlsplit
+
+from ..errors import ProtocolError
+
+__all__ = ["Request", "parse_request", "format_query_request"]
+
+_METHODS = ("GET", "DELETE")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed client request."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        if self.method == "GET" and self.path == "/streams":
+            return "list-streams"
+        if self.method == "GET" and self.path == "/query":
+            return "register-query"
+        if self.method == "DELETE" and self.path.startswith("/query/"):
+            return "deregister-query"
+        raise ProtocolError(f"unsupported request {self.method} {self.path}")
+
+    @property
+    def session_id(self) -> int:
+        if not self.path.startswith("/query/"):
+            raise ProtocolError(f"request path {self.path!r} carries no session id")
+        try:
+            return int(self.path[len("/query/") :])
+        except ValueError:
+            raise ProtocolError(f"bad session id in {self.path!r}") from None
+
+
+def parse_request(line: str) -> Request:
+    """Parse a request line like ``GET /query?q=... HTTP/1.1``."""
+    parts = line.strip().split()
+    if len(parts) == 3 and parts[2].startswith("HTTP/"):
+        parts = parts[:2]
+    if len(parts) != 2:
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, target = parts
+    method = method.upper()
+    if method not in _METHODS:
+        raise ProtocolError(f"unsupported method {method!r}")
+    split = urlsplit(target)
+    params: dict[str, str] = {}
+    for key, values in parse_qs(split.query, keep_blank_values=True).items():
+        if len(values) != 1:
+            raise ProtocolError(f"repeated query parameter {key!r}")
+        params[key] = values[0]
+    return Request(method=method, path=split.path, params=params)
+
+
+def format_query_request(query_text: str, fmt: str = "png") -> str:
+    """Build the request line a web client would send for a query."""
+    return f"GET /query?q={quote(query_text)}&format={fmt} HTTP/1.1"

@@ -1,0 +1,121 @@
+"""Client sessions: where continuous-query results land.
+
+Raster results are assembled into frames and encoded as PNG (Section 4's
+delivery path); point results (region aggregates) are collected as
+records. Sessions are the terminal sinks of compiled push networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.chunk import Chunk, PointChunk
+from ..operators.delivery import CollectingSink, DeliveredFrame, Delivery
+from ..query import ast as q
+
+__all__ = ["AggregateRecord", "ClientSession"]
+
+
+@dataclass(frozen=True)
+class AggregateRecord:
+    """One delivered scalar result (from a region aggregate)."""
+
+    x: float
+    y: float
+    value: float
+    t: float
+    band: str
+    sector: int | None
+
+
+class ClientSession:
+    """One registered continuous query and its delivered results."""
+
+    def __init__(
+        self,
+        session_id: int,
+        query_text: str,
+        tree: q.QueryNode,
+        optimized: q.QueryNode,
+        applied_rules: list[str],
+        encode_png: bool = True,
+    ) -> None:
+        self.session_id = session_id
+        self.query_text = query_text
+        self.tree = tree
+        self.optimized = optimized
+        self.applied_rules = applied_rules
+        self._delivery = Delivery(sink=CollectingSink(), encode=encode_png)
+        self.records: list[AggregateRecord] = []
+        self.chunks_received = 0
+        self.points_received = 0
+        self.closed = False
+        # Stream-time delivery lag per frame: how far the source scan had
+        # progressed (server clock) beyond the frame's own timestamp when
+        # the frame completed. Buffering operators (compositions under
+        # sequential band scans, stretches, warps) show up here directly.
+        self.latencies: list[float] = []
+        self._clock = None
+
+    def set_clock(self, clock) -> None:
+        """Install the server's stream-time clock (for latency metrics)."""
+        self._clock = clock
+
+    # -- sink interface (called by the push network) ----------------------------
+
+    def receive(self, chunk: Chunk) -> None:
+        self.chunks_received += 1
+        self.points_received += chunk.n_points
+        if isinstance(chunk, PointChunk):
+            values = np.asarray(chunk.values, dtype=float)
+            for i in range(chunk.n_points):
+                self.records.append(
+                    AggregateRecord(
+                        x=float(chunk.x[i]),
+                        y=float(chunk.y[i]),
+                        value=float(values[i]),
+                        t=float(chunk.t[i]),
+                        band=chunk.band,
+                        sector=chunk.sector,
+                    )
+                )
+            return
+        # Delivery passes chunks through; we only want its PNG side effect.
+        before = len(self.frames)
+        for _ in self._delivery.process(chunk):
+            pass
+        self._note_latencies(before)
+
+    def _note_latencies(self, before: int) -> None:
+        if self._clock is None:
+            return
+        now = self._clock()
+        for frame in self.frames[before:]:
+            self.latencies.append(now - frame.image.t)
+
+    def close(self) -> None:
+        if not self.closed:
+            before = len(self.frames)
+            for _ in self._delivery.flush():
+                pass
+            self._note_latencies(before)
+            self.closed = True
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean stream-time delivery lag in seconds (NaN before delivery)."""
+        return sum(self.latencies) / len(self.latencies) if self.latencies else float("nan")
+
+    # -- results --------------------------------------------------------------------
+
+    @property
+    def frames(self) -> list[DeliveredFrame]:
+        return self._delivery.sink.frames  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession(#{self.session_id}, frames={len(self.frames)}, "
+            f"records={len(self.records)}, closed={self.closed})"
+        )

@@ -1,0 +1,74 @@
+"""Shared fixtures: small, fast instrument configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GridLattice
+from repro.geo import LATLON, BoundingBox, goes_geostationary
+from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
+from repro.server import StreamCatalog
+
+# Mid-day over the western US so the visible band has signal.
+DAY_T0 = 72_000.0
+
+
+@pytest.fixture(scope="session")
+def scene() -> SyntheticEarth:
+    return SyntheticEarth(seed=7)
+
+
+@pytest.fixture(scope="session")
+def geos_crs():
+    return goes_geostationary(-135.0)
+
+
+@pytest.fixture()
+def small_imager(scene, geos_crs) -> GOESImager:
+    """A 2-frame, 48x96 GOES imager — fast enough for unit tests."""
+    sector = western_us_sector(geos_crs, width=96, height=48)
+    return GOESImager(
+        scene=scene,
+        lon_0=-135.0,
+        sector_lattice=sector,
+        n_frames=2,
+        bands=("vis", "nir"),
+        t0=DAY_T0,
+    )
+
+
+@pytest.fixture()
+def catalog(small_imager) -> StreamCatalog:
+    cat = StreamCatalog()
+    cat.register_imager(small_imager)
+    return cat
+
+
+@pytest.fixture()
+def latlon_lattice() -> GridLattice:
+    """A simple 20x40 north-up lat/lon lattice over Northern California."""
+    return GridLattice(LATLON, x0=-124.0, y0=42.0, dx=0.1, dy=-0.1, width=40, height=20)
+
+
+def sector_subbox(imager: GOESImager, fx0: float, fy0: float, fx1: float, fy1: float) -> BoundingBox:
+    """Fractional sub-rectangle of an imager's scan sector (native CRS)."""
+    box = imager.sector_lattice.bbox
+    return BoundingBox(
+        box.xmin + box.width * fx0,
+        box.ymin + box.height * fy0,
+        box.xmin + box.width * fx1,
+        box.ymin + box.height * fy1,
+        box.crs,
+    )
+
+
+def nan_equal(a: np.ndarray, b: np.ndarray, atol: float = 0.0) -> bool:
+    """Elementwise equality treating NaN == NaN."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        return False
+    both_nan = np.isnan(a) & np.isnan(b)
+    close = np.isclose(a, b, atol=atol, rtol=0.0, equal_nan=True)
+    return bool(np.all(both_nan | close))

@@ -1,0 +1,118 @@
+"""CLI front-end tests (run in-process via repro.cli.main)."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_demo_catalog, main
+
+
+SMALL = ["--sector", "48", "24", "--frames", "1"]
+
+
+class TestBuildDemoCatalog:
+    def test_builds_both_bands(self):
+        imager, catalog = build_demo_catalog(width=32, height=16, n_frames=1)
+        assert catalog.ids() == ["goes.nir", "goes.vis"]
+        assert imager.sector_lattice.shape == (16, 32)
+
+    def test_seed_changes_data(self):
+        _, cat1 = build_demo_catalog(seed=1, width=32, height=16, n_frames=1)
+        _, cat2 = build_demo_catalog(seed=2, width=32, height=16, n_frames=1)
+        f1 = cat1.get("goes.vis").collect_frames()[0]
+        f2 = cat2.get("goes.vis").collect_frames()[0]
+        assert (f1.values != f2.values).any()
+
+
+class TestCommands:
+    def test_streams(self, capsys):
+        assert main(["streams", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "goes.vis" in out and "goes.nir" in out
+        assert "row-by-row" in out
+
+    def test_explain(self, capsys):
+        rc = main(
+            [
+                "explain",
+                "within(reflectance(goes.vis), bbox(-124, 36, -120, 40, crs='latlon'))",
+                *SMALL,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parsed:" in out and "optimized" in out
+        assert "push-spatial-valuemap" in out
+        assert "estimated per-frame work" in out
+
+    def test_query_writes_pngs(self, capsys, tmp_path):
+        rc = main(
+            [
+                "query",
+                "stretch(reflectance(goes.vis), 'linear')",
+                "--out",
+                str(tmp_path),
+                *SMALL,
+            ]
+        )
+        assert rc == 0
+        pngs = sorted(tmp_path.glob("*.png"))
+        assert len(pngs) == 1
+        assert pngs[0].read_bytes().startswith(b"\x89PNG")
+        out = capsys.readouterr().out
+        assert "1 frames" in out
+
+    def test_query_no_optimize(self, capsys):
+        rc = main(
+            [
+                "query",
+                "within(reflectance(goes.vis), bbox(-124, 36, -120, 40, crs='latlon'))",
+                "--no-optimize",
+                *SMALL,
+            ]
+        )
+        assert rc == 0
+
+    def test_query_syntax_error_returns_2(self, capsys):
+        rc = main(["query", "frobnicate(goes.vis)", *SMALL])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_demo(self, capsys):
+        rc = main(["serve-demo", "--clients", "2", *SMALL])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "session #1" in out
+        assert "routing pruned" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+
+class TestArchiveCommands:
+    def test_archive_then_replay(self, capsys, tmp_path):
+        rc = main(["archive", "--out", str(tmp_path), *SMALL])
+        assert rc == 0
+        archives = sorted(tmp_path.glob("*.gsar"))
+        assert len(archives) == 2
+        out_dir = tmp_path / "png"
+        rc = main(
+            [
+                "replay",
+                *[str(p) for p in archives],
+                "ndvi(reflectance(goes.nir), reflectance(goes.vis))",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert rc == 0
+        assert len(list(out_dir.glob("*.png"))) == 1
+        out = capsys.readouterr().out
+        assert "frames replayed" in out
+
+    def test_replay_bad_archive_errors(self, capsys, tmp_path):
+        bad = tmp_path / "junk.gsar"
+        bad.write_bytes(b"nope")
+        rc = main(["replay", str(bad), "goes.vis"])
+        assert rc == 2

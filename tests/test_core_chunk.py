@@ -1,0 +1,149 @@
+"""Chunks: the stream transport units and their invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameInfo, GridChunk, GridLattice, PointChunk
+from repro.errors import StreamError
+from repro.geo import LATLON
+
+
+@pytest.fixture()
+def lattice():
+    return GridLattice(LATLON, x0=0.0, y0=10.0, dx=1.0, dy=-1.0, width=8, height=4)
+
+
+def make_chunk(lattice, **kw):
+    defaults = dict(
+        values=np.arange(32, dtype=np.float32).reshape(4, 8),
+        lattice=lattice,
+        band="vis",
+        t=100.0,
+    )
+    defaults.update(kw)
+    return GridChunk(**defaults)
+
+
+class TestGridChunk:
+    def test_shape_must_match_lattice(self, lattice):
+        with pytest.raises(StreamError):
+            make_chunk(lattice, values=np.zeros((3, 8)))
+
+    def test_vector_values_allowed(self, lattice):
+        chunk = make_chunk(lattice, values=np.zeros((4, 8, 3), dtype=np.uint8))
+        assert chunk.channels == 3
+        assert chunk.n_points == 32
+
+    def test_one_d_rejected(self, lattice):
+        with pytest.raises(StreamError):
+            make_chunk(lattice, values=np.zeros(32))
+
+    def test_coords(self, lattice):
+        chunk = make_chunk(lattice)
+        x, y = chunk.coords()
+        assert x.shape == (4, 8)
+        assert float(x[0, 0]) == 0.0 and float(y[0, 0]) == 10.0
+        fx, fy = chunk.flat_coords()
+        assert fx.shape == (32,)
+
+    def test_timestamp_key_policies(self, lattice):
+        chunk = make_chunk(lattice, sector=7)
+        assert chunk.timestamp_key("measured") == 100.0
+        assert chunk.timestamp_key("sector") == 7.0
+
+    def test_sector_policy_falls_back_to_time(self, lattice):
+        chunk = make_chunk(lattice, sector=None)
+        assert chunk.timestamp_key("sector") == 100.0
+
+    def test_unknown_policy_rejected(self, lattice):
+        with pytest.raises(StreamError):
+            make_chunk(lattice).timestamp_key("bogus")
+
+    def test_with_values(self, lattice):
+        chunk = make_chunk(lattice)
+        out = chunk.with_values(np.ones((4, 8)), band="ndvi")
+        assert out.band == "ndvi"
+        assert out.t == chunk.t
+        assert float(out.values[0, 0]) == 1.0
+        # Original untouched (immutability).
+        assert float(chunk.values[0, 0]) == 0.0
+
+    def test_with_values_shape_checked(self, lattice):
+        with pytest.raises(StreamError):
+            make_chunk(lattice).with_values(np.ones((2, 8)))
+
+    def test_subwindow(self, lattice):
+        chunk = make_chunk(lattice, row0=10, col0=20)
+        sub = chunk.subwindow(1, 2, 2, 3)
+        assert sub.lattice.shape == (2, 3)
+        assert float(sub.values[0, 0]) == float(chunk.values[1, 2])
+        assert sub.row0 == 11 and sub.col0 == 22
+        # Georeferencing follows the window.
+        assert float(sub.lattice.x_of_col(0)) == float(lattice.x_of_col(2))
+
+    def test_subwindow_bounds_checked(self, lattice):
+        with pytest.raises(StreamError):
+            make_chunk(lattice).subwindow(0, 0, 5, 8)
+        with pytest.raises(StreamError):
+            make_chunk(lattice).subwindow(0, 0, 0, 1)
+
+    def test_nbytes(self, lattice):
+        assert make_chunk(lattice).nbytes == 32 * 4
+
+
+class TestPointChunk:
+    def make(self, n=5, **kw):
+        defaults = dict(
+            x=np.linspace(0, 1, n),
+            y=np.linspace(10, 11, n),
+            values=np.arange(n, dtype=np.float32),
+            band="elev",
+            t=np.linspace(0, 1, n),
+            crs=LATLON,
+        )
+        defaults.update(kw)
+        return PointChunk(**defaults)
+
+    def test_length_consistency_enforced(self):
+        with pytest.raises(StreamError):
+            self.make(values=np.arange(3, dtype=np.float32))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(StreamError):
+            self.make(x=np.zeros((5, 1)))
+
+    def test_select(self):
+        chunk = self.make()
+        out = chunk.select(chunk.values >= 2)
+        assert out.n_points == 3
+        np.testing.assert_array_equal(out.values, [2, 3, 4])
+        # Coordinates and times follow the selection.
+        assert float(out.x[0]) == float(chunk.x[2])
+        assert float(out.t[0]) == float(chunk.t[2])
+
+    def test_select_shape_checked(self):
+        with pytest.raises(StreamError):
+            self.make().select(np.ones(3, dtype=bool))
+
+    def test_with_values(self):
+        chunk = self.make()
+        out = chunk.with_values(chunk.values * 2, band="x2")
+        assert out.band == "x2"
+        np.testing.assert_array_equal(out.values, chunk.values * 2)
+
+    def test_with_values_length_checked(self):
+        with pytest.raises(StreamError):
+            self.make().with_values(np.zeros(2))
+
+    def test_channels(self):
+        chunk = self.make(values=np.zeros((5, 3), dtype=np.float32))
+        assert chunk.channels == 3
+
+
+class TestFrameInfo:
+    def test_dimensions(self):
+        lat = GridLattice(LATLON, 0.0, 0.0, 1.0, -1.0, 16, 9)
+        info = FrameInfo(3, lat)
+        assert info.n_rows == 9
+        assert info.n_cols == 16
+        assert info.frame_id == 3

@@ -1,0 +1,142 @@
+"""Images (Def. 4) and frame assembly from chunk sequences."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameInfo, GridChunk, GridLattice, PointChunk, RasterImage, assemble_frames
+from repro.errors import StreamError
+from repro.geo import LATLON
+
+
+@pytest.fixture()
+def frame_lattice():
+    return GridLattice(LATLON, x0=0.0, y0=10.0, dx=1.0, dy=-1.0, width=6, height=4)
+
+
+def row_chunks(frame_lattice, frame_id=0, t0=0.0, band="vis"):
+    """One frame as row-by-row chunks."""
+    info = FrameInfo(frame_id, frame_lattice)
+    chunks = []
+    for row in range(frame_lattice.height):
+        values = np.full((1, frame_lattice.width), row, dtype=np.float32)
+        chunks.append(
+            GridChunk(
+                values=values,
+                lattice=frame_lattice.row_lattice(row),
+                band=band,
+                t=t0 + row,
+                sector=frame_id,
+                frame=info,
+                row0=row,
+                last_in_frame=(row == frame_lattice.height - 1),
+            )
+        )
+    return chunks
+
+
+class TestRasterImage:
+    def test_shape_checked(self, frame_lattice):
+        with pytest.raises(StreamError):
+            RasterImage(np.zeros((2, 2)), frame_lattice, "vis", 0.0)
+
+    def test_value_at(self, frame_lattice):
+        img = RasterImage(np.arange(24.0).reshape(4, 6), frame_lattice, "vis", 0.0)
+        # Pixel (1, 2) has center (2.0, 9.0).
+        assert float(img.value_at(2.0, 9.0)) == 8.0
+
+    def test_value_at_outside_raises(self, frame_lattice):
+        img = RasterImage(np.zeros((4, 6)), frame_lattice, "vis", 0.0)
+        with pytest.raises(StreamError):
+            img.value_at(100.0, 100.0)
+
+    def test_to_chunk_roundtrip(self, frame_lattice):
+        img = RasterImage(np.ones((4, 6)), frame_lattice, "vis", 5.0, sector=2)
+        chunk = img.to_chunk()
+        assert chunk.t == 5.0 and chunk.sector == 2
+        assert chunk.lattice == frame_lattice
+
+    def test_to_png_bytes(self, frame_lattice):
+        img = RasterImage(
+            np.random.default_rng(0).integers(0, 255, (4, 6), dtype=np.uint8).astype(np.uint8),
+            frame_lattice,
+            "vis",
+            0.0,
+        )
+        assert img.to_png_bytes().startswith(b"\x89PNG")
+
+
+class TestAssembleFrames:
+    def test_rows_reassemble(self, frame_lattice):
+        images = list(assemble_frames(row_chunks(frame_lattice)))
+        assert len(images) == 1
+        img = images[0]
+        assert img.shape == (4, 6)
+        np.testing.assert_array_equal(img.values[:, 0], [0, 1, 2, 3])
+        assert img.lattice == frame_lattice
+
+    def test_multiple_frames(self, frame_lattice):
+        chunks = row_chunks(frame_lattice, 0) + row_chunks(frame_lattice, 1, t0=100.0)
+        images = list(assemble_frames(chunks))
+        assert len(images) == 2
+        assert images[1].sector == 1
+
+    def test_missing_last_flag_flushes_on_frame_change(self, frame_lattice):
+        chunks = row_chunks(frame_lattice, 0)
+        # Strip the last-in-frame flag.
+        from dataclasses import replace
+
+        chunks = [replace(c, last_in_frame=False) for c in chunks]
+        chunks += row_chunks(frame_lattice, 1)
+        images = list(assemble_frames(chunks))
+        assert len(images) == 2
+
+    def test_trailing_partial_frame_emitted_at_end(self, frame_lattice):
+        from dataclasses import replace
+
+        chunks = [replace(c, last_in_frame=False) for c in row_chunks(frame_lattice)[:2]]
+        images = list(assemble_frames(chunks))
+        assert len(images) == 1
+        # Unfilled rows are NaN for float data.
+        assert np.isnan(images[0].values[3]).all()
+
+    def test_frameless_chunk_passes_through(self, frame_lattice):
+        chunk = GridChunk(
+            values=np.ones((4, 6)), lattice=frame_lattice, band="vis", t=0.0
+        )
+        images = list(assemble_frames([chunk]))
+        assert len(images) == 1
+        assert images[0].shape == (4, 6)
+
+    def test_point_chunks_rejected(self):
+        pc = PointChunk(
+            x=np.zeros(2), y=np.zeros(2), values=np.zeros(2), band="p",
+            t=np.zeros(2), crs=LATLON,
+        )
+        with pytest.raises(StreamError):
+            list(assemble_frames([pc]))
+
+    def test_out_of_extent_chunk_rejected(self, frame_lattice):
+        info = FrameInfo(0, frame_lattice)
+        bad = GridChunk(
+            values=np.zeros((1, 6)),
+            lattice=frame_lattice.row_lattice(0),
+            band="vis",
+            t=0.0,
+            frame=info,
+            row0=99,
+            last_in_frame=True,
+        )
+        with pytest.raises(StreamError):
+            list(assemble_frames([bad]))
+
+    def test_integer_fill_is_zero(self, frame_lattice):
+        from dataclasses import replace
+
+        chunks = row_chunks(frame_lattice)[:2]
+        chunks = [
+            replace(c, values=c.values.astype(np.uint16), last_in_frame=False)
+            for c in chunks
+        ]
+        images = list(assemble_frames(chunks))
+        assert images[0].values.dtype == np.uint16
+        assert (images[0].values[3] == 0).all()

@@ -1,0 +1,185 @@
+"""Point lattices (Def. 1): georeferencing, windows, alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridLattice
+from repro.errors import LatticeAlignmentError, LatticeError
+from repro.geo import LATLON, BoundingBox
+
+
+def make_lattice(**kw):
+    defaults = dict(crs=LATLON, x0=-124.0, y0=42.0, dx=0.1, dy=-0.1, width=40, height=20)
+    defaults.update(kw)
+    return GridLattice(**defaults)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            make_lattice(width=0)
+
+    def test_zero_resolution_rejected(self):
+        with pytest.raises(LatticeError):
+            make_lattice(dx=0.0)
+
+    def test_shape_matches_numpy_order(self):
+        lat = make_lattice()
+        assert lat.shape == (20, 40)
+        assert lat.n_points == 800
+
+
+class TestGeoreferencing:
+    def test_pixel_center_convention(self):
+        lat = make_lattice()
+        assert float(lat.x_of_col(0)) == -124.0
+        assert float(lat.y_of_row(0)) == 42.0
+        assert float(lat.x_of_col(1)) == pytest.approx(-123.9)
+        assert float(lat.y_of_row(1)) == pytest.approx(41.9)
+
+    def test_meshgrid_shapes(self):
+        lat = make_lattice()
+        x, y = lat.meshgrid()
+        assert x.shape == (20, 40) and y.shape == (20, 40)
+        assert float(x[0, 0]) == -124.0 and float(y[0, 0]) == 42.0
+
+    @given(
+        row=st.integers(0, 19),
+        col=st.integers(0, 39),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_index_coordinate_roundtrip(self, row, col):
+        lat = make_lattice()
+        x = float(lat.x_of_col(col))
+        y = float(lat.y_of_row(row))
+        assert int(lat.col_of_x(x)) == col
+        assert int(lat.row_of_y(y)) == row
+
+    def test_fractional_coordinates(self):
+        lat = make_lattice()
+        assert float(lat.fractional_col(-123.95)) == pytest.approx(0.5)
+        assert float(lat.fractional_row(41.95)) == pytest.approx(0.5)
+
+    def test_bbox_covers_pixel_areas(self):
+        lat = make_lattice(width=2, height=2)
+        b = lat.bbox
+        assert b.xmin == pytest.approx(-124.05)
+        assert b.xmax == pytest.approx(-123.85)
+        assert b.ymax == pytest.approx(42.05)
+        assert b.ymin == pytest.approx(41.85)
+
+    def test_center_bbox_smaller_than_bbox(self):
+        lat = make_lattice()
+        assert lat.bbox.contains_box(lat.center_bbox)
+
+
+class TestWindows:
+    def test_window_georeferencing(self):
+        lat = make_lattice()
+        w = lat.window(2, 3, 5, 7)
+        assert w.shape == (5, 7)
+        assert float(w.x_of_col(0)) == pytest.approx(float(lat.x_of_col(3)))
+        assert float(w.y_of_row(0)) == pytest.approx(float(lat.y_of_row(2)))
+
+    def test_row_lattice(self):
+        lat = make_lattice()
+        r = lat.row_lattice(5)
+        assert r.shape == (1, 40)
+        assert float(r.y_of_row(0)) == pytest.approx(float(lat.y_of_row(5)))
+
+    def test_intersect_window_full(self):
+        lat = make_lattice()
+        w = lat.intersect_window(lat.bbox)
+        assert w == (0, 0, 20, 40)
+
+    def test_intersect_window_partial(self):
+        lat = make_lattice()
+        box = BoundingBox(-123.0, 41.0, -122.0, 41.5, LATLON)
+        row0, col0, nrows, ncols = lat.intersect_window(box)
+        # Columns with centers in [-123, -122]: cols 10..20 inclusive.
+        assert (col0, ncols) == (10, 11)
+        # Rows with centers in [41, 41.5]: rows 5..10 inclusive.
+        assert (row0, nrows) == (5, 6)
+
+    def test_intersect_window_disjoint(self):
+        lat = make_lattice()
+        assert lat.intersect_window(BoundingBox(0.0, 0.0, 1.0, 1.0, LATLON)) is None
+
+
+class TestDerivedLattices:
+    def test_magnified_geometry(self):
+        lat = make_lattice()
+        m = lat.magnified(3)
+        assert m.shape == (60, 120)
+        assert abs(m.dx) == pytest.approx(abs(lat.dx) / 3)
+        # Same outer extent.
+        assert m.bbox.xmin == pytest.approx(lat.bbox.xmin)
+        assert m.bbox.xmax == pytest.approx(lat.bbox.xmax)
+
+    def test_coarsened_geometry(self):
+        lat = make_lattice()
+        c = lat.coarsened(4)
+        assert c.shape == (5, 10)
+        assert abs(c.dx) == pytest.approx(abs(lat.dx) * 4)
+        # First coarse pixel center = mean of first 4x4 fine centers.
+        assert float(c.x_of_col(0)) == pytest.approx(
+            float(np.mean(lat.xs()[:4]))
+        )
+
+    def test_coarsen_too_small_rejected(self):
+        with pytest.raises(LatticeError):
+            make_lattice(width=3, height=3).coarsened(4)
+
+    @given(k=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_magnify_coarsen_inverse_shapes(self, k):
+        lat = make_lattice()
+        round_trip = lat.magnified(k).coarsened(k)
+        assert round_trip.shape == lat.shape
+        assert round_trip.aligned_with(lat)
+
+    def test_from_bbox_covers(self):
+        box = BoundingBox(-123.0, 40.0, -122.0, 41.0, LATLON)
+        lat = GridLattice.from_bbox(box, 0.03, 0.03)
+        assert lat.width >= 33 and lat.height >= 33
+        # Every bbox-interior point is within the lattice extent.
+        assert lat.bbox.contains_box(box) or lat.bbox.intersects(box)
+
+    def test_from_bbox_negative_dy_means_north_up(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0, LATLON)
+        lat = GridLattice.from_bbox(box, 0.1, -0.1)
+        assert lat.dy < 0
+        assert float(lat.y_of_row(0)) > float(lat.y_of_row(lat.height - 1))
+
+
+class TestAlignment:
+    def test_aligned_with_self(self):
+        lat = make_lattice()
+        assert lat.aligned_with(lat)
+
+    def test_window_is_aligned(self):
+        lat = make_lattice()
+        assert lat.aligned_with(lat.window(3, 5, 2, 2))
+
+    def test_different_resolution_not_aligned(self):
+        assert not make_lattice().aligned_with(make_lattice(dx=0.05))
+
+    def test_half_pixel_shift_not_aligned(self):
+        assert not make_lattice().aligned_with(make_lattice(x0=-123.95))
+
+    def test_different_crs_not_aligned(self):
+        from repro.geo import utm
+
+        other = make_lattice(crs=utm(10))
+        assert not make_lattice().aligned_with(other)
+
+    def test_offset_of(self):
+        lat = make_lattice()
+        w = lat.window(3, 5, 2, 2)
+        assert lat.offset_of(w) == (3, 5)
+
+    def test_offset_of_unaligned_raises(self):
+        with pytest.raises(LatticeAlignmentError):
+            make_lattice().offset_of(make_lattice(x0=-123.95))

@@ -1,0 +1,106 @@
+"""GeoStream semantics: re-openability, metadata, closure via pipe."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FLOAT32,
+    GeoStream,
+    GridChunk,
+    GridLattice,
+    Organization,
+    StreamMetadata,
+)
+from repro.errors import StreamError
+from repro.geo import LATLON
+from repro.operators import Rescale
+
+
+@pytest.fixture()
+def metadata():
+    return StreamMetadata(
+        stream_id="test.stream",
+        band="vis",
+        crs=LATLON,
+        organization=Organization.ROW_BY_ROW,
+        value_set=FLOAT32,
+    )
+
+
+@pytest.fixture()
+def chunks():
+    lattice = GridLattice(LATLON, 0.0, 10.0, 1.0, -1.0, 4, 1)
+    return [
+        GridChunk(
+            values=np.full((1, 4), i, dtype=np.float32),
+            lattice=lattice,
+            band="vis",
+            t=float(i),
+        )
+        for i in range(3)
+    ]
+
+
+class TestGeoStream:
+    def test_source_must_be_callable(self, metadata):
+        with pytest.raises(StreamError):
+            GeoStream(metadata, iter([]))  # an iterator, not a factory
+
+    def test_reopenable(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        first = list(stream.chunks())
+        second = list(stream.chunks())
+        assert len(first) == len(second) == 3
+        np.testing.assert_array_equal(first[0].values, second[0].values)
+
+    def test_accessors(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        assert stream.stream_id == "test.stream"
+        assert stream.band == "vis"
+        assert stream.crs == LATLON
+        assert stream.organization is Organization.ROW_BY_ROW
+        assert stream.value_set is FLOAT32
+
+    def test_count_points(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        assert stream.count_points() == 12
+
+    def test_collect_chunks_limit(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        assert len(stream.collect_chunks(limit=2)) == 2
+
+    def test_with_metadata(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        renamed = stream.with_metadata(stream_id="other")
+        assert renamed.stream_id == "other"
+        assert renamed.band == "vis"
+        # Shares the source.
+        assert renamed.count_points() == 12
+
+    def test_from_chunks_validates(self, metadata):
+        with pytest.raises(StreamError):
+            GeoStream.from_chunks(metadata, ["not a chunk"])
+
+    def test_pipe_returns_geostream_closure(self, metadata, chunks):
+        """The algebra is closed: piping yields a stream that pipes again."""
+        stream = GeoStream.from_chunks(metadata, chunks)
+        doubled = stream.pipe(Rescale(2.0))
+        assert isinstance(doubled, GeoStream)
+        quadrupled = doubled.pipe(Rescale(2.0))
+        out = quadrupled.collect_chunks()
+        np.testing.assert_allclose(out[1].values, chunks[1].values * 4)
+
+    def test_pipe_reopen_resets_operators(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        op = Rescale(2.0)
+        piped = stream.pipe(op)
+        assert piped.count_points() == 12
+        assert op.stats.points_in == 12
+        # Second iteration starts from fresh stats, not 24.
+        assert piped.count_points() == 12
+        assert op.stats.points_in == 12
+
+    def test_repr(self, metadata, chunks):
+        stream = GeoStream.from_chunks(metadata, chunks)
+        text = repr(stream)
+        assert "test.stream" in text and "row-by-row" in text

@@ -1,0 +1,159 @@
+"""Temporal restriction domains (Def. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AllTime,
+    RecurringInterval,
+    TimeInstants,
+    TimeInterval,
+    TimeIntervalSet,
+    TimeIntersection,
+    TimeUnion,
+    intersect_timesets,
+)
+from repro.errors import QueryError
+
+
+class TestAllTime:
+    def test_contains_everything(self):
+        at = AllTime()
+        assert at.contains_scalar(-1e18)
+        assert at.contains_scalar(1e18)
+        assert at.bounds() == (-math.inf, math.inf)
+
+
+class TestInstants:
+    def test_membership_with_tolerance(self):
+        ts = TimeInstants((10.0, 20.0, 30.0), tolerance=0.5)
+        assert ts.contains_scalar(10.4)
+        assert ts.contains_scalar(19.6)
+        assert not ts.contains_scalar(15.0)
+
+    def test_vectorized(self):
+        ts = TimeInstants((10.0, 20.0), tolerance=0.1)
+        out = ts.contains(np.array([9.95, 10.2, 20.05, 0.0]))
+        np.testing.assert_array_equal(out, [True, False, True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            TimeInstants(())
+
+    def test_bounds(self):
+        ts = TimeInstants((5.0, 1.0, 9.0), tolerance=0.5)
+        lo, hi = ts.bounds()
+        assert lo == pytest.approx(0.5) and hi == pytest.approx(9.5)
+
+
+class TestInterval:
+    def test_closed_endpoints(self):
+        iv = TimeInterval(0.0, 10.0)
+        assert iv.contains_scalar(0.0) and iv.contains_scalar(10.0)
+
+    def test_open_endpoints(self):
+        iv = TimeInterval(0.0, 10.0, closed_start=False, closed_end=False)
+        assert not iv.contains_scalar(0.0)
+        assert not iv.contains_scalar(10.0)
+        assert iv.contains_scalar(5.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(QueryError):
+            TimeInterval(10.0, 0.0)
+
+    def test_unbounded(self):
+        iv = TimeInterval(end=100.0)
+        assert iv.contains_scalar(-1e12)
+        assert not iv.contains_scalar(101.0)
+
+    @given(
+        a1=st.floats(-100, 100), w1=st.floats(0, 50),
+        a2=st.floats(-100, 100), w2=st.floats(0, 50),
+        probe=st.floats(-120, 170),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_semantics(self, a1, w1, a2, w2, probe):
+        iv1 = TimeInterval(a1, a1 + w1)
+        iv2 = TimeInterval(a2, a2 + w2)
+        inter = iv1.intersection(iv2)
+        expected = iv1.contains_scalar(probe) and iv2.contains_scalar(probe)
+        got = inter.contains_scalar(probe) if inter is not None else False
+        assert got == expected
+
+
+class TestIntervalSet:
+    def test_union_of_intervals(self):
+        ts = TimeIntervalSet.of([(0.0, 1.0), (5.0, 6.0)])
+        assert ts.contains_scalar(0.5)
+        assert ts.contains_scalar(5.5)
+        assert not ts.contains_scalar(3.0)
+
+    def test_bounds_span_all(self):
+        ts = TimeIntervalSet.of([(0.0, 1.0), (5.0, 6.0)])
+        assert ts.bounds() == (0.0, 6.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            TimeIntervalSet(())
+
+
+class TestRecurring:
+    def test_daily_window(self):
+        # 10:00-14:00 every day.
+        ts = RecurringInterval(36_000.0, 50_400.0)
+        assert ts.contains_scalar(36_000.0)  # day 0, 10:00
+        assert ts.contains_scalar(86_400.0 + 40_000.0)  # day 1, ~11:06
+        assert not ts.contains_scalar(86_400.0 + 60_000.0)  # day 1, ~16:40
+        assert not ts.contains_scalar(50_400.0)  # end exclusive
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            RecurringInterval(-1.0, 10.0)
+        with pytest.raises(QueryError):
+            RecurringInterval(10.0, 5.0)
+        with pytest.raises(QueryError):
+            RecurringInterval(0.0, 10.0, period=0.0)
+
+    def test_custom_period(self):
+        # First 10 minutes of every hour.
+        ts = RecurringInterval(0.0, 600.0, period=3600.0)
+        assert ts.contains_scalar(3600.0 * 5 + 300.0)
+        assert not ts.contains_scalar(3600.0 * 5 + 900.0)
+
+
+class TestCombinators:
+    def test_intersection(self):
+        ts = TimeIntersection((TimeInterval(0.0, 10.0), TimeInterval(5.0, 20.0)))
+        assert ts.contains_scalar(7.0)
+        assert not ts.contains_scalar(3.0)
+        assert ts.bounds() == (5.0, 10.0)
+
+    def test_union(self):
+        ts = TimeUnion((TimeInterval(0.0, 1.0), TimeInterval(9.0, 10.0)))
+        assert ts.contains_scalar(0.5) and ts.contains_scalar(9.5)
+        assert not ts.contains_scalar(5.0)
+
+    def test_intersect_timesets_alltime_identity(self):
+        iv = TimeInterval(0.0, 1.0)
+        assert intersect_timesets(AllTime(), iv) is iv
+        assert intersect_timesets(iv, AllTime()) is iv
+
+    def test_intersect_timesets_simplifies_intervals(self):
+        out = intersect_timesets(TimeInterval(0.0, 10.0), TimeInterval(5.0, 20.0))
+        assert isinstance(out, TimeInterval)
+        assert out.start == 5.0 and out.end == 10.0
+
+    def test_intersect_disjoint_intervals_empty(self):
+        out = intersect_timesets(TimeInterval(0.0, 1.0), TimeInterval(5.0, 6.0))
+        assert not out.contains_scalar(0.5)
+        assert not out.contains_scalar(5.5)
+        assert out.definitely_empty
+
+    def test_intersect_mixed_types(self):
+        out = intersect_timesets(TimeInterval(0.0, 100.0), RecurringInterval(0.0, 10.0, 50.0))
+        assert out.contains_scalar(55.0)
+        assert not out.contains_scalar(150.0)

@@ -1,0 +1,93 @@
+"""Value sets (Def. 2): membership, coercion, promotion."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLOAT32, GRAY8, GRAY10, GRAY16, NDVI_VALUES, REFLECTANCE, RGB8, ValueSet, promote
+from repro.errors import ValueSetError
+
+
+class TestConstruction:
+    def test_invalid_channels(self):
+        with pytest.raises(ValueSetError):
+            ValueSet("bad", np.uint8, channels=0)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ValueSetError):
+            ValueSet("bad", np.float32, lo=1.0, hi=0.0)
+
+    def test_gray10_models_gvar(self):
+        assert GRAY10.bounds == (0.0, 1023.0)
+        assert GRAY10.dtype == np.dtype(np.uint16)
+
+
+class TestMembership:
+    def test_contains_checks_dtype(self):
+        assert GRAY8.contains(np.zeros((2, 2), dtype=np.uint8))
+        assert not GRAY8.contains(np.zeros((2, 2), dtype=np.uint16))
+
+    def test_contains_checks_bounds(self):
+        arr = np.full((2, 2), 2000, dtype=np.uint16)
+        assert not GRAY10.contains(arr)
+        assert GRAY16.contains(arr)
+
+    def test_vector_shape_checked(self):
+        assert RGB8.contains(np.zeros((2, 2, 3), dtype=np.uint8))
+        assert not RGB8.contains(np.zeros((2, 2), dtype=np.uint8))
+        assert not RGB8.contains(np.zeros((2, 2, 4), dtype=np.uint8))
+
+    def test_nan_allowed_for_floats(self):
+        arr = np.array([np.nan, 0.5], dtype=np.float32)
+        assert REFLECTANCE.contains(arr)
+
+    def test_bounded_float(self):
+        assert NDVI_VALUES.contains(np.array([-1.0, 1.0], dtype=np.float32))
+        assert not NDVI_VALUES.contains(np.array([1.5], dtype=np.float32))
+
+    def test_validate_raises_with_context(self):
+        with pytest.raises(ValueSetError, match="my-band"):
+            GRAY8.validate(np.zeros((2,), dtype=np.int64), context="my-band")
+
+
+class TestCoercion:
+    def test_clip_and_round(self):
+        out = GRAY8.coerce(np.array([-5.0, 100.4, 300.0]))
+        np.testing.assert_array_equal(out, [0, 100, 255])
+        assert out.dtype == np.uint8
+
+    def test_float_target_keeps_precision(self):
+        out = FLOAT32.coerce(np.array([1.25]))
+        assert out.dtype == np.float32
+        assert float(out[0]) == 1.25
+
+    def test_vector_channel_check(self):
+        with pytest.raises(ValueSetError):
+            RGB8.coerce(np.zeros((2, 2)))
+
+    def test_ndvi_clips_into_range(self):
+        out = NDVI_VALUES.coerce(np.array([-2.0, 0.5, 2.0]))
+        np.testing.assert_allclose(out, [-1.0, 0.5, 1.0])
+
+    def test_nbytes_per_point(self):
+        assert GRAY8.nbytes_per_point() == 1
+        assert GRAY16.nbytes_per_point() == 2
+        assert RGB8.nbytes_per_point() == 3
+
+
+class TestPromotion:
+    def test_same_set(self):
+        out = promote(REFLECTANCE, REFLECTANCE)
+        assert out.dtype == np.dtype(np.float32)
+        assert out.lo is None and out.hi is None  # arithmetic may leave bounds
+
+    def test_integer_promotes_to_float(self):
+        out = promote(GRAY10, GRAY10)
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_mixed_width(self):
+        out = promote(GRAY8, FLOAT32)
+        assert out.dtype == np.dtype(np.float32)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueSetError):
+            promote(RGB8, GRAY8)

@@ -1,0 +1,141 @@
+"""Engine: pipelines, stream merging, statistics reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLOAT32, GeoStream, GridChunk, GridLattice, Organization, StreamMetadata
+from repro.engine import (
+    chunk_time,
+    compose_streams,
+    format_report,
+    iter_pipeline_operators,
+    pipeline_report,
+)
+from repro.engine.scheduler import merge_sources
+from repro.errors import StreamError
+from repro.geo import LATLON
+from repro.operators import Rescale, SpatialRestriction, StreamComposition
+
+
+def make_stream(stream_id, times, value=1.0):
+    lattice = GridLattice(LATLON, 0.0, 1.0, 1.0, -1.0, 4, 1)
+    meta = StreamMetadata(stream_id, "b", LATLON, Organization.ROW_BY_ROW, FLOAT32)
+    chunks = [
+        GridChunk(np.full((1, 4), value, dtype=np.float32), lattice, "b", t)
+        for t in times
+    ]
+    return GeoStream.from_chunks(meta, chunks)
+
+
+class TestApplyOperators:
+    def test_rejects_non_operator(self):
+        stream = make_stream("a", [0.0])
+        with pytest.raises(StreamError):
+            stream.pipe(StreamComposition("+"))  # binary op in unary pipe
+
+    def test_metadata_folded_through(self, small_imager):
+        from repro.core import REFLECTANCE
+        from repro.operators import CountsToReflectance
+
+        out = small_imager.stream("vis").pipe(CountsToReflectance())
+        assert out.metadata.value_set == REFLECTANCE
+
+    def test_operator_chain_order(self):
+        stream = make_stream("a", [0.0], value=1.0)
+        out = stream.pipe(Rescale(2.0, 0.0), Rescale(1.0, 3.0)).collect_chunks()[0]
+        # (1 * 2) + 3, not (1 + 3) * 2.
+        assert float(out.values[0, 0]) == 5.0
+
+
+class TestChunkTime:
+    def test_grid_chunk(self):
+        stream = make_stream("a", [7.5])
+        assert chunk_time(stream.collect_chunks()[0]) == 7.5
+
+    def test_point_chunk(self, scene):
+        from repro.ingest import LidarScanner
+
+        lidar = LidarScanner(scene=scene, n_points=10, points_per_chunk=10)
+        chunk = lidar.stream().collect_chunks()[0]
+        assert chunk_time(chunk) == float(chunk.t[0])
+
+
+class TestComposeMerging:
+    def test_merge_respects_time_order(self):
+        """Chunks feed the binary operator in global arrival order."""
+        left = make_stream("l", [0.0, 2.0, 4.0], value=1.0)
+        right = make_stream("r", [1.0, 3.0, 5.0], value=2.0)
+        seen = []
+
+        class Spy(StreamComposition):
+            def _process_side(self, side, chunk):
+                seen.append((side, chunk.t))
+                return super()._process_side(side, chunk)
+
+        out = compose_streams(left, right, Spy("+", timestamp_policy="measured"))
+        out.collect_chunks()
+        assert seen == [
+            ("left", 0.0), ("right", 1.0), ("left", 2.0),
+            ("right", 3.0), ("left", 4.0), ("right", 5.0),
+        ]
+
+    def test_compose_requires_binary(self):
+        left = make_stream("l", [0.0])
+        right = make_stream("r", [0.0])
+        with pytest.raises(StreamError):
+            compose_streams(left, right, Rescale(1.0))
+
+
+class TestMergeSources:
+    def test_global_time_order(self):
+        sources = {
+            "a": make_stream("a", [0.0, 3.0]),
+            "b": make_stream("b", [1.0, 2.0]),
+        }
+        merged = list(merge_sources(sources))
+        times = [chunk_time(c) for _, c in merged]
+        assert times == sorted(times)
+        ids = [sid for sid, _ in merged]
+        assert ids == ["a", "b", "b", "a"]
+
+    def test_tie_broken_by_registration_order(self):
+        sources = {
+            "x": make_stream("x", [1.0]),
+            "y": make_stream("y", [1.0]),
+        }
+        merged = list(merge_sources(sources))
+        assert [sid for sid, _ in merged] == ["x", "y"]
+
+    def test_empty_source_ok(self):
+        sources = {"a": make_stream("a", []), "b": make_stream("b", [0.0])}
+        merged = list(merge_sources(sources))
+        assert len(merged) == 1
+
+
+class TestReports:
+    def test_pipeline_report_walks_dag(self, small_imager):
+        from repro.geo import BoundingBox
+
+        box = small_imager.sector_lattice.bbox
+        r1 = SpatialRestriction(box)
+        vis = small_imager.stream("vis").pipe(r1)
+        nir = small_imager.stream("nir").pipe(Rescale(1.0))
+        combined = compose_streams(nir, vis, StreamComposition("-"))
+        combined.count_points()
+        reports = pipeline_report(combined)
+        assert len(reports) == 3
+        names = [r.name for r in reports]
+        assert "spatial-restriction" in names and "composition" in names
+
+    def test_operator_listing_order(self, small_imager):
+        op1, op2 = Rescale(1.0), Rescale(2.0)
+        out = small_imager.stream("vis").pipe(op1, op2)
+        assert list(iter_pipeline_operators(out)) == [op1, op2]
+
+    def test_format_report_renders_table(self, small_imager):
+        op = Rescale(2.0)
+        out = small_imager.stream("vis").pipe(op)
+        out.count_points()
+        text = format_report(pipeline_report(out))
+        assert "pts_in" in text
+        assert str(op.stats.points_in) in text

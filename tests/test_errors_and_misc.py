@@ -1,0 +1,95 @@
+"""Error hierarchy, stats formatting, archive-backed catalogs."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.errors import GeoStreamsError
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, GeoStreamsError), name
+
+    def test_crs_mismatch_is_crs_error(self):
+        assert issubclass(errors.CRSMismatchError, errors.CRSError)
+        assert issubclass(errors.ProjectionDomainError, errors.ProjectionError)
+        assert issubclass(errors.ProjectionError, errors.CRSError)
+
+    def test_blocking_hazard_is_operator_error(self):
+        assert issubclass(errors.BlockingHazardError, errors.OperatorError)
+        assert issubclass(errors.CompositionError, errors.OperatorError)
+
+    def test_query_errors(self):
+        assert issubclass(errors.QuerySyntaxError, errors.QueryError)
+        assert issubclass(errors.PlanError, errors.QueryError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(GeoStreamsError):
+            raise errors.CodecError("x")
+
+
+class TestStatsWaitReporting:
+    def test_report_carries_wait_time(self, scene, geos_crs):
+        from repro.engine import compose_streams, format_report, pipeline_report
+        from repro.ingest import GOESImager, western_us_sector
+        from repro.operators import StreamComposition
+
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=1,
+            band_interleave="band", t0=72_000.0,
+        )
+        op = StreamComposition("-")
+        out = compose_streams(imager.stream("nir"), imager.stream("vis"), op)
+        out.count_points()
+        report = [r for r in pipeline_report(out) if r.name == "composition"][0]
+        assert report.mean_wait_time > 0
+        assert report.max_wait_time >= report.mean_wait_time
+        text = format_report(pipeline_report(out))
+        assert "wait_s" in text
+
+    def test_nonwaiting_operator_shows_dash(self, small_imager):
+        from repro.engine import format_report, pipeline_report
+        from repro.operators import Rescale
+
+        out = small_imager.stream("vis").pipe(Rescale(1.0))
+        out.count_points()
+        text = format_report(pipeline_report(out))
+        assert text.rstrip().endswith("-")
+
+
+class TestArchiveCatalog:
+    def test_register_archive_and_query(self, small_imager, tmp_path):
+        from repro.io import write_archive
+        from repro.server import DSMSServer, StreamCatalog
+
+        path = tmp_path / "vis.gsar"
+        write_archive(small_imager.stream("vis"), path)
+        path_n = tmp_path / "nir.gsar"
+        write_archive(small_imager.stream("nir"), path_n)
+
+        catalog = StreamCatalog()
+        catalog.register_archive(path)
+        catalog.register_archive(path_n)
+        assert catalog.ids() == ["goes.nir", "goes.vis"]
+        assert catalog.extent("goes.vis") == small_imager.sector_lattice.bbox
+
+        server = DSMSServer(catalog)
+        session = server.register("ndvi(reflectance(goes.nir), reflectance(goes.vis))")
+        server.run()
+        assert len(session.frames) == 2
+
+    def test_empty_archive_rejected(self, tmp_path, small_imager):
+        from repro.core import GeoStream
+        from repro.errors import ServerError
+        from repro.io import write_archive
+        from repro.server import StreamCatalog
+
+        empty = GeoStream(small_imager.stream("vis").metadata, lambda: iter(()))
+        path = tmp_path / "empty.gsar"
+        write_archive(empty, path)
+        with pytest.raises(ServerError):
+            StreamCatalog().register_archive(path)

@@ -1,0 +1,59 @@
+"""Full-disk scanning: off-earth pixels through the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, plate_carree
+from repro.ingest import GOESImager, full_disk_sector
+from repro.operators import FrameStretch, Reproject, SpatialRestriction, ndvi, reflectance
+
+
+@pytest.fixture()
+def disk_imager(scene, geos_crs):
+    sector = full_disk_sector(geos_crs, width=48, height=48)
+    return GOESImager(scene=scene, sector_lattice=sector, n_frames=1, t0=72_000.0)
+
+
+class TestFullDisk:
+    def test_sector_covers_the_limb(self, geos_crs):
+        sector = full_disk_sector(geos_crs, width=32, height=32)
+        lon, lat = geos_crs.to_lonlat(*sector.meshgrid())
+        on_earth = np.isfinite(lon)
+        # The disk fills ~pi/4 of the square, corners look into space.
+        assert 0.5 < on_earth.mean() < 0.9
+        assert not on_earth[0, 0] and not on_earth[-1, -1]
+        assert on_earth[16, 16]
+
+    def test_off_earth_pixels_digitize_to_zero(self, disk_imager):
+        frame = disk_imager.stream("vis").collect_frames()[0]
+        assert frame.values[0, 0] == 0
+        assert frame.values[24, 24] > 0
+
+    def test_reprojection_masks_space(self, disk_imager):
+        out = disk_imager.stream("vis").pipe(Reproject(plate_carree())).collect_frames()[0]
+        # Output covers the disk's geographic extent; some NaN at edges
+        # (pixels whose inverse projection misses the disk).
+        assert np.isnan(out.values).any()
+        assert np.isfinite(out.values).any()
+
+    def test_stretch_over_full_disk(self, disk_imager):
+        out = disk_imager.stream("vis").pipe(FrameStretch("linear")).collect_frames()[0]
+        assert out.values.min() == 0 and out.values.max() == 255
+
+    def test_ndvi_over_disk_subregion(self, disk_imager, geos_crs):
+        product = ndvi(
+            reflectance(disk_imager.stream("nir")),
+            reflectance(disk_imager.stream("vis")),
+        )
+        x0, y0 = geos_crs.from_lonlat(-125.0, 35.0)
+        x1, y1 = geos_crs.from_lonlat(-115.0, 42.0)
+        roi = BoundingBox(
+            min(float(x0), float(x1)), min(float(y0), float(y1)),
+            max(float(x0), float(x1)), max(float(y0), float(y1)),
+            geos_crs,
+        )
+        frames = product.pipe(SpatialRestriction(roi)).collect_frames()
+        assert len(frames) == 1
+        finite = frames[0].values[np.isfinite(frames[0].values)]
+        assert finite.size > 0
+        assert finite.min() >= -1.0 and finite.max() <= 1.0

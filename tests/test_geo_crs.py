@@ -1,0 +1,108 @@
+"""CRS semantics: equality, conversion routing, mismatch enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CRSMismatchError
+from repro.geo import (
+    LATLON,
+    goes_geostationary,
+    latlon,
+    lambert_conic,
+    mercator,
+    plate_carree,
+    sinusoidal,
+    transform_points,
+    utm,
+)
+
+
+class TestCRSIdentity:
+    def test_latlon_is_geographic(self):
+        assert LATLON.is_geographic
+        assert LATLON.units == "degree"
+
+    def test_projected_units(self):
+        assert utm(10).units == "meter"
+        assert not utm(10).is_geographic
+
+    def test_equality_semantics(self):
+        assert latlon() == LATLON
+        assert utm(10) == utm(10)
+        assert utm(10) != utm(10, north=False)
+        assert utm(10) != utm(11)
+        assert mercator() != plate_carree()
+        assert goes_geostationary(-135.0) != goes_geostationary(-75.0)
+
+    def test_hashable_in_sets(self):
+        assert len({utm(10), utm(10), utm(11), LATLON}) == 3
+
+    def test_require_same_raises(self):
+        with pytest.raises(CRSMismatchError):
+            utm(10).require_same(LATLON, "test")
+
+    def test_require_same_passes(self):
+        utm(10).require_same(utm(10))
+
+
+class TestConversion:
+    def test_geographic_passthrough(self):
+        lon, lat = LATLON.to_lonlat(-120.0, 40.0)
+        assert float(lon) == -120.0 and float(lat) == 40.0
+        x, y = LATLON.from_lonlat(-120.0, 40.0)
+        assert float(x) == -120.0 and float(y) == 40.0
+
+    def test_projected_roundtrip(self):
+        crs = utm(10)
+        x, y = crs.from_lonlat(-121.5, 38.0)
+        lon, lat = crs.to_lonlat(x, y)
+        assert float(lon) == pytest.approx(-121.5, abs=1e-9)
+        assert float(lat) == pytest.approx(38.0, abs=1e-9)
+
+    def test_transform_points_same_crs_is_identity(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([3.0, 4.0])
+        tx, ty = transform_points(utm(10), utm(10), x, y)
+        np.testing.assert_array_equal(tx, x)
+        np.testing.assert_array_equal(ty, y)
+
+    def test_transform_points_cross_crs(self):
+        src, dst = LATLON, utm(10)
+        tx, ty = transform_points(src, dst, -121.74, 38.54)
+        assert float(tx) == pytest.approx(609_600, abs=300)
+        # Back again through the other direction.
+        lon, lat = transform_points(dst, src, tx, ty)
+        assert float(lon) == pytest.approx(-121.74, abs=1e-8)
+        assert float(lat) == pytest.approx(38.54, abs=1e-8)
+
+    def test_transform_chain_consistency(self):
+        """latlon -> geos -> utm equals latlon -> utm."""
+        geos = goes_geostationary(-135.0)
+        u10 = utm(10)
+        lon, lat = np.array([-122.0, -120.5]), np.array([37.0, 39.0])
+        gx, gy = transform_points(LATLON, geos, lon, lat)
+        x_via, y_via = transform_points(geos, u10, gx, gy)
+        x_direct, y_direct = transform_points(LATLON, u10, lon, lat)
+        np.testing.assert_allclose(x_via, x_direct, atol=1e-5)
+        np.testing.assert_allclose(y_via, y_direct, atol=1e-5)
+
+    def test_out_of_domain_propagates_nan(self):
+        geos = goes_geostationary(-135.0)
+        x, y = transform_points(LATLON, geos, 60.0, 0.0)
+        assert np.isnan(float(x)) and np.isnan(float(y))
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "factory",
+        [latlon, plate_carree, mercator, sinusoidal, lambert_conic, goes_geostationary],
+    )
+    def test_factory_builds(self, factory):
+        crs = factory()
+        assert crs.name
+        # Every CRS round-trips its own sub-satellite-ish test point.
+        lon, lat = -100.0, 35.0
+        x, y = crs.from_lonlat(lon, lat)
+        lon2, lat2 = crs.to_lonlat(x, y)
+        assert float(lon2) == pytest.approx(lon, abs=1e-6)
+        assert float(lat2) == pytest.approx(lat, abs=1e-6)

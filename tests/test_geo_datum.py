@@ -1,0 +1,114 @@
+"""Tests for ellipsoids and geodetic conversions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GRS80, SPHERE, WGS84, Ellipsoid, ecef_to_geodetic, geodetic_to_ecef, haversine_m
+
+
+class TestEllipsoid:
+    def test_wgs84_constants(self):
+        assert WGS84.a == pytest.approx(6_378_137.0)
+        assert WGS84.b == pytest.approx(6_356_752.314245, abs=1e-3)
+        assert WGS84.e2 == pytest.approx(0.00669437999014, abs=1e-12)
+        assert WGS84.e == pytest.approx(0.0818191908426, abs=1e-10)
+
+    def test_grs80_nearly_wgs84(self):
+        assert GRS80.a == WGS84.a
+        assert abs(GRS80.b - WGS84.b) < 1e-3
+
+    def test_sphere_has_zero_eccentricity(self):
+        assert SPHERE.is_sphere
+        assert SPHERE.e2 == 0.0
+        assert SPHERE.b == SPHERE.a
+
+    def test_mean_radius(self):
+        assert WGS84.mean_radius == pytest.approx((2 * WGS84.a + WGS84.b) / 3)
+
+    def test_distinct_ellipsoids_unequal(self):
+        assert WGS84 != GRS80
+        assert WGS84 != SPHERE
+
+    def test_custom_ellipsoid_derivations(self):
+        e = Ellipsoid("test", 1000.0, 100.0)
+        assert e.f == pytest.approx(0.01)
+        assert e.b == pytest.approx(990.0)
+        assert e.e2 == pytest.approx(0.01 * (2 - 0.01))
+
+
+class TestECEF:
+    def test_equator_prime_meridian(self):
+        x, y, z = geodetic_to_ecef(0.0, 0.0, 0.0)
+        assert float(x) == pytest.approx(WGS84.a)
+        assert float(y) == pytest.approx(0.0, abs=1e-6)
+        assert float(z) == pytest.approx(0.0, abs=1e-6)
+
+    def test_north_pole(self):
+        x, y, z = geodetic_to_ecef(0.0, 90.0, 0.0)
+        assert float(z) == pytest.approx(WGS84.b, abs=1e-3)
+        assert float(np.hypot(x, y)) == pytest.approx(0.0, abs=1e-3)
+
+    def test_height_adds_radially(self):
+        x0, _, _ = geodetic_to_ecef(0.0, 0.0, 0.0)
+        x1, _, _ = geodetic_to_ecef(0.0, 0.0, 1000.0)
+        assert float(x1 - x0) == pytest.approx(1000.0)
+
+    @given(
+        lon=st.floats(-180.0, 180.0),
+        lat=st.floats(-89.0, 89.0),
+        h=st.floats(-1000.0, 10000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, lon, lat, h):
+        x, y, z = geodetic_to_ecef(lon, lat, h)
+        lon2, lat2, h2 = ecef_to_geodetic(x, y, z)
+        # Longitude wraps at the antimeridian.
+        dlon = (float(lon2) - lon + 180.0) % 360.0 - 180.0
+        assert abs(dlon) < 1e-9 or abs(lat) > 89.999
+        assert float(lat2) == pytest.approx(lat, abs=1e-9)
+        # Bowring's method is accurate to micrometers for terrestrial points.
+        assert float(h2) == pytest.approx(h, abs=1e-4)
+
+    def test_sphere_roundtrip(self):
+        x, y, z = geodetic_to_ecef(12.0, 34.0, 56.0, ellipsoid=SPHERE)
+        lon, lat, h = ecef_to_geodetic(x, y, z, ellipsoid=SPHERE)
+        assert float(lon) == pytest.approx(12.0)
+        assert float(lat) == pytest.approx(34.0)
+        assert float(h) == pytest.approx(56.0, abs=1e-6)
+
+    def test_vectorized(self):
+        lons = np.array([0.0, 45.0, -120.0])
+        lats = np.array([0.0, 45.0, 37.0])
+        x, y, z = geodetic_to_ecef(lons, lats)
+        assert x.shape == (3,)
+        lon2, lat2, _ = ecef_to_geodetic(x, y, z)
+        np.testing.assert_allclose(lon2, lons, atol=1e-9)
+        np.testing.assert_allclose(lat2, lats, atol=1e-9)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert float(haversine_m(10.0, 20.0, 10.0, 20.0)) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        d = float(haversine_m(0.0, 0.0, 1.0, 0.0))
+        expected = math.radians(1.0) * SPHERE.a
+        assert d == pytest.approx(expected, rel=1e-9)
+
+    def test_quarter_circumference(self):
+        d = float(haversine_m(0.0, 0.0, 0.0, 90.0))
+        assert d == pytest.approx(math.pi / 2 * SPHERE.a, rel=1e-9)
+
+    def test_symmetry(self):
+        d1 = float(haversine_m(-120.0, 35.0, -80.0, 42.0))
+        d2 = float(haversine_m(-80.0, 42.0, -120.0, 35.0))
+        assert d1 == pytest.approx(d2)
+
+    def test_latitude_shrinks_longitude_distance(self):
+        d_eq = float(haversine_m(0.0, 0.0, 1.0, 0.0))
+        d_60 = float(haversine_m(0.0, 60.0, 1.0, 60.0))
+        assert d_60 == pytest.approx(d_eq * 0.5, rel=1e-3)

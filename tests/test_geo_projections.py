@@ -1,0 +1,269 @@
+"""Projection correctness: round-trips, known values, domain handling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProjectionDomainError, ProjectionError
+from repro.geo import (
+    GRS80,
+    SPHERE,
+    WGS84,
+    Geostationary,
+    LambertConformalConic,
+    Mercator,
+    PlateCarree,
+    Sinusoidal,
+    TransverseMercator,
+    utm_projection,
+)
+
+lon_strategy = st.floats(-179.9, 179.9)
+lat_strategy = st.floats(-84.0, 84.0)
+
+
+def roundtrip_error(proj, lon, lat):
+    x, y = proj.forward(np.asarray([lon]), np.asarray([lat]))
+    lon2, lat2 = proj.inverse(x, y)
+    dlon = (lon2.item() - lon + 180.0) % 360.0 - 180.0
+    return abs(dlon), abs(lat2.item() - lat)
+
+
+class TestPlateCarree:
+    def test_equator_scaling(self):
+        p = PlateCarree()
+        x, y = p.forward(1.0, 0.0)
+        assert float(x) == pytest.approx(math.radians(1.0) * WGS84.a)
+        assert float(y) == pytest.approx(0.0)
+
+    def test_central_meridian_shift(self):
+        p = PlateCarree(lon_0=-120.0)
+        x, _ = p.forward(-120.0, 45.0)
+        assert float(x) == pytest.approx(0.0, abs=1e-6)
+
+    @given(lon=lon_strategy, lat=st.floats(-89.9, 89.9))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, lon, lat):
+        dlon, dlat = roundtrip_error(PlateCarree(), lon, lat)
+        assert dlon < 1e-9 and dlat < 1e-9
+
+    def test_out_of_domain_latitude_is_nan(self):
+        p = PlateCarree()
+        lon, lat = p.inverse(0.0, WGS84.a * math.pi)  # |phi| > pi/2
+        assert np.isnan(float(lat))
+
+
+class TestMercator:
+    def test_equator(self):
+        m = Mercator()
+        x, y = m.forward(10.0, 0.0)
+        assert float(y) == pytest.approx(0.0, abs=1e-6)
+        assert float(x) == pytest.approx(math.radians(10.0) * WGS84.a)
+
+    def test_known_value_ellipsoidal(self):
+        # At 45N the ellipsoidal Mercator northing is ~5591295.9 m
+        # (differs from spherical ~5621521 m).
+        m = Mercator()
+        _, y = m.forward(0.0, 45.0)
+        assert float(y) == pytest.approx(5_591_295.9, abs=200.0)
+
+    def test_spherical_formula(self):
+        m = Mercator(ellipsoid=SPHERE)
+        _, y = m.forward(0.0, 45.0)
+        expected = SPHERE.a * math.log(math.tan(math.pi / 4 + math.radians(45.0) / 2))
+        assert float(y) == pytest.approx(expected, rel=1e-12)
+
+    @given(lon=lon_strategy, lat=st.floats(-85.0, 85.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, lon, lat):
+        dlon, dlat = roundtrip_error(Mercator(), lon, lat)
+        assert dlon < 1e-9 and dlat < 1e-8
+
+    def test_poleward_clipped_to_nan(self):
+        m = Mercator()
+        x, y = m.forward(0.0, 89.9)
+        assert np.isnan(float(x)) and np.isnan(float(y))
+
+
+class TestTransverseMercatorUTM:
+    def test_utm_zone10_known_point(self):
+        # UC Davis is roughly (-121.74, 38.54): UTM 10N ~ (609600 E, 4266700 N).
+        utm10 = utm_projection(10)
+        x, y = utm10.forward(-121.74, 38.54)
+        assert float(x) == pytest.approx(609_600, abs=300)
+        assert float(y) == pytest.approx(4_266_700, abs=300)
+
+    def test_central_meridian_false_easting(self):
+        utm10 = utm_projection(10)  # lon_0 = -123
+        x, _ = utm10.forward(-123.0, 40.0)
+        assert float(x) == pytest.approx(500_000.0, abs=1e-3)
+
+    def test_scale_factor_on_meridian(self):
+        utm10 = utm_projection(10)
+        _, y1 = utm10.forward(-123.0, 40.0)
+        _, y2 = utm10.forward(-123.0, 40.001)
+        # dy/dphi = k0 * M'(phi) ~ k0 * 111132 m/deg at 40N.
+        assert float(y2 - y1) == pytest.approx(0.9996 * 111.04, rel=1e-2)
+
+    def test_southern_hemisphere_false_northing(self):
+        utm33s = utm_projection(33, north=False)
+        _, y = utm33s.forward(15.0, -30.0)
+        assert 6_000_000 < float(y) < 7_000_000
+
+    def test_invalid_zone_rejected(self):
+        with pytest.raises(ProjectionError):
+            utm_projection(0)
+        with pytest.raises(ProjectionError):
+            utm_projection(61)
+
+    @given(
+        zone=st.integers(1, 60),
+        dlon=st.floats(-2.9, 2.9),
+        lat=st.floats(-80.0, 84.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_within_zone(self, zone, dlon, lat):
+        proj = utm_projection(zone, north=lat >= 0)
+        lon_0 = -183.0 + 6.0 * zone
+        lon = lon_0 + dlon
+        dlon_err, dlat_err = roundtrip_error(proj, lon, lat)
+        assert dlon_err < 1e-8 and dlat_err < 1e-8
+
+    def test_far_from_meridian_is_nan(self):
+        utm10 = utm_projection(10)
+        x, _ = utm10.forward(60.0, 0.0)  # ~177 degrees away
+        assert np.isnan(float(x))
+
+
+class TestLambertConformalConic:
+    def test_origin_maps_near_zero(self):
+        lcc = LambertConformalConic()
+        x, y = lcc.forward(-96.0, 39.0)
+        assert float(x) == pytest.approx(0.0, abs=1e-6)
+        assert float(y) == pytest.approx(0.0, abs=1e-6)
+
+    def test_standard_parallel_scale(self):
+        # Along a standard parallel the scale is true: one degree of
+        # longitude at 33N spans a*cos(phi)/sqrt(1-e^2 sin^2 phi) per radian.
+        lcc = LambertConformalConic()
+        x1, y1 = lcc.forward(-96.0, 33.0)
+        x2, y2 = lcc.forward(-95.0, 33.0)
+        d = math.hypot(float(x2 - x1), float(y2 - y1))
+        phi = math.radians(33.0)
+        true = (
+            math.radians(1.0)
+            * WGS84.a
+            * math.cos(phi)
+            / math.sqrt(1.0 - WGS84.e2 * math.sin(phi) ** 2)
+        )
+        assert d == pytest.approx(true, rel=2e-4)
+
+    @given(lon=st.floats(-130.0, -60.0), lat=st.floats(15.0, 65.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_conus(self, lon, lat):
+        dlon, dlat = roundtrip_error(LambertConformalConic(), lon, lat)
+        assert dlon < 1e-8 and dlat < 1e-8
+
+    def test_single_parallel_variant(self):
+        lcc = LambertConformalConic(lat_1=45.0, lat_2=45.0, lat_0=45.0, lon_0=0.0)
+        dlon, dlat = roundtrip_error(lcc, 5.0, 47.0)
+        assert dlon < 1e-8 and dlat < 1e-8
+
+
+class TestSinusoidal:
+    def test_equal_area_property(self):
+        """Area of a small patch is preserved (equal-area projection)."""
+        s = Sinusoidal()
+        r = SPHERE.a
+        for lat0 in (0.0, 30.0, 60.0):
+            d = 0.01
+            lons = np.array([0.0, d, d, 0.0])
+            lats = np.array([lat0, lat0, lat0 + d, lat0 + d])
+            x, y = s.forward(lons, lats)
+            # Shoelace area of the projected quadrilateral.
+            area = 0.5 * abs(
+                np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+            )
+            # True spherical area of the patch.
+            true = (
+                r**2
+                * math.radians(d)
+                * (math.sin(math.radians(lat0 + d)) - math.sin(math.radians(lat0)))
+            )
+            assert area == pytest.approx(true, rel=1e-3)
+
+    @given(lon=lon_strategy, lat=st.floats(-89.0, 89.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, lon, lat):
+        dlon, dlat = roundtrip_error(Sinusoidal(), lon, lat)
+        assert dlon < 1e-9 and dlat < 1e-9
+
+
+class TestGeostationary:
+    def test_subsatellite_point_is_origin(self):
+        g = Geostationary(lon_0=-135.0)
+        x, y = g.forward(-135.0, 0.0)
+        assert float(x) == pytest.approx(0.0, abs=1e-6)
+        assert float(y) == pytest.approx(0.0, abs=1e-6)
+
+    def test_far_side_not_visible(self):
+        g = Geostationary(lon_0=-135.0)
+        x, y = g.forward(45.0, 0.0)  # antipodal side
+        assert np.isnan(float(x)) and np.isnan(float(y))
+
+    def test_limb_is_visible_but_edge(self):
+        g = Geostationary(lon_0=0.0)
+        # ~81 degrees of longitude away is just inside the visible disk.
+        x, _ = g.forward(75.0, 0.0)
+        assert np.isfinite(float(x))
+
+    def test_off_disk_scan_angle_is_nan(self):
+        g = Geostationary(lon_0=0.0)
+        lon, lat = g.inverse(6_000_000.0, 0.0)  # far outside the disk
+        assert np.isnan(float(lon)) and np.isnan(float(lat))
+
+    def test_forward_strict_raises(self):
+        g = Geostationary(lon_0=0.0)
+        with pytest.raises(ProjectionDomainError):
+            g.forward_strict(170.0, 0.0)
+
+    def test_uses_grs80_by_default(self):
+        assert Geostationary().ellipsoid == GRS80
+
+    @given(dlon=st.floats(-55.0, 55.0), lat=st.floats(-55.0, 55.0))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_visible_disk(self, dlon, lat):
+        g = Geostationary(lon_0=-135.0)
+        lon = -135.0 + dlon
+        dlon_err, dlat_err = roundtrip_error(g, lon, lat)
+        assert dlon_err < 1e-9 and dlat_err < 1e-9
+
+    def test_east_positive_x(self):
+        g = Geostationary(lon_0=-135.0)
+        x_east, _ = g.forward(-130.0, 0.0)
+        x_west, _ = g.forward(-140.0, 0.0)
+        assert float(x_east) > 0 > float(x_west)
+
+    def test_north_positive_y(self):
+        g = Geostationary(lon_0=-135.0)
+        _, y_north = g.forward(-135.0, 10.0)
+        _, y_south = g.forward(-135.0, -10.0)
+        assert float(y_north) > 0 > float(y_south)
+
+
+class TestProjectionIdentity:
+    def test_equality_by_params(self):
+        assert Mercator() == Mercator()
+        assert Mercator(lon_0=10.0) != Mercator()
+        assert Mercator() != PlateCarree()
+        assert utm_projection(10) == utm_projection(10)
+        assert utm_projection(10) != utm_projection(11)
+
+    def test_hashable(self):
+        assert len({Mercator(), Mercator(), PlateCarree()}) == 2
+
+    def test_repr_mentions_params(self):
+        assert "lon_0" in repr(Mercator(lon_0=7.0))

@@ -1,0 +1,253 @@
+"""Region semantics: the three specification styles of Section 3.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegionError
+from repro.geo import (
+    LATLON,
+    BoundingBox,
+    ConstraintRegion,
+    EnumeratedRegion,
+    HalfPlane,
+    IntersectionRegion,
+    PolygonRegion,
+    PolynomialConstraint,
+    UnionRegion,
+    intersect_regions,
+    utm,
+)
+
+boxes = st.tuples(
+    st.floats(-100, 100), st.floats(-100, 100), st.floats(0.1, 50), st.floats(0.1, 50)
+).map(lambda t: BoundingBox(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+class TestBoundingBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(RegionError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_allowed(self):
+        b = BoundingBox(1.0, 1.0, 1.0, 1.0)
+        assert b.is_degenerate and b.area == 0.0
+
+    def test_mask_inclusive_edges(self):
+        b = BoundingBox(0.0, 0.0, 10.0, 5.0)
+        x = np.array([0.0, 10.0, 5.0, -0.1, 10.1])
+        y = np.array([0.0, 5.0, 2.5, 2.0, 2.0])
+        np.testing.assert_array_equal(b.mask(x, y), [True, True, True, False, False])
+
+    def test_geometry_properties(self):
+        b = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert b.width == 4.0 and b.height == 2.0
+        assert b.area == 8.0
+        assert b.center == (2.0, 1.0)
+
+    @given(b1=boxes, b2=boxes)
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_consistency(self, b1, b2):
+        inter = b1.intersection(b2)
+        if inter is None:
+            assert not b1.intersects(b2)
+        else:
+            assert b1.intersects(b2)
+            assert b1.contains_box(inter) and b2.contains_box(inter)
+            assert inter.area <= min(b1.area, b2.area) + 1e-9
+
+    @given(b1=boxes, b2=boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_union_contains_both(self, b1, b2):
+        u = b1.union(b2)
+        assert u.contains_box(b1) and u.contains_box(b2)
+
+    def test_expanded(self):
+        b = BoundingBox(0.0, 0.0, 2.0, 2.0).expanded(1.0)
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (-1.0, -1.0, 3.0, 3.0)
+
+    def test_from_points_skips_nonfinite(self):
+        x = np.array([1.0, np.nan, 3.0])
+        y = np.array([2.0, 5.0, 4.0])
+        b = BoundingBox.from_points(x, y)
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (1.0, 2.0, 3.0, 4.0)
+
+    def test_from_points_all_nan_raises(self):
+        with pytest.raises(RegionError):
+            BoundingBox.from_points(np.array([np.nan]), np.array([np.nan]))
+
+    def test_crs_mismatch_rejected(self):
+        a = BoundingBox(0, 0, 1, 1, LATLON)
+        b = BoundingBox(0, 0, 1, 1, utm(10))
+        from repro.errors import CRSMismatchError
+
+        with pytest.raises(CRSMismatchError):
+            a.intersects(b)
+
+    def test_transformed_is_conservative(self):
+        """The transformed box contains the image of every interior point."""
+        box = BoundingBox(-123.0, 37.0, -120.0, 40.0, LATLON)
+        dst = utm(10)
+        out = box.transformed(dst)
+        rng = np.random.default_rng(0)
+        lon = rng.uniform(box.xmin, box.xmax, 200)
+        lat = rng.uniform(box.ymin, box.ymax, 200)
+        x, y = dst.from_lonlat(lon, lat)
+        assert bool(np.all(out.mask(x, y)))
+
+    def test_transformed_same_crs_is_self(self):
+        box = BoundingBox(0, 0, 1, 1, LATLON)
+        assert box.transformed(LATLON) is box
+
+
+class TestPolygonRegion:
+    def test_triangle_membership(self):
+        tri = PolygonRegion([(0, 0), (4, 0), (0, 4)])
+        assert tri.contains_point(1.0, 1.0)
+        assert not tri.contains_point(3.0, 3.0)
+
+    def test_closed_ring_accepted(self):
+        tri = PolygonRegion([(0, 0), (4, 0), (0, 4), (0, 0)])
+        assert tri.vertices.shape == (3, 2)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(RegionError):
+            PolygonRegion([(0, 0), (1, 1)])
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch must be outside.
+        c = PolygonRegion([(0, 0), (4, 0), (4, 1), (1, 1), (1, 3), (4, 3), (4, 4), (0, 4)])
+        assert c.contains_point(0.5, 2.0)
+        assert not c.contains_point(2.5, 2.0)
+
+    def test_bounding_box(self):
+        tri = PolygonRegion([(0, 0), (4, 0), (0, 4)])
+        b = tri.bounding_box
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0.0, 0.0, 4.0, 4.0)
+
+    def test_mask_vectorized_shape(self):
+        tri = PolygonRegion([(0, 0), (4, 0), (0, 4)])
+        x, y = np.meshgrid(np.linspace(0, 4, 5), np.linspace(0, 4, 5))
+        assert tri.mask(x, y).shape == (5, 5)
+
+    def test_transformed_membership_preserved(self):
+        tri = PolygonRegion([(-123.0, 37.0), (-120.0, 37.0), (-121.5, 40.0)], LATLON)
+        out = tri.transformed(utm(10))
+        # Interior point maps to interior of the transformed polygon.
+        x, y = utm(10).from_lonlat(-121.5, 38.0)
+        assert out.contains_point(float(x), float(y))
+
+
+class TestConstraintRegion:
+    def test_halfplane_box(self):
+        # x <= 4, -x <= 0, y <= 3, -y <= 0: the [0,4]x[0,3] rectangle.
+        region = ConstraintRegion(
+            [
+                HalfPlane(1, 0, 4),
+                HalfPlane(-1, 0, 0),
+                HalfPlane(0, 1, 3),
+                HalfPlane(0, -1, 0),
+            ]
+        )
+        assert region.contains_point(2.0, 1.0)
+        assert not region.contains_point(5.0, 1.0)
+        b = region.bounding_box
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0.0, 0.0, 4.0, 3.0)
+
+    def test_diagonal_halfplane_needs_explicit_bbox(self):
+        with pytest.raises(RegionError):
+            ConstraintRegion([HalfPlane(1, 1, 4)])
+
+    def test_disk(self):
+        disk = ConstraintRegion.disk(1.0, 2.0, 3.0)
+        assert disk.contains_point(1.0, 2.0)
+        assert disk.contains_point(4.0, 2.0)  # boundary inclusive
+        assert not disk.contains_point(4.1, 2.0)
+        b = disk.bounding_box
+        assert b.xmin == pytest.approx(-2.0) and b.xmax == pytest.approx(4.0)
+
+    def test_polynomial_evaluation(self):
+        # x^2 - y <= 0, i.e. above the parabola.
+        p = PolynomialConstraint.from_dict({(2, 0): 1.0, (0, 1): -1.0})
+        assert bool(p.satisfied(np.array([1.0]), np.array([2.0]))[0])
+        assert not bool(p.satisfied(np.array([2.0]), np.array([1.0]))[0])
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(RegionError):
+            ConstraintRegion([])
+
+
+class TestEnumeratedRegion:
+    def test_membership_with_tolerance(self):
+        region = EnumeratedRegion([(1.0, 2.0), (3.0, 4.0)], tolerance=0.01)
+        assert region.contains_point(1.0, 2.0)
+        assert region.contains_point(1.004, 2.004)
+        assert not region.contains_point(1.2, 2.0)
+        assert not region.contains_point(3.0, 2.0)  # no cross pairing
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegionError):
+            EnumeratedRegion([])
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(RegionError):
+            EnumeratedRegion([(0, 0)], tolerance=0.0)
+
+    def test_transformed(self):
+        region = EnumeratedRegion([(-121.5, 38.0)], LATLON, tolerance=1e-6)
+        out = region.transformed(utm(10))
+        x, y = utm(10).from_lonlat(-121.5, 38.0)
+        assert out.contains_point(float(x), float(y))
+
+
+class TestCombinators:
+    def test_intersection_masks(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 6, 6)
+        inter = IntersectionRegion([a, b])
+        assert inter.contains_point(3.0, 3.0)
+        assert not inter.contains_point(1.0, 1.0)
+        bb = inter.bounding_box
+        assert (bb.xmin, bb.ymin, bb.xmax, bb.ymax) == (2.0, 2.0, 4.0, 4.0)
+
+    def test_disjoint_intersection_is_empty(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(5, 5, 6, 6)
+        inter = IntersectionRegion([a, b])
+        assert inter.is_empty_hint
+        x, y = np.meshgrid(np.linspace(0, 6, 7), np.linspace(0, 6, 7))
+        assert not inter.mask(x, y).any()
+
+    def test_union_masks(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(5, 5, 6, 6)
+        u = UnionRegion([a, b])
+        assert u.contains_point(0.5, 0.5)
+        assert u.contains_point(5.5, 5.5)
+        assert not u.contains_point(3.0, 3.0)
+
+    def test_intersect_regions_simplifies_boxes(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 6, 6)
+        out = intersect_regions(a, b)
+        assert isinstance(out, BoundingBox)
+        assert (out.xmin, out.ymin, out.xmax, out.ymax) == (2.0, 2.0, 4.0, 4.0)
+
+    def test_intersect_regions_mixed_types(self):
+        a = BoundingBox(0, 0, 4, 4)
+        tri = PolygonRegion([(0, 0), (4, 0), (0, 4)])
+        out = intersect_regions(a, tri)
+        assert isinstance(out, IntersectionRegion)
+        assert out.contains_point(1.0, 1.0)
+        assert not out.contains_point(3.9, 3.9)
+
+    @given(b1=boxes, b2=boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_mask_equals_conjunction(self, b1, b2):
+        region = intersect_regions(b1, b2)
+        rng = np.random.default_rng(42)
+        x = rng.uniform(-110, 160, 100)
+        y = rng.uniform(-110, 160, 100)
+        expected = b1.mask(x, y) & b2.mask(x, y)
+        np.testing.assert_array_equal(region.mask(x, y), expected)

@@ -1,0 +1,83 @@
+"""CRS spec serialization (backs the archive format)."""
+
+import pytest
+
+from repro.errors import CRSError
+from repro.geo import (
+    GRS80,
+    SPHERE,
+    CRS,
+    Geostationary,
+    from_spec,
+    goes_geostationary,
+    lambert_conic,
+    latlon,
+    mercator,
+    plate_carree,
+    sinusoidal,
+    spec_of,
+    utm,
+)
+
+
+ALL_STANDARD = [
+    latlon(),
+    plate_carree(),
+    plate_carree(lon_0=-120.0),
+    mercator(),
+    mercator(lon_0=15.0),
+    sinusoidal(),
+    sinusoidal(lon_0=-90.0),
+    utm(1),
+    utm(10),
+    utm(60),
+    utm(33, north=False),
+    goes_geostationary(-135.0),
+    goes_geostationary(-75.0),
+    lambert_conic(),
+    lambert_conic(20.0, 60.0, 40.0, 10.0),
+]
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("crs", ALL_STANDARD, ids=lambda c: c.name)
+    def test_roundtrip(self, crs):
+        spec = spec_of(crs)
+        assert from_spec(spec) == crs
+
+    def test_spec_is_stable(self):
+        assert spec_of(utm(10)) == "utm:10N"
+        assert spec_of(utm(33, north=False)) == "utm:33S"
+        assert spec_of(goes_geostationary(-75.0)) == "geos:-75"
+        assert spec_of(latlon()) == "latlon"
+
+    def test_query_language_names_accepted(self):
+        assert from_spec("UTM:10n") == utm(10)
+        assert from_spec("wgs84").is_geographic
+        assert from_spec("geos") == goes_geostationary()
+        assert from_spec("lcc") == lambert_conic()
+
+
+class TestSpecErrors:
+    def test_unknown_spec(self):
+        with pytest.raises(CRSError):
+            from_spec("epsg:4326")
+
+    def test_malformed_parameters(self):
+        with pytest.raises(CRSError):
+            from_spec("geos:east")
+        with pytest.raises(CRSError):
+            from_spec("utm:zone10")
+        with pytest.raises(CRSError):
+            from_spec("lcc:1:2")  # wrong arity
+
+    def test_nonstandard_crs_rejected(self):
+        # A geostationary view on a spherical datum has no factory form.
+        odd = CRS("odd", Geostationary(SPHERE, lon_0=0.0), SPHERE)
+        with pytest.raises(CRSError):
+            spec_of(odd)
+
+    def test_nonstandard_geographic_rejected(self):
+        odd = latlon(GRS80)
+        with pytest.raises(CRSError):
+            spec_of(odd)

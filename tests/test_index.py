@@ -1,0 +1,233 @@
+"""Spatial indexes: interval tree, cascade tree, baselines — equivalence
+with the naive scan is the correctness oracle (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.geo import BoundingBox
+from repro.index import CascadeTree, GridRegionIndex, IntervalTree, NaiveRegionIndex
+
+
+class TestIntervalTree:
+    def test_stab_basic(self):
+        t = IntervalTree()
+        t.insert("a", 0.0, 10.0)
+        t.insert("b", 5.0, 15.0)
+        t.insert("c", 20.0, 30.0)
+        assert sorted(t.stab(7.0)) == ["a", "b"]
+        assert t.stab(25.0) == ["c"]
+        assert t.stab(17.0) == []
+
+    def test_endpoints_inclusive(self):
+        t = IntervalTree()
+        t.insert("a", 1.0, 2.0)
+        assert t.stab(1.0) == ["a"]
+        assert t.stab(2.0) == ["a"]
+
+    def test_remove(self):
+        t = IntervalTree()
+        t.insert("a", 0.0, 10.0)
+        t.remove("a")
+        assert t.stab(5.0) == []
+        assert len(t) == 0
+
+    def test_duplicate_id_rejected(self):
+        t = IntervalTree()
+        t.insert("a", 0.0, 1.0)
+        with pytest.raises(IndexError_):
+            t.insert("a", 2.0, 3.0)
+
+    def test_unknown_remove_rejected(self):
+        with pytest.raises(IndexError_):
+            IntervalTree().remove("missing")
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(IndexError_):
+            IntervalTree().insert("a", 2.0, 1.0)
+
+    def test_reinsert_after_remove(self):
+        t = IntervalTree()
+        t.insert("a", 0.0, 1.0)
+        t.remove("a")
+        t.insert("a", 5.0, 6.0)
+        assert t.stab(5.5) == ["a"]
+        assert t.stab(0.5) == []
+
+    def test_interval_of(self):
+        t = IntervalTree()
+        t.insert("a", 1.0, 2.0)
+        assert t.interval_of("a") == (1.0, 2.0)
+        with pytest.raises(IndexError_):
+            t.interval_of("b")
+
+    @given(
+        intervals=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(0, 30)), min_size=0, max_size=60
+        ),
+        probes=st.lists(st.floats(-130, 160), min_size=1, max_size=10),
+        removals=st.sets(st.integers(0, 59), max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stab_matches_bruteforce(self, intervals, probes, removals):
+        t = IntervalTree()
+        live = {}
+        for i, (lo, w) in enumerate(intervals):
+            t.insert(i, lo, lo + w)
+            live[i] = (lo, lo + w)
+        for i in removals:
+            if i in live:
+                t.remove(i)
+                del live[i]
+        for p in probes:
+            expected = sorted(i for i, (lo, hi) in live.items() if lo <= p <= hi)
+            assert sorted(t.stab(p)) == expected
+
+    @given(
+        intervals=st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(0, 20)), min_size=0, max_size=40
+        ),
+        qlo=st.floats(-60, 60),
+        qw=st.floats(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_matches_bruteforce(self, intervals, qlo, qw):
+        t = IntervalTree()
+        live = {}
+        for i, (lo, w) in enumerate(intervals):
+            t.insert(i, lo, lo + w)
+            live[i] = (lo, lo + w)
+        qhi = qlo + qw
+        expected = sorted(i for i, (lo, hi) in live.items() if hi >= qlo and lo <= qhi)
+        assert sorted(t.overlapping(qlo, qhi)) == expected
+
+    def test_adversarial_sorted_insertion_still_fast(self):
+        """Periodic rebuilds keep sorted insertion from degrading badly."""
+        t = IntervalTree()
+        n = 2000
+        for i in range(n):
+            t.insert(i, float(i), float(i) + 0.5)
+        hits = t.stab(float(n // 2) + 0.25)
+        assert hits == [n // 2]
+
+
+def _region_indexes():
+    domain = BoundingBox(0.0, 0.0, 100.0, 100.0)
+    return {
+        "naive": NaiveRegionIndex(),
+        "grid": GridRegionIndex(domain, 16, 16),
+        "cascade": CascadeTree(),
+    }
+
+
+class TestRegionIndexes:
+    @pytest.mark.parametrize("kind", ["naive", "grid", "cascade"])
+    def test_basic_protocol(self, kind):
+        idx = _region_indexes()[kind]
+        box = BoundingBox(10.0, 10.0, 20.0, 20.0)
+        idx.insert("q1", box)
+        assert "q1" in idx and len(idx) == 1
+        assert idx.stab(15.0, 15.0) == ["q1"]
+        assert idx.stab(50.0, 50.0) == []
+        assert idx.overlapping(BoundingBox(19.0, 19.0, 30.0, 30.0)) == ["q1"]
+        idx.remove("q1")
+        assert len(idx) == 0
+
+    @pytest.mark.parametrize("kind", ["naive", "grid", "cascade"])
+    def test_duplicate_and_unknown(self, kind):
+        idx = _region_indexes()[kind]
+        idx.insert("q", BoundingBox(0, 0, 1, 1))
+        with pytest.raises(IndexError_):
+            idx.insert("q", BoundingBox(2, 2, 3, 3))
+        with pytest.raises(IndexError_):
+            idx.remove("nope")
+
+    @given(
+        rects=st.lists(
+            st.tuples(
+                st.floats(0, 90), st.floats(0, 90), st.floats(0.5, 10), st.floats(0.5, 10)
+            ),
+            min_size=0,
+            max_size=50,
+        ),
+        probes=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=8
+        ),
+        removals=st.sets(st.integers(0, 49), max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_indexes_agree(self, rects, probes, removals):
+        indexes = _region_indexes()
+        live = {}
+        for i, (x, y, w, h) in enumerate(rects):
+            box = BoundingBox(x, y, min(x + w, 100.0), min(y + h, 100.0))
+            live[i] = box
+            for idx in indexes.values():
+                idx.insert(i, box)
+        for i in removals:
+            if i in live:
+                del live[i]
+                for idx in indexes.values():
+                    idx.remove(i)
+        for px, py in probes:
+            results = {k: sorted(idx.stab(px, py)) for k, idx in indexes.items()}
+            assert results["cascade"] == results["naive"]
+            assert results["grid"] == results["naive"]
+        window = BoundingBox(25.0, 25.0, 60.0, 60.0)
+        results = {k: sorted(idx.overlapping(window)) for k, idx in indexes.items()}
+        assert results["cascade"] == results["naive"]
+        assert results["grid"] == results["naive"]
+
+    def test_cascade_scales_better_than_naive(self):
+        """The headline claim of ref [10] at moderate n."""
+        import time
+
+        rng = np.random.default_rng(0)
+        cascade, naive = CascadeTree(), NaiveRegionIndex()
+        for i in range(3000):
+            x, y = rng.uniform(0, 95), rng.uniform(0, 95)
+            box = BoundingBox(x, y, x + rng.uniform(0.5, 4), y + rng.uniform(0.5, 4))
+            cascade.insert(i, box)
+            naive.insert(i, box)
+        probes = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        t0 = time.perf_counter()
+        for px, py in probes:
+            cascade.stab(px, py)
+        t_cascade = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for px, py in probes:
+            naive.stab(px, py)
+        t_naive = time.perf_counter() - t0
+        assert t_cascade < t_naive
+
+    def test_cascade_depth_logarithmic_after_rebuild(self):
+        cascade = CascadeTree()
+        rng = np.random.default_rng(1)
+        for i in range(1000):
+            x, y = rng.uniform(0, 95), rng.uniform(0, 95)
+            cascade.insert(i, BoundingBox(x, y, x + 1.0, y + 1.0))
+        assert cascade.depth() < 60  # far from the worst-case 1000
+
+    def test_cascade_box_of(self):
+        cascade = CascadeTree()
+        box = BoundingBox(1, 2, 3, 4)
+        cascade.insert("q", box)
+        assert cascade.box_of("q") == box
+        with pytest.raises(IndexError_):
+            cascade.box_of("other")
+
+    def test_grid_clustered_regions_degrade_gracefully(self):
+        """All regions in one cell: grid approaches naive but stays correct."""
+        domain = BoundingBox(0.0, 0.0, 100.0, 100.0)
+        grid = GridRegionIndex(domain, 8, 8)
+        naive = NaiveRegionIndex()
+        rng = np.random.default_rng(2)
+        for i in range(100):
+            x = rng.uniform(10.0, 11.0)
+            y = rng.uniform(10.0, 11.0)
+            box = BoundingBox(x, y, x + 0.5, y + 0.5)
+            grid.insert(i, box)
+            naive.insert(i, box)
+        assert sorted(grid.stab(10.7, 10.7)) == sorted(naive.stab(10.7, 10.7))

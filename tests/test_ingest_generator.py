@@ -1,0 +1,116 @@
+"""Raw record codec and the stream generator (Fig. 3 boundary)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridLattice, Organization
+from repro.errors import StreamError
+from repro.geo import LATLON
+from repro.ingest import StreamGenerator, decode_record, encode_record
+
+
+@pytest.fixture()
+def lattice():
+    return GridLattice(LATLON, 0.0, 10.0, 0.5, -0.5, 8, 4)
+
+
+def record_bytes(row=0, sector=0, frame=0, width=8, last=False, t=1.5, band="vis"):
+    counts = (np.arange(width) + 10 * row).astype(np.uint16)
+    return encode_record(sector, frame, band, row, t, last, counts)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        counts = np.array([1, 2, 65535], dtype=np.uint16)
+        data = encode_record(3, 4, "nir", 7, 123.25, True, counts)
+        rec = decode_record(data)
+        assert (rec.sector, rec.frame, rec.band, rec.row) == (3, 4, "nir", 7)
+        assert rec.t == 123.25 and rec.last is True
+        np.testing.assert_array_equal(rec.counts, counts)
+
+    def test_crc_detects_corruption(self):
+        data = bytearray(record_bytes())
+        data[20] ^= 0xFF
+        with pytest.raises(StreamError, match="CRC"):
+            decode_record(bytes(data))
+
+    def test_truncation_detected(self):
+        data = record_bytes()
+        with pytest.raises(StreamError):
+            decode_record(data[:10])
+
+    def test_band_name_length_checked(self):
+        with pytest.raises(StreamError):
+            encode_record(0, 0, "waytoolongband", 0, 0.0, False, np.zeros(1, np.uint16))
+
+    def test_dtype_checked(self):
+        with pytest.raises(StreamError):
+            encode_record(0, 0, "vis", 0, 0.0, False, np.zeros(4, np.uint8))
+
+    def test_bad_magic(self):
+        data = bytearray(record_bytes())
+        data[0:4] = b"XXXX"
+        with pytest.raises(StreamError):
+            decode_record(bytes(data))
+
+
+class TestStreamGenerator:
+    def frame_records(self, lattice, frame=0):
+        return [
+            record_bytes(row=r, frame=frame, sector=frame, last=(r == lattice.height - 1))
+            for r in range(lattice.height)
+        ]
+
+    def test_row_by_row_chunks(self, lattice):
+        gen = StreamGenerator({0: lattice}, Organization.ROW_BY_ROW)
+        chunks = list(gen.decode_stream(self.frame_records(lattice)))
+        assert len(chunks) == 4
+        assert all(c.lattice.shape == (1, 8) for c in chunks)
+        assert chunks[-1].last_in_frame and not chunks[0].last_in_frame
+        assert chunks[2].row0 == 2
+        # Georeferencing: row 2's y matches the frame lattice.
+        assert float(chunks[2].lattice.y_of_row(0)) == float(lattice.y_of_row(2))
+
+    def test_image_by_image_coalesces(self, lattice):
+        gen = StreamGenerator({0: lattice}, Organization.IMAGE_BY_IMAGE)
+        chunks = list(gen.decode_stream(self.frame_records(lattice)))
+        assert len(chunks) == 1
+        chunk = chunks[0]
+        assert chunk.lattice.shape == (4, 8)
+        assert chunk.last_in_frame
+        np.testing.assert_array_equal(chunk.values[3], np.arange(8) + 30)
+
+    def test_point_organization_rejected(self, lattice):
+        with pytest.raises(StreamError):
+            StreamGenerator({0: lattice}, Organization.POINT_BY_POINT)
+
+    def test_unknown_sector_rejected(self, lattice):
+        gen = StreamGenerator({0: lattice})
+        bad = record_bytes(sector=9, frame=9)
+        with pytest.raises(StreamError, match="sector 9"):
+            list(gen.decode_stream([bad]))
+
+    def test_width_mismatch_rejected(self, lattice):
+        gen = StreamGenerator({0: lattice})
+        bad = record_bytes(width=5)
+        with pytest.raises(StreamError, match="width"):
+            list(gen.decode_stream([bad]))
+
+    def test_row_out_of_range_rejected(self, lattice):
+        gen = StreamGenerator({0: lattice})
+        bad = record_bytes(row=10)
+        with pytest.raises(StreamError, match="row"):
+            list(gen.decode_stream([bad]))
+
+    def test_midframe_end_detected_image_mode(self, lattice):
+        gen = StreamGenerator({0: lattice}, Organization.IMAGE_BY_IMAGE)
+        records = self.frame_records(lattice)[:-1]  # missing last row
+        with pytest.raises(StreamError, match="mid-frame"):
+            list(gen.decode_stream(records))
+
+    def test_frame_metadata_attached(self, lattice):
+        gen = StreamGenerator({0: lattice})
+        chunks = list(gen.decode_stream(self.frame_records(lattice)))
+        assert all(c.frame is not None for c in chunks)
+        assert chunks[0].frame.lattice == lattice
+        assert chunks[0].sector == 0

@@ -1,0 +1,164 @@
+"""Instrument simulators: the three Fig. 1 organizations."""
+
+import numpy as np
+import pytest
+
+from repro.core import Organization, PointChunk
+from repro.errors import StreamError
+from repro.geo import haversine_m
+from repro.ingest import AirborneCamera, GOESImager, LidarScanner, SyntheticEarth, western_us_sector
+
+DAY_T0 = 72_000.0
+
+
+class TestGOESImager:
+    def test_row_by_row_organization(self, small_imager):
+        chunks = small_imager.stream("vis").collect_chunks()
+        assert len(chunks) == 2 * 48  # frames x rows
+        assert all(c.lattice.height == 1 for c in chunks)
+
+    def test_sector_ids_increment_per_frame(self, small_imager):
+        chunks = small_imager.stream("vis").collect_chunks()
+        sectors = sorted({c.sector for c in chunks})
+        assert sectors == [0, 1]
+
+    def test_deterministic_reopen(self, small_imager):
+        s = small_imager.stream("nir")
+        f1 = s.collect_frames()
+        f2 = s.collect_frames()
+        np.testing.assert_array_equal(f1[0].values, f2[0].values)
+
+    def test_row_interleave_times_strictly_ordered_within_band(self, small_imager):
+        chunks = small_imager.stream("vis").collect_chunks()
+        ts = [c.t for c in chunks]
+        assert ts == sorted(ts)
+
+    def test_bands_never_share_measured_timestamps(self, small_imager):
+        """Section 3.3: measured stamps of different bands never match."""
+        vis_t = {c.t for c in small_imager.stream("vis").collect_chunks()}
+        nir_t = {c.t for c in small_imager.stream("nir").collect_chunks()}
+        assert not (vis_t & nir_t)
+
+    def test_band_interleave_band_mode_sequential(self, scene, geos_crs):
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=1, band_interleave="band", t0=DAY_T0
+        )
+        vis_last = max(c.t for c in imager.stream("vis").collect_chunks())
+        nir_first = min(c.t for c in imager.stream("nir").collect_chunks())
+        assert nir_first > vis_last  # whole vis sweep precedes nir
+
+    def test_unknown_band_rejected(self, small_imager):
+        with pytest.raises(StreamError):
+            small_imager.stream("tir")
+
+    def test_image_organization_whole_frames(self, scene, geos_crs):
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene,
+            sector_lattice=sector,
+            n_frames=2,
+            organization=Organization.IMAGE_BY_IMAGE,
+            t0=DAY_T0,
+        )
+        chunks = imager.stream("vis").collect_chunks()
+        assert len(chunks) == 2
+        assert chunks[0].lattice.shape == (16, 32)
+
+    def test_image_and_row_modes_produce_same_frames(self, scene, geos_crs):
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        kw = dict(scene=scene, sector_lattice=sector, n_frames=1, t0=DAY_T0)
+        rows = GOESImager(organization=Organization.ROW_BY_ROW, **kw)
+        imgs = GOESImager(organization=Organization.IMAGE_BY_IMAGE, **kw)
+        f_rows = rows.stream("vis").collect_frames()[0]
+        f_imgs = imgs.stream("vis").collect_frames()[0]
+        np.testing.assert_array_equal(f_rows.values, f_imgs.values)
+
+    def test_metadata(self, small_imager):
+        meta = small_imager.stream("vis").metadata
+        assert meta.stream_id == "goes.vis"
+        assert meta.max_frame_shape == (48, 96)
+        assert meta.timestamp_policy == "sector"
+
+    def test_sector_covers_western_us(self, small_imager, geos_crs):
+        lattice = small_imager.sector_lattice
+        x, y = geos_crs.from_lonlat(-120.0, 40.0)
+        assert lattice.bbox.contains_point(float(x), float(y))
+
+    def test_bad_bits_rejected(self, scene):
+        with pytest.raises(StreamError):
+            GOESImager(scene=scene, bits=12)
+
+    def test_raw_records_decode_standalone(self, small_imager):
+        from repro.ingest import decode_record
+
+        first = next(iter(small_imager.raw_records("vis")))
+        rec = decode_record(first)
+        assert rec.band == "vis" and rec.row == 0
+
+
+class TestAirborneCamera:
+    def test_image_by_image(self, scene):
+        cam = AirborneCamera(scene=scene, n_frames=4, frame_width=16, frame_height=12)
+        stream = cam.stream()
+        assert stream.organization is Organization.IMAGE_BY_IMAGE
+        frames = stream.collect_frames()
+        assert len(frames) == 4
+        assert frames[0].shape == (12, 16)
+
+    def test_frames_cover_different_regions(self, scene):
+        cam = AirborneCamera(scene=scene, n_frames=3, frame_spacing_deg=0.5)
+        frames = cam.stream().collect_frames()
+        b0 = frames[0].lattice.bbox
+        b2 = frames[2].lattice.bbox
+        assert not b0.intersects(b2)
+
+    def test_heading_moves_east_by_default(self, scene):
+        cam = AirborneCamera(scene=scene, n_frames=2, heading_deg=90.0)
+        l0 = cam.frame_lattice(0)
+        l1 = cam.frame_lattice(1)
+        assert l1.x0 > l0.x0
+        assert l1.y0 == pytest.approx(l0.y0)
+
+    def test_deterministic(self, scene):
+        cam = AirborneCamera(scene=scene, n_frames=2)
+        a = cam.stream().collect_frames()
+        b = cam.stream().collect_frames()
+        np.testing.assert_array_equal(a[1].values, b[1].values)
+
+    def test_invalid_band(self, scene):
+        with pytest.raises(StreamError):
+            AirborneCamera(scene=scene, band="purple")
+
+
+class TestLidarScanner:
+    def test_point_by_point(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=500, points_per_chunk=100)
+        stream = lidar.stream()
+        assert stream.organization is Organization.POINT_BY_POINT
+        chunks = stream.collect_chunks()
+        assert len(chunks) == 5
+        assert all(isinstance(c, PointChunk) for c in chunks)
+
+    def test_points_ordered_by_time_only(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=300, points_per_chunk=300)
+        chunk = lidar.stream().collect_chunks()[0]
+        assert (np.diff(chunk.t) > 0).all()
+
+    def test_cross_track_jitter_nonuniform(self, scene):
+        """Fig. 1c: no regular lattice — consecutive spacings vary."""
+        lidar = LidarScanner(scene=scene, n_points=200, points_per_chunk=200)
+        chunk = lidar.stream().collect_chunks()[0]
+        d = haversine_m(chunk.x[:-1], chunk.y[:-1], chunk.x[1:], chunk.y[1:])
+        assert np.std(d) > 0.01 * np.mean(d)
+
+    def test_elevation_scale(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=100)
+        chunk = lidar.stream().collect_chunks()[0]
+        assert chunk.values.min() >= 0.0
+        assert chunk.values.max() <= lidar.elevation_scale
+
+    def test_remainder_chunk(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=250, points_per_chunk=100)
+        chunks = lidar.stream().collect_chunks()
+        assert [c.n_points for c in chunks] == [100, 100, 50]

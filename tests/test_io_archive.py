@@ -1,0 +1,117 @@
+"""Stream archives: round-trips, replayability, corruption detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.io import read_archive, write_archive
+from repro.ingest import LidarScanner
+from repro.operators import SpatialRestriction, ndvi, reflectance
+
+
+class TestGridArchives:
+    def test_roundtrip_preserves_chunks(self, small_imager, tmp_path):
+        stream = small_imager.stream("vis")
+        path = tmp_path / "vis.gsar"
+        count = write_archive(stream, path)
+        assert count == 2 * 48
+        replay = read_archive(path)
+        original = stream.collect_chunks()
+        replayed = replay.collect_chunks()
+        assert len(original) == len(replayed)
+        for a, b in zip(original, replayed):
+            np.testing.assert_array_equal(a.values, b.values)
+            assert a.lattice == b.lattice
+            assert a.t == b.t and a.sector == b.sector
+            assert a.row0 == b.row0 and a.last_in_frame == b.last_in_frame
+            assert (a.frame is None) == (b.frame is None)
+            if a.frame is not None:
+                assert a.frame.frame_id == b.frame.frame_id
+                assert a.frame.lattice == b.frame.lattice
+
+    def test_metadata_preserved(self, small_imager, tmp_path):
+        stream = small_imager.stream("nir")
+        path = tmp_path / "nir.gsar"
+        write_archive(stream, path)
+        replay = read_archive(path)
+        assert replay.metadata.stream_id == stream.metadata.stream_id
+        assert replay.metadata.crs == stream.crs
+        assert replay.metadata.organization == stream.organization
+        assert replay.metadata.value_set == stream.value_set
+        assert replay.metadata.max_frame_shape == stream.metadata.max_frame_shape
+
+    def test_replay_is_reopenable(self, small_imager, tmp_path):
+        path = tmp_path / "vis.gsar"
+        write_archive(small_imager.stream("vis"), path)
+        replay = read_archive(path)
+        assert replay.count_points() == replay.count_points()
+
+    def test_replay_feeds_operators(self, small_imager, tmp_path):
+        """An archived stream is a full citizen of the algebra."""
+        path_v = tmp_path / "vis.gsar"
+        path_n = tmp_path / "nir.gsar"
+        write_archive(small_imager.stream("vis"), path_v)
+        write_archive(small_imager.stream("nir"), path_n)
+        product = ndvi(
+            reflectance(read_archive(path_n)), reflectance(read_archive(path_v))
+        )
+        live = ndvi(
+            reflectance(small_imager.stream("nir")),
+            reflectance(small_imager.stream("vis")),
+        )
+        a = product.collect_frames()
+        b = live.collect_frames()
+        assert len(a) == len(b)
+        np.testing.assert_allclose(a[0].values, b[0].values, equal_nan=True)
+
+    def test_derived_stream_archivable(self, small_imager, tmp_path):
+        """Archive a float-valued derived product, not just raw counts."""
+        region = small_imager.sector_lattice.bbox
+        derived = reflectance(small_imager.stream("vis")).pipe(SpatialRestriction(region))
+        path = tmp_path / "derived.gsar"
+        write_archive(derived, path)
+        replay = read_archive(path)
+        assert replay.collect_frames()[0].values.dtype == np.float32
+
+
+class TestPointArchives:
+    def test_roundtrip(self, scene, tmp_path):
+        lidar = LidarScanner(scene=scene, n_points=300, points_per_chunk=100)
+        path = tmp_path / "lidar.gsar"
+        write_archive(lidar.stream(), path)
+        replay = read_archive(path)
+        original = lidar.stream().collect_chunks()
+        replayed = replay.collect_chunks()
+        assert len(original) == len(replayed)
+        for a, b in zip(original, replayed):
+            np.testing.assert_array_equal(a.x, b.x)
+            np.testing.assert_array_equal(a.t, b.t)
+            np.testing.assert_array_equal(a.values, b.values)
+            assert a.crs == b.crs
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.gsar"
+        path.write_bytes(b"NOTANARCHIVE")
+        with pytest.raises(CodecError):
+            read_archive(path)
+
+    def test_truncated_file(self, small_imager, tmp_path):
+        path = tmp_path / "vis.gsar"
+        write_archive(small_imager.stream("vis"), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        replay = read_archive(path)
+        with pytest.raises(CodecError):
+            replay.collect_chunks()
+
+    def test_flipped_byte_detected(self, small_imager, tmp_path):
+        path = tmp_path / "vis.gsar"
+        write_archive(small_imager.stream("vis"), path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        replay = read_archive(path)
+        with pytest.raises(CodecError):
+            replay.collect_chunks()

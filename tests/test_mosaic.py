@@ -1,0 +1,101 @@
+"""Multi-satellite mosaics: the NaN-aware composition kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridLattice
+from repro.engine import compose_streams
+from repro.geo import LATLON, BoundingBox, goes_geostationary, plate_carree
+from repro.ingest import GOESImager
+from repro.operators import Reproject, StreamComposition, reflectance
+from repro.operators.composition import nan_supremum
+
+WIDE_BOX = (-170.0, 5.0, -30.0, 50.0)
+
+
+def build_imager(scene, lon_0):
+    crs = goes_geostationary(lon_0)
+    geo_box = BoundingBox(*WIDE_BOX, LATLON).transformed(crs)
+    sector = GridLattice.from_bbox(
+        geo_box, dx=geo_box.width / 64, dy=geo_box.height / 24, crs=crs
+    )
+    return GOESImager(scene=scene, lon_0=lon_0, sector_lattice=sector, n_frames=1, t0=72_000.0)
+
+
+@pytest.fixture(scope="module")
+def target():
+    pc = plate_carree()
+    x0, y0 = pc.from_lonlat(WIDE_BOX[0], WIDE_BOX[1])
+    x1, y1 = pc.from_lonlat(WIDE_BOX[2], WIDE_BOX[3])
+    box = BoundingBox(float(x0), float(y0), float(x1), float(y1), pc)
+    return GridLattice.from_bbox(box, dx=box.width / 96, dy=box.height / 36, crs=pc)
+
+
+class TestNanSupremum:
+    def test_fills_from_covered_side(self):
+        a = np.array([np.nan, 1.0, 3.0, np.nan])
+        b = np.array([2.0, np.nan, 1.0, np.nan])
+        out = nan_supremum(a, b)
+        np.testing.assert_array_equal(out[:3], [2.0, 1.0, 3.0])
+        assert np.isnan(out[3])
+
+    def test_reduces_to_maximum_when_both_finite(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(size=50), rng.uniform(size=50)
+        np.testing.assert_array_equal(nan_supremum(a, b), np.maximum(a, b))
+
+
+class TestTwoSatelliteMosaic:
+    def test_mosaic_coverage_exceeds_either_view(self, scene, target):
+        west = build_imager(scene, -135.0)
+        east = build_imager(scene, -75.0)
+        pc = target.crs
+        west_view = reflectance(west.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+        east_view = reflectance(east.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+
+        w = west_view.collect_frames()[0].values
+        e = east_view.collect_frames()[0].values
+        cov_w = np.isfinite(w).mean()
+        cov_e = np.isfinite(e).mean()
+        # The wide box exceeds each satellite's disk on one side.
+        assert cov_w < 1.0 and cov_e < 1.0
+
+        op = StreamComposition("mosaic")
+        mosaic = compose_streams(west_view, east_view, op)
+        m = mosaic.collect_frames()[0].values
+        cov_m = np.isfinite(m).mean()
+        assert cov_m >= max(cov_w, cov_e)
+        assert cov_m > 0.95
+
+    def test_mosaic_agrees_with_pointwise_kernel(self, scene, target):
+        west = build_imager(scene, -135.0)
+        east = build_imager(scene, -75.0)
+        pc = target.crs
+        west_view = reflectance(west.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+        east_view = reflectance(east.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+        w = west_view.collect_frames()[0].values
+        e = east_view.collect_frames()[0].values
+        op = StreamComposition("mosaic")
+        m = compose_streams(west_view, east_view, op).collect_frames()[0].values
+        np.testing.assert_allclose(
+            m, nan_supremum(w.astype(np.float64), e.astype(np.float64)).astype(np.float32),
+            equal_nan=True, atol=1e-6,
+        )
+
+    def test_mosaic_via_query_language(self, scene, target):
+        """'mosaic' is a first-class gamma in the textual language."""
+        from repro.query import parse_query
+
+        tree = parse_query("mosaic(goes_west.vis, goes_east.vis)")
+        assert tree.gamma == "mosaic"
+
+    def test_views_are_composable_thanks_to_shared_lattice(self, scene, target):
+        """Same dst lattice => aligned lattices => Def. 10's precondition."""
+        west = build_imager(scene, -135.0)
+        east = build_imager(scene, -75.0)
+        pc = target.crs
+        wv = reflectance(west.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+        ev = reflectance(east.stream("vis")).pipe(Reproject(pc, dst_lattice=target))
+        cw = wv.collect_chunks()[0]
+        ce = ev.collect_chunks()[0]
+        assert cw.lattice.aligned_with(ce.lattice)

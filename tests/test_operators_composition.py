@@ -1,0 +1,209 @@
+"""Stream composition (Def. 10): matching, timestamping, buffering."""
+
+import numpy as np
+import pytest
+
+from repro.core import Organization
+from repro.engine import compose_streams
+from repro.errors import CompositionError
+from repro.ingest import GOESImager, LidarScanner, western_us_sector
+from repro.operators import StreamComposition, normalized_difference
+
+DAY_T0 = 72_000.0
+
+
+def make_imager(scene, geos_crs, organization=Organization.ROW_BY_ROW, interleave="row", shape=(16, 32)):
+    sector = western_us_sector(geos_crs, width=shape[1], height=shape[0])
+    return GOESImager(
+        scene=scene,
+        sector_lattice=sector,
+        n_frames=2,
+        organization=organization,
+        band_interleave=interleave,
+        t0=DAY_T0,
+    )
+
+
+class TestSemantics:
+    def test_pointwise_gamma(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs)
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        out = compose_streams(nir, vis, StreamComposition("-")).collect_frames()
+        v = vis.collect_frames()
+        n = nir.collect_frames()
+        assert len(out) == 2
+        np.testing.assert_allclose(
+            out[0].values, n[0].values.astype(float) - v[0].values.astype(float)
+        )
+
+    @pytest.mark.parametrize("gamma,fn", [
+        ("+", np.add), ("*", np.multiply), ("sup", np.maximum), ("inf", np.minimum),
+    ])
+    def test_all_gammas(self, scene, geos_crs, gamma, fn):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        out = compose_streams(nir, vis, StreamComposition(gamma)).collect_frames()[0]
+        v = vis.collect_frames()[0].values.astype(float)
+        n = nir.collect_frames()[0].values.astype(float)
+        np.testing.assert_allclose(out.values, fn(n, v))
+
+    def test_division_by_zero_is_nan(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis = imager.stream("vis")
+        zero = vis.pipe(__import__("repro.operators", fromlist=["Rescale"]).Rescale(0.0))
+        out = compose_streams(vis, zero, StreamComposition("/")).collect_frames()[0]
+        assert np.isnan(out.values).all()
+
+    def test_custom_kernel_ndvi(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        op = StreamComposition(normalized_difference, band="ndvi")
+        out = compose_streams(nir, vis, op).collect_frames()[0]
+        assert out.band == "ndvi"
+        finite = out.values[np.isfinite(out.values)]
+        assert finite.min() >= -1.0 and finite.max() <= 1.0
+
+    def test_band_naming(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        out = compose_streams(nir, vis, StreamComposition("-"))
+        assert out.metadata.band == "(nir-vis)"
+
+    def test_unknown_gamma_rejected(self):
+        with pytest.raises(CompositionError):
+            StreamComposition("%")
+
+    def test_point_streams_rejected(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=100)
+        op = StreamComposition("+")
+        with pytest.raises(CompositionError):
+            compose_streams(lidar.stream(), lidar.stream(), op).collect_chunks()
+
+    def test_output_timestamp_is_latest(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        out_chunks = compose_streams(nir, vis, StreamComposition("-")).collect_chunks()
+        vis_chunks = vis.collect_chunks()
+        nir_chunks = nir.collect_chunks()
+        assert out_chunks[0].t == max(vis_chunks[0].t, nir_chunks[0].t)
+
+
+class TestTimestamping:
+    """Section 3.3's central observation (experiment E6)."""
+
+    def test_measured_policy_never_matches(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, interleave="band")
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        op = StreamComposition("-", timestamp_policy="measured")
+        out = compose_streams(nir, vis, op).collect_chunks()
+        assert out == []  # "would never produce new image data"
+
+    def test_sector_policy_matches_fully(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, interleave="band")
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        op = StreamComposition("-", timestamp_policy="sector")
+        out = compose_streams(nir, vis, op)
+        assert out.count_points() == vis.count_points()
+
+    def test_measured_policy_with_tolerance_recovers(self, scene, geos_crs):
+        """A tolerance of the detector offset lets measured stamps match."""
+        imager = make_imager(scene, geos_crs, interleave="row")
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        op = StreamComposition(
+            "-", timestamp_policy="measured", time_tolerance=imager.row_time
+        )
+        out = compose_streams(nir, vis, op)
+        assert out.count_points() > 0
+
+
+class TestBuffering:
+    """Section 3.3: buffering follows the point organization (experiment E5)."""
+
+    def test_row_by_row_buffers_one_row(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, Organization.ROW_BY_ROW, "row")
+        op = StreamComposition("-")
+        compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+        row_points = imager.sector_lattice.width
+        assert op.stats.max_buffered_points == row_points
+
+    def test_image_by_image_buffers_whole_image(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, Organization.IMAGE_BY_IMAGE, "row")
+        op = StreamComposition("-")
+        compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+        frame_points = imager.sector_lattice.n_points
+        assert op.stats.max_buffered_points == frame_points
+
+    def test_sequential_band_scan_buffers_whole_frame_even_rowwise(self, scene, geos_crs):
+        """Ablation: with 'band' interleaving, one band's whole frame
+        arrives before the other band starts, so even row-by-row streams
+        force frame-sized composition buffers."""
+        imager = make_imager(scene, geos_crs, Organization.ROW_BY_ROW, "band")
+        op = StreamComposition("-")
+        compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+        frame_points = imager.sector_lattice.n_points
+        assert op.stats.max_buffered_points == frame_points
+
+    def test_buffer_drains_on_flush(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs)
+        op = StreamComposition("-")
+        compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+        assert op.stats.buffered_points == 0
+
+    def test_unmatched_chunks_produce_no_output(self, scene, geos_crs):
+        """Disjoint regions: 'no single point that occurs in both streams'."""
+        im_a = make_imager(scene, geos_crs, shape=(8, 16))
+        im_b = make_imager(scene, geos_crs, shape=(8, 20))  # different lattice
+        op = StreamComposition("-")
+        out = compose_streams(im_a.stream("nir"), im_b.stream("vis"), op).collect_chunks()
+        assert out == []
+
+
+class TestMetadata:
+    def test_crs_mismatch_rejected_at_metadata(self, scene, geos_crs):
+        from repro.ingest import AirborneCamera
+
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        cam = AirborneCamera(scene=scene, n_frames=1)
+        with pytest.raises(CompositionError):
+            compose_streams(imager.stream("vis"), cam.stream(), StreamComposition("+"))
+
+    def test_value_set_promotion(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        out = compose_streams(
+            imager.stream("nir"), imager.stream("vis"), StreamComposition("-")
+        )
+        assert not out.metadata.value_set.is_integer
+
+
+class TestNestedComposition:
+    """Closure under composition: composed streams compose again."""
+
+    def test_three_band_expression(self, scene, geos_crs):
+        """sup(nir - vis, vis - nir) == |nir - vis| pointwise."""
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        diff_a = compose_streams(nir, vis, StreamComposition("-"))
+        diff_b = compose_streams(vis, nir, StreamComposition("-"))
+        outer = compose_streams(diff_a, diff_b, StreamComposition("sup"))
+        frames = outer.collect_frames()
+        assert len(frames) == 2
+        n = nir.collect_frames()[0].values.astype(float)
+        v = vis.collect_frames()[0].values.astype(float)
+        np.testing.assert_allclose(frames[0].values, np.abs(n - v))
+
+    def test_nested_composition_reopenable(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        inner = compose_streams(nir, vis, StreamComposition("-"))
+        outer = compose_streams(inner, vis, StreamComposition("+"))
+        a = outer.count_points()
+        b = outer.count_points()
+        assert a == b > 0
+
+    def test_nested_metadata_propagates(self, scene, geos_crs):
+        imager = make_imager(scene, geos_crs, shape=(8, 16))
+        vis, nir = imager.stream("vis"), imager.stream("nir")
+        inner = compose_streams(nir, vis, StreamComposition("-"))
+        outer = compose_streams(inner, vis, StreamComposition("+"))
+        assert outer.metadata.band == "((nir-vis)+vis)"
+        assert outer.crs == vis.crs

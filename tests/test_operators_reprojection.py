@@ -1,0 +1,167 @@
+"""Re-projection (Fig. 2b): correctness, incremental buffering, hazards."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLOAT32, GeoStream, GridChunk, GridLattice, Organization, StreamMetadata
+from repro.errors import BlockingHazardError, OperatorError
+from repro.geo import LATLON, plate_carree, utm
+from repro.ingest import LidarScanner
+from repro.operators import Reproject
+
+
+@pytest.fixture()
+def pc_crs():
+    return plate_carree()
+
+
+class TestGridReprojection:
+    def test_output_crs_and_shape(self, small_imager, pc_crs):
+        out = small_imager.stream("vis").pipe(Reproject(pc_crs)).collect_frames()
+        assert len(out) == 2
+        assert out[0].lattice.crs == pc_crs
+        # Default: output lattice corresponds in size to the source frame.
+        src_shape = small_imager.sector_lattice.shape
+        assert out[0].shape == src_shape
+
+    def test_values_match_source_at_common_points(self, small_imager, pc_crs):
+        """Resampled values agree with the source at shared locations."""
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Reproject(pc_crs, method="bilinear")).collect_frames()[0]
+        # Probe interior output pixels; map back to the source and compare
+        # against a locally-interpolated source value within a tolerance
+        # bounded by the local value variation.
+        rng = np.random.default_rng(0)
+        rows = rng.integers(2, out.shape[0] - 2, 40)
+        cols = rng.integers(2, out.shape[1] - 2, 40)
+        ox = out.lattice.x_of_col(cols)
+        oy = out.lattice.y_of_row(rows)
+        lon, lat = pc_crs.to_lonlat(ox, oy)
+        sx, sy = small_imager.crs.from_lonlat(lon, lat)
+        s_rows = src.lattice.row_of_y(sy)
+        s_cols = src.lattice.col_of_x(sx)
+        inside = (
+            (s_rows > 0) & (s_rows < src.shape[0] - 1)
+            & (s_cols > 0) & (s_cols < src.shape[1] - 1)
+        )
+        got = out.values[rows[inside], cols[inside]]
+        # Bound by the local neighborhood min/max of the source.
+        for value, r, c in zip(got, s_rows[inside], s_cols[inside]):
+            window = src.values[r - 1 : r + 2, c - 1 : c + 2].astype(float)
+            assert window.min() - 1e-3 <= value <= window.max() + 1e-3
+
+    def test_incremental_buffer_smaller_than_frame(self, small_imager, pc_crs):
+        """E4: scan-sector metadata bounds the buffer to a row band."""
+        op = Reproject(pc_crs)
+        small_imager.stream("vis").pipe(op).count_points()
+        frame_points = small_imager.sector_lattice.n_points
+        assert 0 < op.stats.max_buffered_points < frame_points / 2
+
+    def test_explicit_output_lattice(self, small_imager, pc_crs):
+        target = GridLattice(pc_crs, -13_400_000.0, 4_800_000.0, 20_000.0, -20_000.0, 50, 30)
+        out = small_imager.stream("vis").pipe(
+            Reproject(pc_crs, dst_lattice=target)
+        ).collect_frames()
+        assert out[0].lattice == target
+
+    def test_explicit_resolution(self, small_imager, pc_crs):
+        out = small_imager.stream("vis").pipe(
+            Reproject(pc_crs, resolution=(50_000.0, 50_000.0))
+        ).collect_frames()[0]
+        assert abs(out.lattice.dx) == pytest.approx(50_000.0)
+
+    def test_pixels_outside_source_are_fill(self, small_imager):
+        """Reprojecting a rectangular sector to UTM leaves NaN wedges."""
+        out = small_imager.stream("vis").pipe(Reproject(utm(10))).collect_frames()[0]
+        assert np.isnan(out.values).any()
+        assert np.isfinite(out.values).any()
+
+    def test_missing_metadata_raises_blocking_hazard(self, latlon_lattice):
+        """Section 3.2: without scan metadata the operator could block forever."""
+        rows = [
+            GridChunk(
+                np.zeros((1, latlon_lattice.width), dtype=np.float32),
+                latlon_lattice.row_lattice(r),
+                "b",
+                float(r),
+                frame=None,  # no FrameInfo
+                row0=r,
+                last_in_frame=False,
+            )
+            for r in range(3)
+        ]
+        meta = StreamMetadata("x", "b", LATLON, Organization.ROW_BY_ROW, FLOAT32)
+        stream = GeoStream.from_chunks(meta, rows)
+        with pytest.raises(BlockingHazardError):
+            stream.pipe(Reproject(utm(10))).collect_chunks()
+
+    def test_frameless_whole_frame_ok(self, latlon_lattice):
+        """A single self-contained frame chunk needs no extra metadata."""
+        chunk = GridChunk(
+            np.random.default_rng(0).uniform(size=latlon_lattice.shape).astype(np.float32),
+            latlon_lattice,
+            "b",
+            0.0,
+            last_in_frame=True,
+        )
+        meta = StreamMetadata("x", "b", LATLON, Organization.IMAGE_BY_IMAGE, FLOAT32)
+        stream = GeoStream.from_chunks(meta, [chunk])
+        out = stream.pipe(Reproject(utm(10))).collect_frames()
+        assert len(out) == 1
+
+    def test_methods_all_run(self, small_imager, pc_crs):
+        for method in ("nearest", "bilinear", "bicubic"):
+            out = small_imager.stream("vis").pipe(
+                Reproject(pc_crs, method=method)
+            ).collect_frames(limit=1)
+            assert out[0].lattice.crs == pc_crs
+
+    def test_unknown_method_rejected(self, pc_crs):
+        with pytest.raises(OperatorError):
+            Reproject(pc_crs, method="sinc")
+
+    def test_dst_lattice_crs_checked(self, pc_crs, latlon_lattice):
+        with pytest.raises(OperatorError):
+            Reproject(pc_crs, dst_lattice=latlon_lattice)
+
+    def test_metadata_crs_updated(self, small_imager, pc_crs):
+        out = small_imager.stream("vis").pipe(Reproject(pc_crs))
+        assert out.metadata.crs == pc_crs
+
+    def test_roundtrip_reprojection_preserves_field(self, pc_crs):
+        """latlon -> plate carree on a smooth field: values survive."""
+        lattice = GridLattice(LATLON, -124.0, 42.0, 0.05, -0.05, 60, 40)
+        x, y = lattice.meshgrid()
+        smooth = (np.sin(x / 3.0) + np.cos(y / 3.0)).astype(np.float32)
+        chunk = GridChunk(smooth, lattice, "b", 0.0, last_in_frame=True)
+        meta = StreamMetadata("x", "b", LATLON, Organization.IMAGE_BY_IMAGE, FLOAT32)
+        stream = GeoStream.from_chunks(meta, [chunk])
+        out = stream.pipe(Reproject(pc_crs, method="bilinear")).collect_frames()[0]
+        # Map output pixels back and compare to the analytic field.
+        ox, oy = out.lattice.meshgrid()
+        lon, lat = pc_crs.to_lonlat(ox, oy)
+        truth = np.sin(lon / 3.0) + np.cos(lat / 3.0)
+        good = np.isfinite(out.values)
+        assert good.mean() > 0.8
+        err = np.abs(out.values[good] - truth[good])
+        assert np.percentile(err, 95) < 0.01
+
+
+class TestPointReprojection:
+    def test_pointwise_no_buffering(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=300, points_per_chunk=100)
+        op = Reproject(utm(10))
+        out = lidar.stream().pipe(op).collect_chunks()
+        assert sum(c.n_points for c in out) == 300
+        assert op.stats.is_nonblocking
+        assert out[0].crs == utm(10)
+
+    def test_coordinates_transformed_correctly(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=100)
+        src = lidar.stream().collect_chunks()[0]
+        out = lidar.stream().pipe(Reproject(utm(10))).collect_chunks()[0]
+        ex, ey = utm(10).from_lonlat(src.x, src.y)
+        np.testing.assert_allclose(out.x, ex, atol=1e-6)
+        np.testing.assert_allclose(out.y, ey, atol=1e-6)
+        np.testing.assert_array_equal(out.values, src.values)

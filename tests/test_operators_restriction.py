@@ -1,0 +1,203 @@
+"""Stream restrictions (Section 3.1): semantics and the non-blocking claim."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeInterval, TimeInstants
+from repro.errors import CRSMismatchError, OperatorError
+from repro.geo import LATLON, BoundingBox, PolygonRegion, utm
+from repro.ingest import LidarScanner
+from repro.operators import SpatialRestriction, TemporalRestriction, ValueRestriction
+
+from_test_helpers = None  # placeholder to keep imports explicit below
+
+
+def sector_subbox(imager, fx0, fy0, fx1, fy1):
+    box = imager.sector_lattice.bbox
+    return BoundingBox(
+        box.xmin + box.width * fx0,
+        box.ymin + box.height * fy0,
+        box.xmin + box.width * fx1,
+        box.ymin + box.height * fy1,
+        box.crs,
+    )
+
+
+class TestSpatialRestriction:
+    def test_bbox_crops_exactly(self, small_imager):
+        region = sector_subbox(small_imager, 0.25, 0.25, 0.75, 0.75)
+        op = SpatialRestriction(region)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 2
+        # Every retained pixel center is inside the region.
+        x, y = frames[0].lattice.meshgrid()
+        assert bool(np.all(region.mask(x, y)))
+
+    def test_all_points_inside_region(self, small_imager):
+        """Def. 6: G|R = {(x, G(x)) : x in G and x.s in R}."""
+        region = sector_subbox(small_imager, 0.1, 0.1, 0.6, 0.4)
+        stream = small_imager.stream("vis")
+        restricted = stream.pipe(SpatialRestriction(region))
+        full = stream.collect_frames()[0]
+        sub = restricted.collect_frames()[0]
+        # Values agree with the source at the same coordinates.
+        x, y = sub.lattice.meshgrid()
+        rows = full.lattice.row_of_y(y[:, 0])
+        cols = full.lattice.col_of_x(x[0, :])
+        np.testing.assert_array_equal(sub.values, full.values[np.ix_(rows, cols)])
+
+    def test_nonblocking_zero_buffer(self, small_imager):
+        """Section 3.1: evaluated without storage for intermediate data."""
+        op = SpatialRestriction(sector_subbox(small_imager, 0.2, 0.2, 0.8, 0.8))
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.max_buffered_points == 0
+        assert op.stats.is_nonblocking
+
+    def test_disjoint_region_empty_stream(self, small_imager):
+        box = small_imager.sector_lattice.bbox
+        far = BoundingBox(box.xmax + 1e6, box.ymax + 1e6, box.xmax + 2e6, box.ymax + 2e6, box.crs)
+        out = small_imager.stream("vis").pipe(SpatialRestriction(far)).collect_chunks()
+        assert out == []
+
+    def test_crs_mismatch_raises(self, small_imager):
+        wrong = BoundingBox(-122.0, 38.0, -121.0, 39.0, LATLON)
+        with pytest.raises(CRSMismatchError):
+            small_imager.stream("vis").pipe(SpatialRestriction(wrong)).collect_chunks()
+
+    def test_polygon_region_masks_to_nan(self, small_imager):
+        box = sector_subbox(small_imager, 0.2, 0.2, 0.8, 0.8)
+        tri = PolygonRegion(
+            [(box.xmin, box.ymin), (box.xmax, box.ymin), (box.xmin, box.ymax)], box.crs
+        )
+        frames = small_imager.stream("vis").pipe(SpatialRestriction(tri)).collect_frames()
+        values = frames[0].values
+        assert np.issubdtype(values.dtype, np.floating)
+        assert np.isnan(values).any()
+        assert np.isfinite(values).any()
+
+    def test_narrows_frame_metadata(self, small_imager):
+        """Restriction narrows the scan-sector metadata (enables pushdown wins)."""
+        region = sector_subbox(small_imager, 0.25, 0.25, 0.5, 0.5)
+        chunks = small_imager.stream("vis").pipe(SpatialRestriction(region)).collect_chunks()
+        frame = chunks[0].frame
+        assert frame is not None
+        assert frame.lattice.width < small_imager.sector_lattice.width
+        assert frame.lattice.height < small_imager.sector_lattice.height
+        # The last retained row is flagged so downstream frames complete.
+        assert chunks[-1].last_in_frame
+
+    def test_point_stream_restriction(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=400, points_per_chunk=100)
+        stream = lidar.stream()
+        all_chunks = stream.collect_chunks()
+        xs = np.concatenate([c.x for c in all_chunks])
+        ys = np.concatenate([c.y for c in all_chunks])
+        region = BoundingBox(
+            float(np.percentile(xs, 25)),
+            float(np.percentile(ys, 25)),
+            float(np.percentile(xs, 75)),
+            float(np.percentile(ys, 75)),
+            LATLON,
+        )
+        op = SpatialRestriction(region)
+        kept = stream.pipe(op).collect_chunks()
+        n_kept = sum(c.n_points for c in kept)
+        expected = int(region.mask(xs, ys).sum())
+        assert n_kept == expected
+        assert op.stats.max_buffered_points == 0
+
+    def test_metadata_unchanged_for_box(self, small_imager):
+        stream = small_imager.stream("vis")
+        out = stream.pipe(SpatialRestriction(sector_subbox(small_imager, 0, 0, 1, 1)))
+        assert out.metadata.value_set == stream.metadata.value_set
+
+
+class TestTemporalRestriction:
+    def test_interval_selects_frames(self, small_imager):
+        period = small_imager.frame_period
+        t0 = small_imager.t0
+        op = TemporalRestriction(TimeInterval(t0, t0 + period, closed_end=False))
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 1
+
+    def test_whole_chunk_granularity_o1(self, small_imager):
+        op = TemporalRestriction(TimeInterval(0.0, 1e12))
+        stream = small_imager.stream("vis")
+        out = stream.pipe(op)
+        assert out.count_points() == stream.count_points()
+        assert op.stats.max_buffered_points == 0
+
+    def test_sector_based(self, small_imager):
+        op = TemporalRestriction(TimeInterval(1.0, 1.0), on_sector=True)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 1
+        assert frames[0].sector == 1
+
+    def test_sector_mode_without_sectors_raises(self, latlon_lattice):
+        from repro.core import FLOAT32, GeoStream, GridChunk, Organization, StreamMetadata
+
+        meta = StreamMetadata("x", "b", LATLON, Organization.IMAGE_BY_IMAGE, FLOAT32)
+        chunk = GridChunk(np.zeros(latlon_lattice.shape), latlon_lattice, "b", 0.0, sector=None)
+        stream = GeoStream.from_chunks(meta, [chunk])
+        op = TemporalRestriction(TimeInterval(0.0, 1.0), on_sector=True)
+        with pytest.raises(OperatorError):
+            stream.pipe(op).collect_chunks()
+
+    def test_point_stream_per_point_filter(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=300, points_per_chunk=100)
+        chunk0 = lidar.stream().collect_chunks()[0]
+        t_mid = float(chunk0.t[50])
+        op = TemporalRestriction(TimeInterval(0.0, t_mid))
+        kept = lidar.stream().pipe(op).collect_chunks()
+        assert sum(c.n_points for c in kept) == 51  # closed interval
+
+    def test_instants(self, small_imager):
+        chunks = small_imager.stream("vis").collect_chunks()
+        target = chunks[5].t
+        op = TemporalRestriction(TimeInstants((target,), tolerance=1e-9))
+        out = small_imager.stream("vis").pipe(op).collect_chunks()
+        assert len(out) == 1 and out[0].t == target
+
+
+class TestValueRestriction:
+    def test_range_masks_grid(self, small_imager):
+        op = ValueRestriction(lo=100.0, hi=300.0)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        values = frames[0].values
+        finite = values[np.isfinite(values)]
+        assert finite.size > 0
+        assert finite.min() >= 100.0 and finite.max() <= 300.0
+
+    def test_drops_chunks_with_no_matches(self, small_imager):
+        op = ValueRestriction(lo=1e9, hi=2e9)
+        out = small_imager.stream("vis").pipe(op).collect_chunks()
+        assert out == []
+
+    def test_predicate(self, small_imager):
+        op = ValueRestriction(predicate=lambda v: v % 2 == 0)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        finite = frames[0].values[np.isfinite(frames[0].values)]
+        assert (finite % 2 == 0).all()
+
+    def test_nonblocking(self, small_imager):
+        op = ValueRestriction(lo=0.0, hi=1e9)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.is_nonblocking
+
+    def test_point_stream(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=200, points_per_chunk=200)
+        op = ValueRestriction(lo=1000.0, hi=None)
+        kept = lidar.stream().pipe(op).collect_chunks()
+        for c in kept:
+            assert (c.values >= 1000.0).all()
+
+    def test_needs_bounds_or_predicate(self):
+        with pytest.raises(OperatorError):
+            ValueRestriction()
+        with pytest.raises(OperatorError):
+            ValueRestriction(lo=0.0, predicate=lambda v: v > 0)
+
+    def test_metadata_value_set_widens_to_float(self, small_imager):
+        stream = small_imager.stream("vis")
+        out = stream.pipe(ValueRestriction(lo=0.0, hi=500.0))
+        assert not out.metadata.value_set.is_integer

@@ -1,0 +1,113 @@
+"""Load shedding operators (DSMS overload techniques from the intro)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.ingest import LidarScanner
+from repro.operators import AdaptiveLoadShedder, FrameSubsampler
+
+
+class TestFrameSubsampler:
+    def test_keep_every_2(self, small_imager):
+        op = FrameSubsampler(2)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 1  # 2 frames in, keep frame 0
+        assert frames[0].sector == 0
+        assert op.frames_seen == 2 and op.frames_shed == 1
+
+    def test_phase_offset(self, small_imager):
+        op = FrameSubsampler(2, phase=1)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 1
+        assert frames[0].sector == 1
+
+    def test_keep_every_1_is_identity(self, small_imager):
+        op = FrameSubsampler(1)
+        stream = small_imager.stream("vis")
+        assert stream.pipe(op).count_points() == stream.count_points()
+        assert op.frames_shed == 0
+
+    def test_kept_frames_are_complete(self, small_imager):
+        op = FrameSubsampler(2)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert frames[0].n_points == small_imager.sector_lattice.n_points
+        assert not np.isnan(frames[0].values.astype(float)).any()
+
+    def test_nonblocking(self, small_imager):
+        op = FrameSubsampler(2)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.max_buffered_points == 0
+
+    def test_point_streams_pass_through(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=50)
+        op = FrameSubsampler(2)
+        out = lidar.stream().pipe(op)
+        assert out.count_points() == 100
+
+    def test_validation(self):
+        with pytest.raises(OperatorError):
+            FrameSubsampler(0)
+
+    def test_reset_restores_phase(self, small_imager):
+        op = FrameSubsampler(2)
+        piped = small_imager.stream("vis").pipe(op)
+        first = [f.sector for f in piped.collect_frames()]
+        second = [f.sector for f in piped.collect_frames()]
+        assert first == second  # reset between iterations
+
+
+class TestAdaptiveLoadShedder:
+    def test_no_shedding_when_budget_covers_downlink(self, small_imager):
+        frame_points = small_imager.sector_lattice.n_points
+        op = AdaptiveLoadShedder(points_per_frame_budget=frame_points)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 2
+        assert op.shed_fraction == 0.0
+
+    def test_half_budget_sheds_half(self, scene, geos_crs):
+        from repro.ingest import GOESImager, western_us_sector
+
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(scene=scene, sector_lattice=sector, n_frames=8, t0=72_000.0)
+        op = AdaptiveLoadShedder(points_per_frame_budget=sector.n_points * 0.5)
+        frames = imager.stream("vis").pipe(op).collect_frames()
+        assert len(frames) == 4
+        assert op.shed_fraction == pytest.approx(0.5)
+
+    def test_sheds_whole_frames(self, small_imager):
+        frame_points = small_imager.sector_lattice.n_points
+        op = AdaptiveLoadShedder(points_per_frame_budget=frame_points * 0.5)
+        frames = small_imager.stream("vis").pipe(op).collect_frames()
+        for f in frames:
+            assert f.n_points == frame_points
+
+    def test_points_shed_accounted(self, small_imager):
+        frame_points = small_imager.sector_lattice.n_points
+        op = AdaptiveLoadShedder(points_per_frame_budget=frame_points * 0.5)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.points_shed == op.frames_shed * frame_points
+
+    def test_credit_capped(self, small_imager):
+        """A long idle gap must not allow an unbounded burst afterwards."""
+        frame_points = small_imager.sector_lattice.n_points
+        op = AdaptiveLoadShedder(
+            points_per_frame_budget=frame_points * 0.4,
+            max_credit=frame_points * 0.8,
+        )
+        small_imager.stream("vis").pipe(op).collect_frames()
+        assert op._credit <= frame_points * 0.8
+
+    def test_nonblocking(self, small_imager):
+        op = AdaptiveLoadShedder(points_per_frame_budget=1.0)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.max_buffered_points == 0
+
+    def test_validation(self):
+        with pytest.raises(OperatorError):
+            AdaptiveLoadShedder(points_per_frame_budget=0.0)
+
+    def test_point_streams_pass_through(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=50)
+        op = AdaptiveLoadShedder(points_per_frame_budget=1.0)
+        assert lidar.stream().pipe(op).count_points() == 100

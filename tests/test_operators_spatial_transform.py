@@ -1,0 +1,189 @@
+"""Spatial transforms (Def. 9, Fig. 2a): zoom costs and warp geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.ingest import LidarScanner
+from repro.operators import AffineTransform, AffineWarp, Coarsen, Magnify, Rotate
+
+
+class TestMagnify:
+    def test_pixel_replication(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Magnify(3)).collect_frames()[0]
+        assert out.shape == (src.shape[0] * 3, src.shape[1] * 3)
+        # Each k x k block holds the source value.
+        np.testing.assert_array_equal(out.values[0:3, 0:3], src.values[0, 0])
+        np.testing.assert_array_equal(out.values[3:6, 3:6], src.values[1, 1])
+
+    def test_zero_buffering(self, small_imager):
+        """Fig. 2a: increasing resolution needs no neighboring points."""
+        op = Magnify(2)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.is_nonblocking
+
+    def test_same_extent(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Magnify(2)).collect_frames()[0]
+        assert out.lattice.bbox.xmin == pytest.approx(src.lattice.bbox.xmin)
+        assert out.lattice.bbox.ymax == pytest.approx(src.lattice.bbox.ymax)
+
+    def test_k1_passthrough(self, small_imager):
+        op = Magnify(1)
+        stream = small_imager.stream("vis")
+        assert stream.pipe(op).count_points() == stream.count_points()
+
+    def test_invalid_k(self):
+        with pytest.raises(OperatorError):
+            Magnify(0)
+
+    def test_point_stream_rejected(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=50, points_per_chunk=50)
+        with pytest.raises(OperatorError):
+            lidar.stream().pipe(Magnify(2)).collect_chunks()
+
+
+class TestCoarsen:
+    def test_block_mean(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Coarsen(4)).collect_frames()[0]
+        assert out.shape == (src.shape[0] // 4, src.shape[1] // 4)
+        expected = src.values[:4, :4].astype(float).mean()
+        assert float(out.values[0, 0]) == pytest.approx(expected)
+
+    def test_buffers_k_rows(self, small_imager):
+        """Fig. 2a: decreasing resolution by 1/k buffers a k-row band."""
+        for k in (2, 4, 8):
+            op = Coarsen(k)
+            small_imager.stream("vis").pipe(op).count_points()
+            width = small_imager.sector_lattice.width
+            assert op.stats.max_buffered_points == k * width
+
+    def test_whole_frame_fast_path(self, scene, geos_crs):
+        from repro.core import Organization
+        from repro.ingest import GOESImager, western_us_sector
+
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=1,
+            organization=Organization.IMAGE_BY_IMAGE, t0=72_000.0,
+        )
+        op = Coarsen(4)
+        out = imager.stream("vis").pipe(op).collect_frames()
+        assert out[0].shape == (4, 8)
+        assert op.stats.max_buffered_points == 0  # direct reduction
+
+    def test_row_and_frame_paths_agree(self, scene, geos_crs):
+        from repro.core import Organization
+        from repro.ingest import GOESImager, western_us_sector
+
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        kw = dict(scene=scene, sector_lattice=sector, n_frames=1, t0=72_000.0)
+        by_rows = GOESImager(organization=Organization.ROW_BY_ROW, **kw)
+        by_imgs = GOESImager(organization=Organization.IMAGE_BY_IMAGE, **kw)
+        a = by_rows.stream("vis").pipe(Coarsen(4)).collect_frames()[0]
+        b = by_imgs.stream("vis").pipe(Coarsen(4)).collect_frames()[0]
+        np.testing.assert_allclose(a.values, b.values)
+        assert a.lattice.aligned_with(b.lattice)
+
+    def test_custom_reducer(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Coarsen(4, reducer=np.max)).collect_frames()[0]
+        assert float(out.values[0, 0]) == float(src.values[:4, :4].max())
+
+    def test_trailing_rows_dropped(self, small_imager):
+        # 48 rows coarsened by 5 -> 9 output rows, 3 rows dropped.
+        out = small_imager.stream("vis").pipe(Coarsen(5)).collect_frames()[0]
+        assert out.shape[0] == 9
+
+    def test_metadata_frame_shape(self, small_imager):
+        out = small_imager.stream("vis").pipe(Coarsen(4))
+        assert out.metadata.max_frame_shape == (12, 24)
+
+
+class TestAffine:
+    def test_inverse_roundtrip(self):
+        a = AffineTransform(2.0, 0.5, 3.0, -0.5, 1.5, -2.0)
+        inv = a.inverse()
+        x, y = np.array([1.0, 5.0]), np.array([2.0, -3.0])
+        wx, wy = a.apply(x, y)
+        bx, by = inv.apply(wx, wy)
+        np.testing.assert_allclose(bx, x, atol=1e-12)
+        np.testing.assert_allclose(by, y, atol=1e-12)
+
+    def test_singular_rejected(self):
+        with pytest.raises(OperatorError):
+            AffineTransform(1.0, 2.0, 0.0, 2.0, 4.0, 0.0).inverse()
+
+    def test_rotation_fixes_center(self):
+        rot = AffineTransform.rotation(37.0, cx=5.0, cy=-3.0)
+        x, y = rot.apply(np.array([5.0]), np.array([-3.0]))
+        assert x.item() == pytest.approx(5.0)
+        assert y.item() == pytest.approx(-3.0)
+
+    def test_rotation_90(self):
+        rot = AffineTransform.rotation(90.0)
+        x, y = rot.apply(np.array([1.0]), np.array([0.0]))
+        assert x.item() == pytest.approx(0.0, abs=1e-12)
+        assert y.item() == pytest.approx(1.0)
+
+
+class TestWarps:
+    def test_rotate_buffers_full_frame(self, small_imager):
+        op = Rotate(30.0)
+        small_imager.stream("vis").pipe(op).collect_frames()
+        assert op.stats.max_buffered_points == small_imager.sector_lattice.n_points
+
+    def test_rotate_covers_rotated_extent(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Rotate(45.0)).collect_frames()[0]
+        # A 45-degree rotation enlarges the bounding box.
+        assert out.shape[0] > src.shape[0]
+        assert out.shape[1] > src.shape[1] * 0.7
+
+    def test_rotate_zero_is_near_identity(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Rotate(0.0)).collect_frames()[0]
+        # Same grid, bilinear at exact centers: values identical.
+        inner = out.values[1:-1, 1:-1]
+        np.testing.assert_allclose(inner, src.values[1:-1, 1:-1].astype(np.float32), atol=1e-3)
+
+    def test_rotate_360_equals_0(self, small_imager):
+        stream = small_imager.stream("vis")
+        a = stream.pipe(Rotate(0.0)).collect_frames()[0]
+        b = stream.pipe(Rotate(360.0)).collect_frames()[0]
+        np.testing.assert_allclose(a.values, b.values, atol=1e-6, equal_nan=True)
+
+    def test_affine_warp_translation(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        dx = src.lattice.dx * 2  # shift right by exactly two pixels
+        op = AffineWarp(AffineTransform(1.0, 0.0, dx, 0.0, 1.0, 0.0))
+        out = stream.pipe(op).collect_frames()[0]
+        assert out.lattice.bbox.xmin == pytest.approx(src.lattice.bbox.xmin + dx, abs=abs(dx))
+        # Content rides along with the georeference: output pixel j sits at
+        # src center_j + dx and reads back the value of src pixel j.
+        h = min(out.values.shape[0], src.values.shape[0])
+        w = min(out.values.shape[1], src.values.shape[1])
+        np.testing.assert_allclose(
+            out.values[: h - 1, : w - 1],
+            src.values.astype(np.float32)[: h - 1, : w - 1],
+            atol=1e-3,
+        )
+
+    def test_corners_outside_are_fill(self, small_imager):
+        out = small_imager.stream("vis").pipe(Rotate(45.0)).collect_frames()[0]
+        assert np.isnan(out.values[0, 0])
+        assert np.isnan(out.values[-1, -1])
+
+    def test_point_stream_rejected(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=50, points_per_chunk=50)
+        with pytest.raises(OperatorError):
+            lidar.stream().pipe(Rotate(10.0)).collect_chunks()

@@ -1,0 +1,144 @@
+"""Value transforms (Def. 8): pointwise vs frame-buffered costs."""
+
+import numpy as np
+import pytest
+
+from repro.core import GRAY8, REFLECTANCE
+from repro.errors import OperatorError
+from repro.ingest import LidarScanner
+from repro.operators import (
+    ColorToGray,
+    CountsToReflectance,
+    FrameStretch,
+    PointwiseTransform,
+    Rescale,
+)
+
+
+class TestPointwise:
+    def test_rescale(self, small_imager):
+        stream = small_imager.stream("vis")
+        src = stream.collect_frames()[0]
+        out = stream.pipe(Rescale(2.0, 1.0)).collect_frames()[0]
+        np.testing.assert_allclose(out.values, src.values.astype(np.float32) * 2.0 + 1.0)
+
+    def test_counts_to_reflectance(self, small_imager):
+        out = small_imager.stream("vis").pipe(CountsToReflectance(bits=10)).collect_frames()[0]
+        assert out.values.dtype == np.float32
+        assert out.values.min() >= 0.0 and out.values.max() <= 1.0
+
+    def test_nonblocking(self, small_imager):
+        """Section 3.2: pointwise f_val allows point-by-point processing."""
+        op = Rescale(0.5)
+        small_imager.stream("vis").pipe(op).count_points()
+        assert op.stats.is_nonblocking
+        assert op.stats.points_in == op.stats.points_out
+
+    def test_custom_function_and_value_set(self, small_imager):
+        op = PointwiseTransform(
+            lambda v: v.astype(np.float32) / 1023.0, output_value_set=REFLECTANCE
+        )
+        out = small_imager.stream("vis").pipe(op)
+        assert out.metadata.value_set == REFLECTANCE
+
+    def test_band_rename(self, small_imager):
+        op = PointwiseTransform(lambda v: v, band="renamed")
+        chunk = small_imager.stream("vis").pipe(op).collect_chunks(limit=1)[0]
+        assert chunk.band == "renamed"
+
+    def test_point_stream_supported(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=100)
+        out = lidar.stream().pipe(Rescale(0.001)).collect_chunks()[0]
+        assert out.values.max() <= 3.0
+
+    def test_color_to_gray(self, latlon_lattice):
+        from repro.core import FLOAT32, GeoStream, GridChunk, Organization, RGB8, StreamMetadata
+        from repro.geo import LATLON
+
+        rgb = np.zeros(latlon_lattice.shape + (3,), dtype=np.uint8)
+        rgb[..., 0] = 255  # pure red
+        meta = StreamMetadata("rgb", "rgb", LATLON, Organization.IMAGE_BY_IMAGE, RGB8)
+        stream = GeoStream.from_chunks(meta, [GridChunk(rgb, latlon_lattice, "rgb", 0.0)])
+        out = stream.pipe(ColorToGray()).collect_chunks()[0]
+        assert out.values.shape == latlon_lattice.shape
+        np.testing.assert_allclose(out.values, 0.299 * 255, rtol=1e-5)
+
+    def test_color_to_gray_rejects_scalar(self, small_imager):
+        with pytest.raises(OperatorError):
+            small_imager.stream("vis").pipe(ColorToGray()).collect_chunks()
+
+
+class TestFrameStretch:
+    @pytest.mark.parametrize("kind", ["linear", "equalize", "gaussian"])
+    def test_output_range_and_dtype(self, small_imager, kind):
+        out = small_imager.stream("vis").pipe(FrameStretch(kind)).collect_frames()
+        assert len(out) == 2
+        for img in out:
+            assert img.values.dtype == np.uint8
+            assert img.values.min() >= 0 and img.values.max() <= 255
+
+    def test_linear_uses_full_range_per_frame(self, small_imager):
+        out = small_imager.stream("vis").pipe(FrameStretch("linear")).collect_frames()
+        for img in out:
+            assert img.values.min() == 0
+            assert img.values.max() == 255
+
+    def test_buffers_exactly_one_frame(self, small_imager):
+        """Section 3.2: cost determined by the size of the largest frame."""
+        op = FrameStretch("linear")
+        small_imager.stream("vis").pipe(op).count_points()
+        frame_points = small_imager.sector_lattice.n_points
+        assert op.stats.max_buffered_points == frame_points
+        # Buffer fully drains after each frame.
+        assert op.stats.buffered_points == 0
+
+    def test_frame_results_independent(self, small_imager):
+        """Stretching runs per frame, not over the whole stream."""
+        stream = small_imager.stream("vis")
+        stretched = stream.pipe(FrameStretch("linear")).collect_frames()
+        raw = stream.collect_frames()
+        # Frame 1 scaled by its own min/max, not frame 0's.
+        r = raw[1].values.astype(float)
+        expected = (r - r.min()) / (r.max() - r.min()) * 255.0
+        np.testing.assert_allclose(stretched[1].values, np.rint(expected), atol=1.0)
+
+    def test_equalize_flattens_histogram(self, small_imager):
+        out = small_imager.stream("vis").pipe(FrameStretch("equalize")).collect_frames()[0]
+        std = np.std(out.values.astype(float))
+        assert std > 55.0  # near-uniform (73.6) rather than concentrated
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(OperatorError):
+            FrameStretch("sigmoid")
+
+    def test_point_stream_rejected(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=100, points_per_chunk=100)
+        with pytest.raises(OperatorError):
+            lidar.stream().pipe(FrameStretch("linear")).collect_chunks()
+
+    def test_metadata_value_set(self, small_imager):
+        out = small_imager.stream("vis").pipe(FrameStretch("linear"))
+        assert out.metadata.value_set == GRAY8
+
+    def test_flush_emits_partial_frame(self, latlon_lattice):
+        """A stream ending mid-frame still emits on flush."""
+        from repro.core import FLOAT32, GeoStream, GridChunk, FrameInfo, Organization, StreamMetadata
+        from repro.geo import LATLON
+
+        info = FrameInfo(0, latlon_lattice)
+        rows = [
+            GridChunk(
+                np.full((1, latlon_lattice.width), float(r)),
+                latlon_lattice.row_lattice(r),
+                "b",
+                float(r),
+                frame=info,
+                row0=r,
+                last_in_frame=False,  # never marked last
+            )
+            for r in range(3)
+        ]
+        meta = StreamMetadata("x", "b", LATLON, Organization.ROW_BY_ROW, FLOAT32)
+        stream = GeoStream.from_chunks(meta, rows)
+        out = stream.pipe(FrameStretch("linear")).collect_chunks()
+        assert len(out) == 3  # flushed at end of stream

@@ -1,0 +1,325 @@
+"""Integration tests: every evaluation-relevant claim of the paper.
+
+The EDBT 2006 paper has no numeric tables; its evaluation content is a
+set of behavioural/complexity claims (Sections 3-4) plus Figures 1-3.
+Each test here is the assertion form of one claim; the `benchmarks/`
+directory measures the same claims quantitatively (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Organization
+from repro.engine import compose_streams
+from repro.geo import BoundingBox, haversine_m, plate_carree, utm
+from repro.ingest import AirborneCamera, GOESImager, LidarScanner, western_us_sector
+from repro.operators import (
+    Coarsen,
+    FrameStretch,
+    Magnify,
+    Reproject,
+    SpatialRestriction,
+    StreamComposition,
+    TemporalRestriction,
+    ValueRestriction,
+)
+from repro.query import ast as q
+from repro.query import optimize
+from repro.server import DSMSServer, StreamCatalog
+
+DAY_T0 = 72_000.0
+
+
+def subbox(imager, fx0, fy0, fx1, fy1):
+    box = imager.sector_lattice.bbox
+    return BoundingBox(
+        box.xmin + box.width * fx0,
+        box.ymin + box.height * fy0,
+        box.xmin + box.width * fx1,
+        box.ymin + box.height * fy1,
+        box.crs,
+    )
+
+
+class TestClaimE1Restrictions:
+    """Section 3.1: all restrictions are non-blocking, O(1)/point, zero storage."""
+
+    def test_all_three_restrictions_zero_buffer(self, small_imager):
+        from repro.core import TimeInterval
+
+        ops = [
+            SpatialRestriction(subbox(small_imager, 0.2, 0.2, 0.8, 0.8)),
+            TemporalRestriction(TimeInterval(0.0, 1e12)),
+            ValueRestriction(lo=0.0, hi=1e9),
+        ]
+        stream = small_imager.stream("vis").pipe(*ops)
+        stream.count_points()
+        for op in ops:
+            assert op.stats.max_buffered_points == 0, op.name
+
+    def test_buffer_independent_of_stream_size(self, scene, geos_crs):
+        """Constant cost 'independent of the size of the input stream'."""
+        for n_frames in (1, 4):
+            sector = western_us_sector(geos_crs, width=64, height=32)
+            imager = GOESImager(scene=scene, sector_lattice=sector, n_frames=n_frames, t0=DAY_T0)
+            op = SpatialRestriction(subbox(imager, 0.2, 0.2, 0.8, 0.8))
+            imager.stream("vis").pipe(op).count_points()
+            assert op.stats.max_buffered_points == 0
+
+
+class TestClaimE2ValueTransforms:
+    """Section 3.2: stretch cost = largest frame; pointwise = zero."""
+
+    def test_stretch_buffer_tracks_frame_size(self, scene, geos_crs):
+        sizes = [(16, 32), (32, 64)]
+        for h, w in sizes:
+            sector = western_us_sector(geos_crs, width=w, height=h)
+            imager = GOESImager(scene=scene, sector_lattice=sector, n_frames=1, t0=DAY_T0)
+            op = FrameStretch("linear")
+            imager.stream("vis").pipe(op).count_points()
+            assert op.stats.max_buffered_points == h * w
+
+    def test_goes_vis_frame_memory_math(self):
+        """The paper's concrete figure: 20,840 x 10,820 points ~ 280 MB."""
+        from repro.ingest import GOES_VIS_FRAME_SHAPE
+
+        h, w = GOES_VIS_FRAME_SHAPE
+        # 10-bit counts stored as 16-bit words, plus filesystem slack, is
+        # what the paper rounds to "approx. 280MB"; the raw point count is
+        # ~225 million, i.e. 215 MB at 1 byte or 430 MB at 2 bytes.
+        points = h * w
+        assert points == pytest.approx(225_500_000, rel=0.01)
+        approx_mb = points * 1.25 / 1e6  # 10 bits/point
+        assert 250 < approx_mb < 300  # the paper's ~280 MB
+
+
+class TestClaimE3SpatialTransforms:
+    """Fig. 2a: magnify buffers nothing; coarsen buffers a k-row band."""
+
+    def test_asymmetry(self, small_imager):
+        mag = Magnify(3)
+        small_imager.stream("vis").pipe(mag).count_points()
+        assert mag.stats.max_buffered_points == 0
+
+        for k in (2, 3, 4, 6):
+            coarse = Coarsen(k)
+            small_imager.stream("vis").pipe(coarse).count_points()
+            assert coarse.stats.max_buffered_points == k * small_imager.sector_lattice.width
+
+
+class TestClaimE4Reprojection:
+    """Section 3.2 / Fig. 2b: metadata bounds re-projection buffering."""
+
+    def test_row_band_buffering_with_metadata(self, small_imager):
+        op = Reproject(plate_carree())
+        small_imager.stream("vis").pipe(op).count_points()
+        frame = small_imager.sector_lattice.n_points
+        assert 0 < op.stats.max_buffered_points < frame / 2
+
+    def test_blocking_hazard_without_metadata(self, small_imager):
+        """Without scan metadata the operator 'could potentially block
+        forever' — we surface it as an error instead."""
+        from dataclasses import replace
+
+        from repro.core import GeoStream
+        from repro.errors import BlockingHazardError
+
+        stream = small_imager.stream("vis")
+        stripped = GeoStream(
+            stream.metadata,
+            lambda: (replace(c, frame=None, last_in_frame=False) for c in stream.chunks()),
+        )
+        with pytest.raises(BlockingHazardError):
+            stripped.pipe(Reproject(plate_carree())).collect_chunks()
+
+
+class TestClaimE5CompositionBuffering:
+    """Section 3.3: composition buffering follows the organization."""
+
+    @pytest.mark.parametrize(
+        "organization,expected_buffer_key",
+        [
+            (Organization.ROW_BY_ROW, "row"),
+            (Organization.IMAGE_BY_IMAGE, "frame"),
+        ],
+    )
+    def test_buffering(self, scene, geos_crs, organization, expected_buffer_key):
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=2,
+            organization=organization, t0=DAY_T0,
+        )
+        op = StreamComposition("-")
+        compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+        expected = {
+            "row": sector.width,
+            "frame": sector.n_points,
+        }[expected_buffer_key]
+        assert op.stats.max_buffered_points == expected
+
+
+class TestClaimE6Timestamping:
+    """Section 3.3: measured-time stamps never match; sector ids do."""
+
+    def test_both_policies(self, scene, geos_crs):
+        sector = western_us_sector(geos_crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=2,
+            band_interleave="band", t0=DAY_T0,
+        )
+        measured = StreamComposition("-", timestamp_policy="measured")
+        out = compose_streams(imager.stream("nir"), imager.stream("vis"), measured)
+        assert out.count_points() == 0
+
+        sectored = StreamComposition("-", timestamp_policy="sector")
+        out = compose_streams(imager.stream("nir"), imager.stream("vis"), sectored)
+        assert out.count_points() == imager.stream("vis").count_points()
+
+
+class TestClaimE7Rewriting:
+    """Section 3.4: restriction pushdown gives the biggest gains."""
+
+    def test_paper_example_rewrite_and_gain(self, small_imager, catalog):
+        utm10 = utm(10)
+        x0, y0 = (float(v) for v in utm10.from_lonlat(-122.0, 38.0))
+        x1, y1 = (float(v) for v in utm10.from_lonlat(-120.5, 39.5))
+        region = BoundingBox(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1), utm10)
+        tree = q.SpatialRestrict(
+            q.Reproject(
+                q.Stretch(
+                    q.Compose(
+                        q.ValueMap(q.StreamRef("goes.nir"), "reflectance", (("bits", 10.0),)),
+                        q.ValueMap(q.StreamRef("goes.vis"), "reflectance", (("bits", 10.0),)),
+                        "ndvi",
+                    ),
+                    "linear",
+                ),
+                utm10,
+            ),
+            region,
+        )
+        result = optimize(tree, dict(catalog.crs_of()))
+        for rule in (
+            "push-spatial-reproject",
+            "push-spatial-stretch",
+            "push-spatial-compose",
+            "push-spatial-valuemap",
+        ):
+            assert rule in result.applied, rule
+
+        from repro.engine import pipeline_report
+        from repro.query import plan_query
+
+        sources = {sid: catalog.get(sid) for sid in catalog.ids()}
+        naive = plan_query(tree, sources)
+        optimized = plan_query(result.node, sources)
+        naive.collect_frames()
+        optimized.collect_frames()
+
+        def stats_of(stream, name):
+            return [r for r in pipeline_report(stream) if r.name == name]
+
+        naive_stretch = stats_of(naive, "frame-stretch")[0]
+        opt_stretch = stats_of(optimized, "frame-stretch")[0]
+        # The stretch (and everything downstream of the pruning) touches
+        # far fewer points and buffers a far smaller frame.
+        assert opt_stretch.points_in < naive_stretch.points_in / 10
+        assert opt_stretch.max_buffered_points < naive_stretch.max_buffered_points / 10
+
+
+class TestClaimE8SharedRestriction:
+    """Section 4: the cascade tree routes data only to interested queries."""
+
+    def test_prune_fraction_grows_with_disjoint_queries(self, small_imager):
+        def run(n_queries):
+            catalog = StreamCatalog()
+            catalog.register_imager(small_imager)
+            server = DSMSServer(catalog)
+            for i in range(n_queries):
+                f = i / n_queries
+                region = subbox(small_imager, f, f, min(f + 0.05, 1.0), min(f + 0.05, 1.0))
+                server.register(
+                    q.SpatialRestrict(q.StreamRef("goes.vis"), region), encode_png=False
+                )
+            return server.run()
+
+        few = run(2)
+        many = run(8)
+        # Small disjoint regions keep the prune fraction high regardless of
+        # query count, and the absolute pruning work saved grows with it.
+        assert few.prune_fraction > 0.7
+        assert many.prune_fraction > 0.7
+        assert many.pairs_skipped > few.pairs_skipped
+
+
+class TestFigure1Organizations:
+    """Fig. 1: the three point organizations and the proximity property."""
+
+    def proximity_stats(self, chunks_xy):
+        """Mean distance between consecutive points, and the max jump."""
+        x = np.concatenate([c[0] for c in chunks_xy])
+        y = np.concatenate([c[1] for c in chunks_xy])
+        d = haversine_m(x[:-1], y[:-1], x[1:], y[1:])
+        return float(np.median(d)), float(np.max(d))
+
+    def test_airborne_image_by_image_jumps_at_frame_boundaries(self, scene):
+        cam = AirborneCamera(scene=scene, n_frames=3, frame_width=16, frame_height=12,
+                             frame_spacing_deg=0.5)
+        stream = cam.stream()
+        assert stream.organization is Organization.IMAGE_BY_IMAGE
+        chunks = stream.collect_chunks()
+        # Within a frame: close spatial proximity.
+        lon, lat = chunks[0].flat_coords()
+        d_within = haversine_m(lon[:-1], lat[:-1], lon[1:], lat[1:])
+        # Between frames: a jump.
+        lon2, lat2 = chunks[1].flat_coords()
+        d_between = float(haversine_m(lon[-1], lat[-1], lon2[0], lat2[0]))
+        assert d_between > 10 * float(np.median(d_within))
+
+    def test_goes_row_by_row_continuous(self, small_imager):
+        stream = small_imager.stream("vis")
+        assert stream.organization is Organization.ROW_BY_ROW
+        chunks = stream.collect_chunks()[:48]  # one frame
+        # Consecutive rows are spatially adjacent in the fixed grid.
+        y_coords = [c.lattice.y_of_row(0) for c in chunks]
+        dy = np.abs(np.diff(np.asarray(y_coords, dtype=float)))
+        assert np.allclose(dy, dy[0])
+
+    def test_lidar_point_by_point_time_ordered_only(self, scene):
+        lidar = LidarScanner(scene=scene, n_points=400, points_per_chunk=100)
+        stream = lidar.stream()
+        assert stream.organization is Organization.POINT_BY_POINT
+        chunks = stream.collect_chunks()
+        t = np.concatenate([c.t for c in chunks])
+        assert (np.diff(t) > 0).all()
+        # Spacing between consecutive points is irregular (no lattice).
+        x = np.concatenate([c.x for c in chunks])
+        y = np.concatenate([c.y for c in chunks])
+        d = haversine_m(x[:-1], y[:-1], x[1:], y[1:])
+        assert np.std(d) > 0
+
+
+class TestFigure3EndToEnd:
+    """Fig. 3: satellites -> generator -> parse/optimize/execute -> delivery."""
+
+    def test_full_architecture(self, small_imager):
+        catalog = StreamCatalog()
+        catalog.register_imager(small_imager)
+        server = DSMSServer(catalog)
+
+        box = subbox(small_imager, 0.2, 0.2, 0.7, 0.7)
+        text = (
+            "within(stretch(ndvi(reflectance(goes.nir), reflectance(goes.vis)),"
+            f" 'linear'), bbox({box.xmin!r}, {box.ymin!r}, {box.xmax!r}, {box.ymax!r},"
+            " crs='geos:-135'))"
+        )
+        from repro.server import format_query_request
+
+        session = server.handle_request(format_query_request(text))
+        server.run()
+        assert len(session.frames) == 2
+        from repro.raster import decode_png
+
+        decoded = decode_png(session.frames[0].png)
+        assert decoded.ndim == 2 and decoded.size > 0
+        assert session.applied_rules  # optimizer did rewrite the query

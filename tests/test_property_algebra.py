@@ -1,0 +1,147 @@
+"""Property-based tests over the query algebra itself.
+
+Hypothesis generates random query trees; we check the global invariants:
+
+* the algebra is closed — every generated tree plans to a GeoStream that
+  executes without error and yields well-formed chunks;
+* the optimizer is idempotent — a second pass changes nothing;
+* exact rewrite rules preserve results bit-for-bit (inexact stretch
+  pushdown disabled);
+* metadata propagation matches execution (declared CRS == chunk CRS).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridChunk, TimeInterval
+from repro.geo import BoundingBox, goes_geostationary, plate_carree
+from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
+from repro.query import ast as q
+from repro.query import optimize, plan_query
+
+# A tiny, session-cached source environment so each hypothesis example is fast.
+_GEOS = goes_geostationary(-135.0)
+_SECTOR = western_us_sector(_GEOS, width=24, height=12)
+_IMAGER = GOESImager(
+    scene=SyntheticEarth(seed=3),
+    sector_lattice=_SECTOR,
+    n_frames=1,
+    t0=72_000.0,
+)
+_SOURCES = {
+    "goes.vis": GOESImager.stream(_IMAGER, "vis"),
+    "goes.nir": GOESImager.stream(_IMAGER, "nir"),
+}
+_CRS_OF = {sid: s.crs for sid, s in _SOURCES.items()}
+_BOX = _SECTOR.bbox
+
+
+def region_strategy():
+    return st.tuples(
+        st.floats(0.0, 0.7), st.floats(0.0, 0.7), st.floats(0.1, 0.3), st.floats(0.1, 0.3)
+    ).map(
+        lambda t: BoundingBox(
+            _BOX.xmin + _BOX.width * t[0],
+            _BOX.ymin + _BOX.height * t[1],
+            min(_BOX.xmin + _BOX.width * (t[0] + t[2]), _BOX.xmax),
+            min(_BOX.ymin + _BOX.height * (t[1] + t[3]), _BOX.ymax),
+            _BOX.crs,
+        )
+    )
+
+
+def leaf_strategy():
+    return st.sampled_from([q.StreamRef("goes.vis"), q.StreamRef("goes.nir")])
+
+
+def tree_strategy(max_depth: int = 4):
+    def extend(children):
+        unary = st.one_of(
+            st.tuples(children, region_strategy()).map(
+                lambda t: q.SpatialRestrict(t[0], t[1])
+            ),
+            st.tuples(children, st.floats(0.0, 3_000.0), st.floats(3_000.0, 90_000.0)).map(
+                lambda t: q.TemporalRestrict(
+                    t[0], TimeInterval(72_000.0 + t[1], 72_000.0 + t[2])
+                )
+            ),
+            st.tuples(children, st.floats(0.1, 4.0), st.floats(-10.0, 10.0)).map(
+                lambda t: q.ValueMap(
+                    t[0], "rescale", (("gain", t[1]), ("offset", t[2]))
+                )
+            ),
+            st.tuples(children, st.floats(0.0, 400.0), st.floats(500.0, 1100.0)).map(
+                lambda t: q.ValueRestrict(t[0], t[1], t[2])
+            ),
+            st.tuples(children, st.integers(1, 3)).map(lambda t: q.Magnify(t[0], t[1])),
+            st.tuples(children, st.integers(1, 3)).map(lambda t: q.Coarsen(t[0], t[1])),
+        )
+        binary = st.tuples(children, children, st.sampled_from(["+", "-", "*", "sup", "inf"])).map(
+            lambda t: q.Compose(t[0], t[1], t[2])
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(leaf_strategy(), extend, max_leaves=4)
+
+
+def collect(tree):
+    plan = plan_query(tree, _SOURCES)
+    return plan.collect_chunks()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy())
+def test_closure_random_trees_execute(tree):
+    """Every generated tree denotes an executable GeoStream."""
+    chunks = collect(tree)
+    for chunk in chunks:
+        assert isinstance(chunk, GridChunk)
+        assert chunk.values.shape[:2] == chunk.lattice.shape
+        assert np.isfinite(chunk.t)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy())
+def test_optimizer_idempotent(tree):
+    once = optimize(tree, _CRS_OF, allow_inexact=True).node
+    twice = optimize(once, _CRS_OF, allow_inexact=True).node
+    assert once == twice
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy())
+def test_exact_rewrites_preserve_results(tree):
+    """With inexact rules disabled, rewritten plans match bit-for-bit."""
+    optimized = optimize(tree, _CRS_OF, allow_inexact=False).node
+    a = collect(tree)
+    b = collect(optimized)
+    points_a = sum(c.n_points for c in a)
+    points_b = sum(c.n_points for c in b)
+    assert points_a == points_b
+    if a and b:
+        va = np.concatenate([c.values.astype(float).ravel() for c in a])
+        vb = np.concatenate([c.values.astype(float).ravel() for c in b])
+        # Chunk boundaries may differ; compare sorted multisets of values.
+        np.testing.assert_allclose(
+            np.sort(va[~np.isnan(va)]), np.sort(vb[~np.isnan(vb)]), atol=1e-5
+        )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy())
+def test_metadata_matches_execution(tree):
+    plan = plan_query(tree, _SOURCES)
+    declared_crs = plan.metadata.crs
+    for chunk in plan.chunks():
+        assert chunk.lattice.crs == declared_crs
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy(), region=region_strategy())
+def test_restriction_commutes_with_itself(tree, region):
+    """|R applied twice equals once (idempotence of restriction)."""
+    once = collect(q.SpatialRestrict(tree, region))
+    twice = collect(q.SpatialRestrict(q.SpatialRestrict(tree, region), region))
+    assert sum(c.n_points for c in once) == sum(c.n_points for c in twice)

@@ -1,0 +1,125 @@
+"""Property-based archive round-trips over generated chunk streams."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    FLOAT32,
+    FrameInfo,
+    GeoStream,
+    GridChunk,
+    GridLattice,
+    Organization,
+    PointChunk,
+    StreamMetadata,
+)
+from repro.geo import LATLON, utm
+from repro.io import read_archive, write_archive
+
+
+def lattice_strategy():
+    return st.tuples(
+        st.floats(-170.0, 170.0),
+        st.floats(-80.0, 80.0),
+        st.floats(0.001, 1.0),
+        st.integers(1, 12),
+        st.integers(1, 12),
+    ).map(
+        lambda t: GridLattice(
+            LATLON, x0=t[0], y0=t[1], dx=t[2], dy=-t[2], width=t[3], height=t[4]
+        )
+    )
+
+
+@st.composite
+def grid_chunk_strategy(draw):
+    lattice = draw(lattice_strategy())
+    dtype = draw(st.sampled_from([np.uint8, np.uint16, np.float32, np.float64]))
+    values = draw(
+        hnp.arrays(
+            dtype=dtype,
+            shape=lattice.shape,
+            elements=st.floats(0, 100, width=16).map(float)
+            if np.issubdtype(dtype, np.floating)
+            else st.integers(0, 200),
+        )
+    )
+    has_frame = draw(st.booleans())
+    frame = FrameInfo(draw(st.integers(0, 5)), lattice) if has_frame else None
+    return GridChunk(
+        values=values,
+        lattice=lattice,
+        band=draw(st.sampled_from(["vis", "nir", "tir"])),
+        t=draw(st.floats(0, 1e6)),
+        sector=draw(st.one_of(st.none(), st.integers(0, 9))),
+        frame=frame,
+        row0=0,
+        col0=0,
+        last_in_frame=draw(st.booleans()),
+    )
+
+
+@st.composite
+def point_chunk_strategy(draw):
+    n = draw(st.integers(1, 30))
+    return PointChunk(
+        x=np.asarray(draw(st.lists(st.floats(-170, 170), min_size=n, max_size=n))),
+        y=np.asarray(draw(st.lists(st.floats(-80, 80), min_size=n, max_size=n))),
+        values=np.asarray(
+            draw(st.lists(st.floats(0, 1000), min_size=n, max_size=n)), dtype=np.float32
+        ),
+        band="elev",
+        t=np.sort(np.asarray(draw(st.lists(st.floats(0, 1e5), min_size=n, max_size=n)))),
+        crs=LATLON,
+    )
+
+
+META = StreamMetadata("prop.stream", "vis", LATLON, Organization.ROW_BY_ROW, FLOAT32)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(grid_chunk_strategy(), min_size=0, max_size=5))
+def test_grid_archive_roundtrip(tmp_path_factory, chunks):
+    path = tmp_path_factory.mktemp("arch") / "stream.gsar"
+    stream = GeoStream.from_chunks(META, chunks)
+    assert write_archive(stream, path) == len(chunks)
+    replayed = read_archive(path).collect_chunks()
+    assert len(replayed) == len(chunks)
+    for a, b in zip(chunks, replayed):
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.values.dtype == b.values.dtype
+        assert a.lattice == b.lattice
+        assert a.t == b.t and a.sector == b.sector and a.band == b.band
+        assert a.last_in_frame == b.last_in_frame
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(point_chunk_strategy(), min_size=1, max_size=4))
+def test_point_archive_roundtrip(tmp_path_factory, chunks):
+    meta = StreamMetadata(
+        "prop.points", "elev", LATLON, Organization.POINT_BY_POINT, FLOAT32
+    )
+    path = tmp_path_factory.mktemp("arch") / "points.gsar"
+    stream = GeoStream.from_chunks(meta, chunks)
+    write_archive(stream, path)
+    replayed = read_archive(path).collect_chunks()
+    for a, b in zip(chunks, replayed):
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+        np.testing.assert_array_equal(a.t, b.t)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+def test_projected_crs_chunks_roundtrip(tmp_path):
+    """Lattices in projected CRSs survive via the spec mechanism."""
+    lattice = GridLattice(utm(10), 500_000.0, 4_300_000.0, 1000.0, -1000.0, 8, 4)
+    chunk = GridChunk(np.ones(lattice.shape, dtype=np.float32), lattice, "b", 1.0)
+    meta = StreamMetadata("utm.stream", "b", utm(10), Organization.IMAGE_BY_IMAGE, FLOAT32)
+    path = tmp_path / "utm.gsar"
+    write_archive(GeoStream.from_chunks(meta, [chunk]), path)
+    replayed = read_archive(path)
+    assert replayed.crs == utm(10)
+    assert replayed.collect_chunks()[0].lattice.crs == utm(10)

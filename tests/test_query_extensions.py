@@ -1,0 +1,176 @@
+"""Extended query features: empty-query elimination, value-restriction
+pushdown, spatio-temporal aggregate macro, Empty planning."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeInterval
+from repro.geo import BoundingBox
+from repro.operators import spatio_temporal_aggregate
+from repro.query import ast as q
+from repro.query import optimize, parse_query, plan_query
+
+
+@pytest.fixture()
+def crs_of(catalog):
+    return dict(catalog.crs_of())
+
+
+@pytest.fixture()
+def sources(catalog):
+    return {sid: catalog.get(sid) for sid in catalog.ids()}
+
+
+class TestEmptyElimination:
+    def test_disjoint_spatial_restrictions(self, small_imager, crs_of):
+        box = small_imager.sector_lattice.bbox
+        r1 = BoundingBox(box.xmin, box.ymin, box.xmin + 10, box.ymin + 10, box.crs)
+        r2 = BoundingBox(box.xmax - 10, box.ymax - 10, box.xmax, box.ymax, box.crs)
+        tree = q.SpatialRestrict(q.SpatialRestrict(q.StreamRef("goes.vis"), r1), r2)
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.Empty)
+        assert "prune-empty" in result.applied
+
+    def test_empty_timeset(self, crs_of):
+        from repro.core import intersect_timesets
+
+        empty = intersect_timesets(TimeInterval(0.0, 1.0), TimeInterval(5.0, 6.0))
+        tree = q.TemporalRestrict(q.StreamRef("goes.vis"), empty)
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.Empty)
+
+    def test_inverted_value_range(self, crs_of):
+        tree = q.ValueRestrict(q.StreamRef("goes.vis"), lo=10.0, hi=5.0)
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.Empty)
+
+    def test_emptiness_propagates_through_unary(self, crs_of):
+        tree = q.Stretch(q.ValueRestrict(q.StreamRef("goes.vis"), 10.0, 5.0), "linear")
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.Empty)
+
+    def test_emptiness_propagates_through_compose(self, crs_of):
+        tree = q.Compose(
+            q.ValueRestrict(q.StreamRef("goes.nir"), 10.0, 5.0),
+            q.StreamRef("goes.vis"),
+            "-",
+        )
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.Empty)
+
+    def test_empty_plan_executes_to_nothing(self, sources):
+        plan = plan_query(q.Empty("test"), sources)
+        assert plan.collect_chunks() == []
+        assert plan.count_points() == 0
+
+    def test_empty_registered_on_dsms_costs_nothing(self, small_imager, catalog):
+        from repro.server import DSMSServer
+
+        server = DSMSServer(catalog)
+        box = small_imager.sector_lattice.bbox
+        r1 = BoundingBox(box.xmin, box.ymin, box.xmin + 1, box.ymin + 1, box.crs)
+        r2 = BoundingBox(box.xmax - 1, box.ymax - 1, box.xmax, box.ymax, box.crs)
+        session = server.register(
+            q.SpatialRestrict(q.SpatialRestrict(q.StreamRef("goes.vis"), r1), r2)
+        )
+        server.run()
+        assert session.chunks_received == 0
+        assert session.frames == []
+
+    def test_non_empty_not_pruned(self, small_imager, crs_of):
+        box = small_imager.sector_lattice.bbox
+        tree = q.SpatialRestrict(q.StreamRef("goes.vis"), box)
+        result = optimize(tree, crs_of)
+        assert not isinstance(result.node, q.Empty)
+
+
+class TestValueRestrictPushdown:
+    def test_positive_gain(self, crs_of):
+        tree = q.ValueRestrict(
+            q.ValueMap(q.StreamRef("goes.vis"), "rescale", (("gain", 2.0), ("offset", 10.0))),
+            20.0,
+            30.0,
+        )
+        result = optimize(tree, crs_of)
+        assert "push-value-rescale" in result.applied
+        assert isinstance(result.node, q.ValueMap)
+        inner = result.node.child
+        assert isinstance(inner, q.ValueRestrict)
+        assert inner.lo == 5.0 and inner.hi == 10.0
+
+    def test_negative_gain_swaps_bounds(self, crs_of):
+        tree = q.ValueRestrict(
+            q.ValueMap(q.StreamRef("goes.vis"), "rescale", (("gain", -1.0), ("offset", 0.0))),
+            -10.0,
+            -5.0,
+        )
+        result = optimize(tree, crs_of)
+        inner = result.node.child
+        assert inner.lo == 5.0 and inner.hi == 10.0
+
+    def test_zero_gain_not_pushed(self, crs_of):
+        tree = q.ValueRestrict(
+            q.ValueMap(q.StreamRef("goes.vis"), "rescale", (("gain", 0.0), ("offset", 1.0))),
+            0.0,
+            2.0,
+        )
+        result = optimize(tree, crs_of)
+        assert isinstance(result.node, q.ValueRestrict)
+
+    def test_open_bound_preserved(self, crs_of):
+        tree = q.ValueRestrict(
+            q.ValueMap(q.StreamRef("goes.vis"), "rescale", (("gain", 2.0), ("offset", 0.0))),
+            lo=10.0,
+            hi=None,
+        )
+        result = optimize(tree, crs_of)
+        inner = result.node.child
+        assert inner.lo == 5.0 and inner.hi is None
+
+    def test_rewrite_is_equivalent(self, small_imager, sources, crs_of):
+        tree = q.ValueRestrict(
+            q.ValueMap(q.StreamRef("goes.vis"), "rescale", (("gain", 0.5), ("offset", 3.0))),
+            100.0,
+            200.0,
+        )
+        optimized = optimize(tree, crs_of).node
+        a = plan_query(tree, sources).collect_frames()
+        b = plan_query(optimized, sources).collect_frames()
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.values, y.values, atol=1e-5, equal_nan=True)
+
+
+class TestSpatioTemporalAggregate:
+    def test_macro_shape(self, small_imager):
+        stream = small_imager.stream("vis")
+        out = spatio_temporal_aggregate(stream, spatial_k=4, window=2, func="mean")
+        frames = out.collect_frames()
+        assert len(frames) == 1  # 2 frames in, window 2 sliding
+        assert frames[0].shape == (12, 24)
+
+    def test_macro_equals_manual_composition(self, small_imager):
+        from repro.operators import Coarsen, TemporalAggregate
+
+        stream = small_imager.stream("vis")
+        macro = spatio_temporal_aggregate(stream, 4, 2, "max").collect_frames()
+        manual = stream.pipe(Coarsen(4), TemporalAggregate(2, "max")).collect_frames()
+        np.testing.assert_allclose(macro[0].values, manual[0].values)
+
+    def test_stagg_query_language(self, sources):
+        tree = parse_query("stagg(goes.vis, 'mean', 4, 2)")
+        assert isinstance(tree, q.TemporalAgg)
+        assert isinstance(tree.child, q.Coarsen)
+        plan = plan_query(tree, sources)
+        frames = plan.collect_frames()
+        assert len(frames) == 1
+
+    def test_stagg_mode_kwarg(self):
+        tree = parse_query("stagg(goes.vis, 'sum', 2, 2, mode='tumbling')")
+        assert tree.mode == "tumbling"
+
+    def test_stagg_arity_checked(self):
+        from repro.errors import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            parse_query("stagg(goes.vis, 'mean', 4)")

@@ -1,0 +1,246 @@
+"""Planner lowering, cost model predictions, and the fluent builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.geo import BoundingBox, plate_carree, utm
+from repro.query import Q, estimate_query, parse_query, plan_query
+from repro.query import ast as q
+from repro.query.cost import StreamProfile
+
+
+def subbox(imager, fx0, fy0, fx1, fy1):
+    box = imager.sector_lattice.bbox
+    return BoundingBox(
+        box.xmin + box.width * fx0,
+        box.ymin + box.height * fy0,
+        box.xmin + box.width * fx1,
+        box.ymin + box.height * fy1,
+        box.crs,
+    )
+
+
+@pytest.fixture()
+def sources(catalog):
+    return {sid: catalog.get(sid) for sid in catalog.ids()}
+
+
+@pytest.fixture()
+def profiles(catalog):
+    return catalog.profiles()
+
+
+class TestPlanner:
+    def test_stream_ref_resolution(self, sources):
+        out = plan_query(q.StreamRef("goes.vis"), sources)
+        assert out.stream_id == "goes.vis"
+
+    def test_unknown_stream(self, sources):
+        with pytest.raises(PlanError):
+            plan_query(q.StreamRef("nope"), sources)
+
+    def test_callable_catalog(self, sources):
+        out = plan_query(q.StreamRef("goes.vis"), lambda sid: sources[sid])
+        assert out.count_points() > 0
+
+    def test_every_node_type_lowers(self, small_imager, sources):
+        region = subbox(small_imager, 0.2, 0.2, 0.8, 0.8)
+        tree = (
+            Q.ndvi("goes.nir", "goes.vis")
+            .stretch("linear")
+            .magnify(2)
+            .coarsen(2)
+            .within(region)
+            .build()
+        )
+        out = plan_query(tree, sources)
+        frames = out.collect_frames()
+        assert len(frames) == 2
+
+    def test_region_crs_safety_net(self, small_imager, sources):
+        """A region in the wrong CRS is transformed rather than crashing."""
+        geo_region = BoundingBox(-125.0, 32.0, -112.0, 45.0)  # latlon
+        tree = q.SpatialRestrict(q.StreamRef("goes.vis"), geo_region)
+        out = plan_query(tree, sources)
+        assert out.count_points() > 0
+
+    def test_parse_plan_execute_roundtrip(self, small_imager, sources):
+        box = subbox(small_imager, 0.3, 0.3, 0.7, 0.7)
+        text = (
+            f"within(reflectance(goes.vis), bbox({box.xmin}, {box.ymin}, "
+            f"{box.xmax}, {box.ymax}, crs='geos:-135'))"
+        )
+        out = plan_query(parse_query(text), sources)
+        frames = out.collect_frames()
+        assert frames and frames[0].values.max() <= 1.0
+
+    def test_fresh_operators_per_plan(self, sources):
+        tree = q.Stretch(q.StreamRef("goes.vis"), "linear")
+        a = plan_query(tree, sources)
+        b = plan_query(tree, sources)
+        ops_a = getattr(a, "pipeline_operators")
+        ops_b = getattr(b, "pipeline_operators")
+        assert ops_a[0] is not ops_b[0]
+
+    def test_ndvi_gamma_lowering(self, sources):
+        tree = q.Compose(
+            q.ValueMap(q.StreamRef("goes.nir"), "reflectance", (("bits", 10.0),)),
+            q.ValueMap(q.StreamRef("goes.vis"), "reflectance", (("bits", 10.0),)),
+            "ndvi",
+        )
+        out = plan_query(tree, sources)
+        frame = out.collect_frames()[0]
+        finite = frame.values[np.isfinite(frame.values)]
+        assert finite.min() >= -1.0 and finite.max() <= 1.0
+
+
+class TestBuilder:
+    def test_builder_matches_parser(self, small_imager):
+        region = subbox(small_imager, 0.2, 0.2, 0.8, 0.8)
+        built = (
+            Q.ndvi("goes.nir", "goes.vis").stretch("linear").within(region).build()
+        )
+        assert isinstance(built, q.SpatialRestrict)
+        assert isinstance(built.child, q.Stretch)
+        assert built.child.child.gamma == "ndvi"
+
+    def test_arithmetic_operators(self):
+        tree = (Q.stream("a") - Q.stream("b")).build()
+        assert tree == q.Compose(q.StreamRef("a"), q.StreamRef("b"), "-")
+        tree = (Q.stream("a") / Q.stream("b")).build()
+        assert tree.gamma == "/"
+
+    def test_temporal_builders(self):
+        assert isinstance(Q.stream("s").during(0, 10).build(), q.TemporalRestrict)
+        assert Q.stream("s").sectors(1, 3).build().on_sector
+        daily = Q.stream("s").daily(100.0, 200.0).build()
+        assert daily.timeset.contains_scalar(86_400.0 + 150.0)
+
+    def test_transforms_chain(self):
+        tree = Q.stream("s").reflectance(8).rescale(2.0, 1.0).magnify(3).build()
+        assert isinstance(tree, q.Magnify) and tree.k == 3
+        assert tree.child.kind == "rescale"
+        assert tree.child.child.kind == "reflectance"
+
+    def test_aggregates(self, small_imager):
+        region = subbox(small_imager, 0, 0, 1, 1)
+        tree = Q.stream("s").temporal_agg("max", 3).build()
+        assert isinstance(tree, q.TemporalAgg)
+        tree = Q.stream("s").region_agg({"roi": region}, "mean").build()
+        assert isinstance(tree, q.RegionAgg)
+
+    def test_reproject(self):
+        tree = Q.stream("s").reproject(utm(10), "bicubic").build()
+        assert tree.dst_crs == utm(10) and tree.method == "bicubic"
+
+
+class TestCostModel:
+    def test_source_profile_required(self, profiles):
+        with pytest.raises(PlanError):
+            estimate_query(q.StreamRef("missing"), profiles)
+
+    def test_restriction_selectivity(self, small_imager, profiles):
+        region = subbox(small_imager, 0.0, 0.0, 0.5, 0.5)
+        tree = q.SpatialRestrict(q.StreamRef("goes.vis"), region)
+        est, _ = estimate_query(tree, profiles)
+        full = profiles["goes.vis"].frame_points
+        assert est.points == pytest.approx(full * 0.25, rel=0.1)
+
+    def test_stretch_buffer_is_frame(self, profiles):
+        tree = q.Stretch(q.StreamRef("goes.vis"), "linear")
+        est, breakdown = estimate_query(tree, profiles)
+        assert est.max_op_buffer == profiles["goes.vis"].frame_points
+        stretch_cost = [b for b in breakdown if isinstance(b.node, q.Stretch)][0]
+        assert stretch_cost.op_buffer == profiles["goes.vis"].frame_points
+
+    def test_coarsen_buffer_is_k_rows(self, profiles):
+        tree = q.Coarsen(q.StreamRef("goes.vis"), 4)
+        est, _ = estimate_query(tree, profiles)
+        assert est.max_op_buffer == 4 * profiles["goes.vis"].row_width
+
+    def test_magnify_scales_points(self, profiles):
+        tree = q.Magnify(q.StreamRef("goes.vis"), 3)
+        est, _ = estimate_query(tree, profiles)
+        assert est.points == profiles["goes.vis"].frame_points * 9
+
+    def test_compose_row_vs_image_buffer(self, small_imager, profiles):
+        from dataclasses import replace
+
+        from repro.core import Organization
+
+        tree = q.Compose(q.StreamRef("goes.nir"), q.StreamRef("goes.vis"), "-")
+        est_row, _ = estimate_query(tree, profiles)
+        assert est_row.max_op_buffer == profiles["goes.vis"].row_width
+        image_profiles = {
+            k: replace(p, organization=Organization.IMAGE_BY_IMAGE)
+            for k, p in profiles.items()
+        }
+        est_img, _ = estimate_query(tree, image_profiles)
+        assert est_img.max_op_buffer == profiles["goes.vis"].frame_points
+
+    def test_pushdown_reduces_estimated_work(self, small_imager, profiles, catalog):
+        """The optimizer's chosen plan must look cheaper to the model too."""
+        from repro.query import optimize
+
+        region = subbox(small_imager, 0.1, 0.1, 0.3, 0.3)
+        tree = q.SpatialRestrict(
+            q.Stretch(
+                q.Compose(q.StreamRef("goes.nir"), q.StreamRef("goes.vis"), "ndvi"),
+                "linear",
+            ),
+            region,
+        )
+        optimized = optimize(tree, dict(catalog.crs_of())).node
+        est_naive, _ = estimate_query(tree, profiles)
+        est_opt, _ = estimate_query(optimized, profiles)
+        assert est_opt.work < est_naive.work * 0.5
+        assert est_opt.buffer < est_naive.buffer * 0.5
+
+    def test_temporal_agg_buffer(self, profiles):
+        tree = q.TemporalAgg(q.StreamRef("goes.vis"), "mean", 3)
+        est, _ = estimate_query(tree, profiles)
+        assert est.max_op_buffer == 3 * profiles["goes.vis"].frame_points
+
+    def test_region_agg_output_points(self, small_imager, profiles):
+        region = subbox(small_imager, 0, 0, 1, 1)
+        tree = q.RegionAgg(q.StreamRef("goes.vis"), (("a", region), ("b", region)), "mean")
+        est, _ = estimate_query(tree, profiles)
+        assert est.points == 2.0
+
+
+class TestBuilderEdges:
+    def test_wrap_existing_node(self):
+        node = q.StreamRef("s")
+        assert Q.wrap(node).build() is node
+
+    def test_compose_accepts_node_or_builder(self):
+        left = Q.stream("a")
+        as_builder = left.compose(Q.stream("b"), "sup").build()
+        as_node = left.compose(q.StreamRef("b"), "sup").build()
+        assert as_builder == as_node
+
+    def test_compose_rejects_other_types(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            Q.stream("a").compose("not-a-node", "+")
+
+    def test_when_with_custom_timeset(self):
+        from repro.core import TimeInstants
+
+        tree = Q.stream("s").when(TimeInstants((1.0, 2.0)), on_sector=True).build()
+        assert tree.on_sector
+        assert tree.timeset.contains_scalar(2.0)
+
+
+class TestCostEmpty:
+    def test_empty_costs_nothing(self, profiles):
+        est, breakdown = estimate_query(q.Empty("x"), profiles)
+        assert est.points == 0.0 and est.work == 0.0 and est.buffer == 0.0
+        assert len(breakdown) == 1
+
+    def test_restriction_of_empty(self, profiles, small_imager):
+        region = subbox(small_imager, 0, 0, 1, 1)
+        est, _ = estimate_query(q.SpatialRestrict(q.Empty(), region), profiles)
+        assert est.points == 0.0

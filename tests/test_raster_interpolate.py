@@ -1,0 +1,152 @@
+"""Resampling kernels: exactness, continuity, domain handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperatorError
+from repro.raster import (
+    KERNEL_FOOTPRINT,
+    block_reduce,
+    sample,
+    sample_bicubic,
+    sample_bilinear,
+    sample_nearest,
+)
+
+
+@pytest.fixture()
+def grid():
+    return np.arange(48, dtype=np.float64).reshape(6, 8)
+
+
+class TestNearest:
+    def test_exact_at_centers(self, grid):
+        rows = np.array([0.0, 2.0, 5.0])
+        cols = np.array([0.0, 3.0, 7.0])
+        out = sample_nearest(grid, rows, cols)
+        np.testing.assert_array_equal(out, [grid[0, 0], grid[2, 3], grid[5, 7]])
+
+    def test_rounds_to_nearest(self, grid):
+        assert sample_nearest(grid, np.array([0.4]), np.array([0.4]))[0] == grid[0, 0]
+        assert sample_nearest(grid, np.array([0.6]), np.array([0.6]))[0] == grid[1, 1]
+
+    def test_outside_is_fill(self, grid):
+        out = sample_nearest(grid, np.array([-1.0, 6.0]), np.array([0.0, 0.0]), fill=-9.0)
+        np.testing.assert_array_equal(out, [-9.0, -9.0])
+
+    def test_nan_coordinates_fill(self, grid):
+        out = sample_nearest(grid, np.array([np.nan]), np.array([1.0]))
+        assert np.isnan(out[0])
+
+
+class TestBilinear:
+    def test_exact_at_centers(self, grid):
+        out = sample_bilinear(grid, np.array([2.0]), np.array([3.0]))
+        assert out[0] == grid[2, 3]
+
+    def test_midpoint_average(self, grid):
+        out = sample_bilinear(grid, np.array([0.5]), np.array([0.5]))
+        expected = (grid[0, 0] + grid[0, 1] + grid[1, 0] + grid[1, 1]) / 4
+        assert out[0] == pytest.approx(expected)
+
+    def test_linear_field_reproduced_exactly(self):
+        """Bilinear interpolation is exact for affine fields."""
+        r, c = np.meshgrid(np.arange(6.0), np.arange(8.0), indexing="ij")
+        field = 3.0 * r - 2.0 * c + 1.0
+        rng = np.random.default_rng(1)
+        rows = rng.uniform(0, 5, 50)
+        cols = rng.uniform(0, 7, 50)
+        out = sample_bilinear(field, rows, cols)
+        np.testing.assert_allclose(out, 3.0 * rows - 2.0 * cols + 1.0, atol=1e-9)
+
+    def test_last_row_col_valid(self, grid):
+        out = sample_bilinear(grid, np.array([5.0]), np.array([7.0]))
+        assert out[0] == grid[5, 7]
+
+    def test_outside_fill(self, grid):
+        out = sample_bilinear(grid, np.array([5.01]), np.array([0.0]), fill=np.nan)
+        assert np.isnan(out[0])
+
+
+class TestBicubic:
+    def test_exact_at_centers(self, grid):
+        out = sample_bicubic(grid, np.array([2.0]), np.array([3.0]))
+        assert out[0] == pytest.approx(grid[2, 3])
+
+    def test_linear_field_reproduced(self):
+        """Catmull-Rom reproduces linear fields exactly in the interior."""
+        r, c = np.meshgrid(np.arange(8.0), np.arange(9.0), indexing="ij")
+        field = 2.0 * r + 0.5 * c
+        rng = np.random.default_rng(2)
+        rows = rng.uniform(1.0, 6.0, 40)
+        cols = rng.uniform(1.0, 7.0, 40)
+        out = sample_bicubic(field, rows, cols)
+        np.testing.assert_allclose(out, 2.0 * rows + 0.5 * cols, atol=1e-9)
+
+    def test_quadratic_better_than_bilinear(self):
+        r, c = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        field = (r - 8.0) ** 2 + (c - 8.0) ** 2
+        rows = np.full(25, 7.5) + np.linspace(-2, 2, 25)
+        cols = np.full(25, 7.5)
+        truth = (rows - 8.0) ** 2 + (cols - 8.0) ** 2
+        err_cubic = np.abs(sample_bicubic(field, rows, cols) - truth).max()
+        err_lin = np.abs(sample_bilinear(field, rows, cols) - truth).max()
+        assert err_cubic < err_lin
+
+    def test_near_edge_is_fill(self, grid):
+        out = sample_bicubic(grid, np.array([0.5]), np.array([4.0]))
+        assert np.isnan(out[0])  # needs a row above the first
+
+
+class TestDispatch:
+    def test_sample_by_name(self, grid):
+        for name in KERNEL_FOOTPRINT:
+            out = sample(name, grid, np.array([2.0]), np.array([3.0]))
+            assert out[0] == pytest.approx(grid[2, 3])
+
+    def test_unknown_method(self, grid):
+        with pytest.raises(OperatorError):
+            sample("lanczos", grid, np.array([0.0]), np.array([0.0]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(OperatorError):
+            sample_nearest(np.zeros(5), np.array([0.0]), np.array([0.0]))
+
+    def test_footprints_ordered(self):
+        assert KERNEL_FOOTPRINT["nearest"] < KERNEL_FOOTPRINT["bilinear"] < KERNEL_FOOTPRINT["bicubic"]
+
+
+class TestBlockReduce:
+    def test_mean_blocks(self):
+        arr = np.arange(16.0).reshape(4, 4)
+        out = block_reduce(arr, 2)
+        expected = np.array([[2.5, 4.5], [10.5, 12.5]])
+        np.testing.assert_allclose(out, expected)
+
+    def test_truncates_remainder(self):
+        arr = np.arange(30.0).reshape(5, 6)
+        out = block_reduce(arr, 2)
+        assert out.shape == (2, 3)
+
+    def test_custom_reducer(self):
+        arr = np.arange(16.0).reshape(4, 4)
+        out = block_reduce(arr, 2, np.max)
+        np.testing.assert_allclose(out, [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_k1_identity(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_array_equal(block_reduce(arr, 1), arr)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(OperatorError):
+            block_reduce(np.zeros((2, 2)), 3)
+
+    @given(k=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_mean_preserves_total(self, k):
+        rng = np.random.default_rng(0)
+        arr = rng.uniform(size=(4 * k, 4 * k))
+        out = block_reduce(arr, k)
+        assert out.sum() * k * k == pytest.approx(arr.sum())

@@ -1,0 +1,78 @@
+"""Stream-time delivery latency: buffering shows up as lag (E5 companion)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Organization
+from repro.ingest import GOESImager, western_us_sector
+from repro.server import DSMSServer, StreamCatalog
+
+DAY_T0 = 72_000.0
+
+
+def make_server(scene, geos_crs, interleave):
+    sector = western_us_sector(geos_crs, width=32, height=16)
+    imager = GOESImager(
+        scene=scene,
+        sector_lattice=sector,
+        n_frames=2,
+        band_interleave=interleave,
+        t0=DAY_T0,
+    )
+    catalog = StreamCatalog()
+    catalog.register_imager(imager)
+    return imager, DSMSServer(catalog)
+
+
+NDVI = "ndvi(reflectance(goes.nir), reflectance(goes.vis))"
+
+
+class TestDeliveryLatency:
+    def test_latencies_recorded(self, scene, geos_crs):
+        _, server = make_server(scene, geos_crs, "row")
+        session = server.register(NDVI)
+        server.run()
+        assert len(session.latencies) == len(session.frames) == 2
+        assert all(np.isfinite(v) for v in session.latencies)
+        assert np.isfinite(session.mean_latency)
+
+    def test_single_band_latency_near_zero(self, scene, geos_crs):
+        """A restriction-only query delivers as the frame's last row lands."""
+        imager, server = make_server(scene, geos_crs, "row")
+        session = server.register("reflectance(goes.vis)")
+        server.run()
+        # The frame completes when its own last row arrives: lag is at most
+        # one band-sweep of detector offsets.
+        assert session.mean_latency <= imager.row_time * imager.sector_lattice.height
+
+    def test_sequential_band_scan_adds_a_band_of_wait(self, scene, geos_crs):
+        """Under sequential band scanning, buffered vis rows wait roughly a
+        full band sweep for their nir partners; under row interleaving they
+        wait only a detector offset (composition wait-time stats)."""
+        from repro.engine import compose_streams
+        from repro.operators import StreamComposition
+
+        def mean_wait(interleave):
+            imager, _ = make_server(scene, geos_crs, interleave)
+            op = StreamComposition("-")
+            compose_streams(imager.stream("nir"), imager.stream("vis"), op).count_points()
+            return op.stats.mean_wait_time, imager
+
+        wait_row, imager = mean_wait("row")
+        wait_seq, imager_seq = mean_wait("band")
+        band_duration = imager_seq.sector_lattice.height * imager_seq.row_time
+        assert wait_seq > wait_row * 10
+        assert wait_seq >= band_duration * 0.9
+        # Row interleaving waits only the per-detector offset.
+        assert wait_row <= imager.row_time
+
+    def test_no_clock_no_latencies(self, scene, geos_crs):
+        """Sessions used outside a server record no latencies."""
+        from repro.query import ast as q
+        from repro.server.session import ClientSession
+
+        session = ClientSession(1, "x", q.StreamRef("s"), q.StreamRef("s"), [])
+        assert math.isnan(session.mean_latency)
+        assert session.latencies == []

@@ -1,0 +1,103 @@
+"""Shared execution of identical registered queries (intro's duplication)."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.server import DSMSServer
+
+
+def bbox_text(imager, fx0, fy0, fx1, fy1):
+    box = imager.sector_lattice.bbox
+    return (
+        f"bbox({box.xmin + box.width * fx0!r}, {box.ymin + box.height * fy0!r}, "
+        f"{box.xmin + box.width * fx1!r}, {box.ymin + box.height * fy1!r}, "
+        f"crs='geos:-135')"
+    )
+
+
+@pytest.fixture()
+def ndvi_query(small_imager):
+    return (
+        "within(ndvi(reflectance(goes.nir), reflectance(goes.vis)), "
+        f"{bbox_text(small_imager, 0.2, 0.2, 0.7, 0.7)})"
+    )
+
+
+class TestQuerySharing:
+    def test_identical_queries_share_one_network(self, catalog, ndvi_query):
+        server = DSMSServer(catalog)
+        s1 = server.register(ndvi_query)
+        s2 = server.register(ndvi_query)
+        assert server.shared_network_count == 1
+        assert len(server.active_sessions()) == 2
+        server.run()
+        assert len(s1.frames) == len(s2.frames) == 2
+        np.testing.assert_array_equal(
+            s1.frames[0].image.values, s2.frames[0].image.values
+        )
+
+    def test_sharing_does_not_double_routing_work(self, catalog, ndvi_query):
+        shared_server = DSMSServer(catalog)
+        shared_server.register(ndvi_query)
+        shared_server.register(ndvi_query)
+        shared_stats = shared_server.run()
+
+        # The same two queries with a tiny textual difference (distinct
+        # regions) cannot share and are fed separately.
+        solo_server = DSMSServer(catalog)
+        solo_server.register(ndvi_query)
+        solo_stats = solo_server.run()
+        assert shared_stats.pairs_routed == solo_stats.pairs_routed
+
+    def test_different_queries_not_shared(self, catalog, small_imager):
+        server = DSMSServer(catalog)
+        server.register(
+            f"within(reflectance(goes.vis), {bbox_text(small_imager, 0.1, 0.1, 0.4, 0.4)})"
+        )
+        server.register(
+            f"within(reflectance(goes.vis), {bbox_text(small_imager, 0.5, 0.5, 0.9, 0.9)})"
+        )
+        assert server.shared_network_count == 2
+
+    def test_sharing_detected_after_optimization(self, catalog, small_imager):
+        """Two syntactically different queries with equal optimized form share."""
+        region = bbox_text(small_imager, 0.2, 0.2, 0.7, 0.7)
+        direct = f"within(reflectance(goes.vis), {region})"
+        # Same semantics, written with the restriction outside an extra
+        # identity zoom that the optimizer removes.
+        indirect = f"within(magnify(reflectance(goes.vis), 1), {region})"
+        server = DSMSServer(catalog)
+        server.register(direct)
+        server.register(indirect)
+        assert server.shared_network_count == 1
+
+    def test_deregistering_one_subscriber_keeps_network(self, catalog, ndvi_query):
+        server = DSMSServer(catalog)
+        s1 = server.register(ndvi_query)
+        s2 = server.register(ndvi_query)
+        server.deregister(s1.session_id)
+        assert server.shared_network_count == 1
+        server.run()
+        assert s2.frames and s1.frames == []
+
+    def test_deregistering_last_subscriber_removes_network(self, catalog, ndvi_query):
+        server = DSMSServer(catalog)
+        s1 = server.register(ndvi_query)
+        s2 = server.register(ndvi_query)
+        server.deregister(s1.session_id)
+        server.deregister(s2.session_id)
+        assert server.shared_network_count == 0
+        assert server.active_sessions() == []
+
+    def test_mixed_shared_and_solo(self, catalog, small_imager, ndvi_query):
+        server = DSMSServer(catalog)
+        s1 = server.register(ndvi_query)
+        s2 = server.register(ndvi_query)
+        s3 = server.register(
+            f"within(reflectance(goes.vis), {bbox_text(small_imager, 0.5, 0.5, 0.9, 0.9)})"
+        )
+        assert server.shared_network_count == 2
+        server.run()
+        assert len(s1.frames) == len(s2.frames) == 2
+        assert len(s3.frames) == 2
