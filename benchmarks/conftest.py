@@ -8,6 +8,7 @@ EXPERIMENTS.md's measured columns are transcribed from.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import pytest
@@ -16,6 +17,28 @@ from repro.geo import goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 
 DAY_T0 = 72_000.0
+
+# Opt-in observability: set REPRO_OBS_SNAPSHOT=/path/to/file.jsonl and every
+# benchmark runs with metrics + tracing enabled, appending one snapshot
+# (meta/span/metric records labelled with the test id) per benchmark. E.g.
+#   REPRO_OBS_SNAPSHOT=bench.jsonl pytest benchmarks/ --benchmark-only
+_OBS_SNAPSHOT_ENV = "REPRO_OBS_SNAPSHOT"
+
+
+@pytest.fixture(autouse=True)
+def _obs_snapshot(request):
+    path = os.environ.get(_OBS_SNAPSHOT_ENV)
+    if not path:
+        yield
+        return
+    from repro import obs
+
+    with obs.observe(trace=True) as ob:
+        yield
+        lines = obs.snapshot_lines(
+            tracer=ob.tracer, registry=ob.registry, label=request.node.nodeid
+        )
+    obs.write_jsonl(path, lines, append=True)
 
 
 @dataclass

@@ -7,7 +7,9 @@ simulated GOES catalog::
     geostreams explain "within(ndvi(reflectance(goes.nir), reflectance(goes.vis)), \\
                         bbox(-124, 36, -119, 41, crs='latlon'))"
     geostreams query   "stretch(reflectance(goes.vis), 'linear')" --frames 2 --out ./png
+    geostreams query   "..." --metrics-out run.jsonl   # traced run via the DSMS
     geostreams serve-demo --clients 4
+    geostreams metrics                                 # demo workload -> Prometheus text
 
 (Also runnable as ``python -m repro.cli ...``.) Regions given in
 ``latlon`` are transformed onto the satellite's fixed grid automatically
@@ -18,11 +20,13 @@ geographic coordinates.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 from typing import Sequence
 
+from . import obs
 from .engine import format_report, pipeline_report
 from .errors import GeoStreamsError
 from .ingest import GOESImager, SyntheticEarth
@@ -61,6 +65,65 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-operator execution spans (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON-lines observability snapshot of the run to PATH",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", False) or getattr(args, "metrics_out", None))
+
+
+def _run_observed_query(
+    catalog: StreamCatalog,
+    query_text: str,
+    args: argparse.Namespace,
+    out_dir: str | None,
+) -> int:
+    """Execute one query through the DSMS under full observability.
+
+    The DSMS path is used (rather than the pull planner) so the snapshot
+    includes the routing counters and chunk-to-delivery latency histograms
+    the server publishes — plus per-operator spans from the push network
+    and the source-scan merge.
+    """
+    with obs.observe(trace=True) as ob:
+        server = DSMSServer(catalog, optimize_queries=not args.no_optimize)
+        session = server.register(query_text)
+        start = time.perf_counter()
+        server.run()
+        elapsed = time.perf_counter() - start
+        reports = server.operator_reports()
+    frames = [f.image for f in session.frames]
+    print(f"{len(frames)} frames in {elapsed:.3f}s (via DSMS, traced)")
+    print(format_report(reports))
+    spans = ob.tracer.to_dicts() if ob.tracer is not None else []
+    op_spans = [s for s in spans if s["kind"] != "scheduler"]
+    print(
+        f"observability: {len(spans)} spans ({len(op_spans)} operator), "
+        f"{len(ob.registry)} metrics"
+    )
+    if args.metrics_out is not None:
+        lines = obs.snapshot_lines(
+            reports, tracer=ob.tracer, registry=ob.registry, label=query_text
+        )
+        n = obs.write_jsonl(args.metrics_out, lines)
+        print(f"wrote {n} snapshot records to {args.metrics_out}")
+    if out_dir is not None:
+        target = pathlib.Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        for i, frame in enumerate(session.frames):
+            (target / f"frame_{i:03d}.png").write_bytes(frame.png)
+        print(f"wrote {len(session.frames)} PNGs to {target}")
+    return 0
+
+
 def cmd_streams(args: argparse.Namespace) -> int:
     _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
     for sid in catalog.ids():
@@ -96,6 +159,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    if _obs_requested(args):
+        return _run_observed_query(catalog, args.query, args, args.out)
     tree = parse_query(args.query)
     if not args.no_optimize:
         tree = optimize(tree, dict(catalog.crs_of())).node
@@ -116,7 +181,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve_demo(args: argparse.Namespace) -> int:
+def _serve_demo_once(args: argparse.Namespace) -> tuple[DSMSServer, list, float]:
+    """Register the demo clients and run the scan (shared by serve-demo/metrics)."""
     imager, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
     server = DSMSServer(catalog)
     box = imager.sector_lattice.bbox
@@ -139,8 +205,25 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
         print(f"client {i}: session #{session.session_id}, "
               f"rewrites: {', '.join(sorted(set(session.applied_rules))) or 'none'}")
     start = time.perf_counter()
-    stats = server.run()
+    server.run()
     elapsed = time.perf_counter() - start
+    return server, sessions, elapsed
+
+
+def cmd_serve_demo(args: argparse.Namespace) -> int:
+    if _obs_requested(args):
+        with obs.observe(trace=args.trace) as ob:
+            server, sessions, elapsed = _serve_demo_once(args)
+            reports = server.operator_reports()
+        if args.metrics_out is not None:
+            lines = obs.snapshot_lines(
+                reports, tracer=ob.tracer, registry=ob.registry, label="serve-demo"
+            )
+            n = obs.write_jsonl(args.metrics_out, lines)
+            print(f"wrote {n} snapshot records to {args.metrics_out}")
+    else:
+        server, sessions, elapsed = _serve_demo_once(args)
+    stats = server.router_stats
     print(
         f"\nscan: {stats.chunks_scanned} chunks in {elapsed:.2f}s; routing pruned "
         f"{stats.prune_fraction:.0%} of (chunk, query) pairs"
@@ -150,6 +233,73 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
             f"session #{session.session_id}: {len(session.frames)} frames, "
             f"{len(session.records)} records, {session.points_received} points"
         )
+    return 0
+
+
+def _metrics_self_test() -> int:
+    """Exercise the observability layer's invariants end to end."""
+    from .obs.export import to_prometheus
+    from .obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    counter = registry.counter("demo_events_total", kind="a")
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3, "counter arithmetic"
+    gauge = registry.gauge("demo_depth")
+    gauge.set(5)
+    gauge.dec(2)
+    assert gauge.value == 3, "gauge arithmetic"
+    hist = registry.histogram("demo_seconds", buckets=(0.1, 1.0))
+    for v in (0.1, 0.5, 100.0):  # boundary lands in its own bucket (le)
+        hist.observe(v)
+    assert hist.counts == (1, 1, 1), f"bucket boundaries: {hist.counts}"
+    text = to_prometheus(registry)
+    assert 'demo_seconds_bucket{le="+Inf"} 3' in text, "prometheus histogram"
+    weird = registry.counter("escaped_total", path='a"b\\c\nd')
+    weird.inc()
+    assert r'path="a\"b\\c\nd"' in to_prometheus(registry), "label escaping"
+
+    # Snapshot must survive a JSON round-trip unchanged.
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap, "snapshot JSON round-trip"
+
+    # Tracing a real (tiny) run produces operator spans with throughput;
+    # with observability off the same run must leave the registry empty.
+    from .operators import Rescale
+
+    imager, _ = build_demo_catalog(n_frames=1, width=32, height=16)
+    with obs.observe(trace=True) as ob:
+        imager.stream("vis").pipe(Rescale(2.0), Rescale(0.5)).count_points()
+    spans = ob.tracer.to_dicts()
+    assert len(spans) == 2 and spans[1]["parent_id"] == spans[0]["span_id"], "span DAG"
+    assert all(s["points_in"] > 0 and s["wall_time_s"] > 0 for s in spans), "span data"
+
+    obs.get_registry().reset()
+    imager.stream("vis").pipe(Rescale(2.0)).count_points()
+    assert len(obs.get_registry()) == 0, "disabled runs must not touch the registry"
+    print("metrics self-test: ok (registry, histograms, escaping, spans, zero-cost)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if args.self_test:
+        return _metrics_self_test()
+    with obs.observe(trace=True) as ob:
+        server, _, _ = _serve_demo_once(args)
+        reports = server.operator_reports()
+    if args.format == "jsonl":
+        lines = obs.snapshot_lines(
+            reports, tracer=ob.tracer, registry=ob.registry, label="metrics"
+        )
+        text = "\n".join(json.dumps(line, sort_keys=True) for line in lines) + "\n"
+    else:
+        text = obs.to_prometheus(ob.registry)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote metrics to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -173,6 +323,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
     for path in args.archives:
         stream = catalog.register_archive(path)
         print(f"registered {stream.stream_id!r} from {path}")
+    if _obs_requested(args):
+        return _run_observed_query(catalog, args.query, args, args.out)
     tree = parse_query(args.query)
     if not args.no_optimize:
         tree = optimize(tree, dict(catalog.crs_of())).node
@@ -211,12 +363,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="directory for PNG output")
     p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
     _add_common(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("serve-demo", help="run the multi-client DSMS demo")
     p.add_argument("--clients", type=int, default=4, help="number of demo clients")
     _add_common(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_serve_demo)
+
+    p = sub.add_parser(
+        "metrics", help="run the demo workload observed and export its metrics"
+    )
+    p.add_argument(
+        "--self-test", action="store_true",
+        help="verify the observability layer's invariants and exit",
+    )
+    p.add_argument(
+        "--format", choices=("prom", "jsonl"), default="prom",
+        help="export format: Prometheus text (default) or JSON lines",
+    )
+    p.add_argument("--out", default=None, help="write the export to a file")
+    p.add_argument("--clients", type=int, default=2, help="number of demo clients")
+    _add_common(p)
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("archive", help="capture the demo downlink to .gsar files")
     p.add_argument("--out", default="./archives", help="output directory")
@@ -228,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help="query text over the archived stream ids")
     p.add_argument("--out", default=None, help="directory for PNG output")
     p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
+    _add_obs(p)
     p.set_defaults(func=cmd_replay)
 
     return parser

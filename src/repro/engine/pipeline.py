@@ -16,11 +16,13 @@ registered query its own operator instances.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import StreamError
+from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 
 __all__ = ["apply_operators", "compose_streams", "chunk_time", "iter_pipeline_operators"]
@@ -37,6 +39,41 @@ def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
     for chunk in chunks:
         yield from op.process(chunk)
     yield from op.flush()
+
+
+def _traced_feed(
+    chunks: Iterable[Chunk], op: Operator, span: Span, tracer: Tracer
+) -> Iterator[Chunk]:
+    """Traced variant of ``_feed``: per-chunk wall clock into ``span``.
+
+    Each chunk's outputs are materialized before being yielded so the
+    timed section covers only this operator's work, not the downstream
+    consumers pulling on the generator.
+    """
+    for chunk in chunks:
+        t0 = perf_counter()
+        outs = list(op.process(chunk))
+        dt = perf_counter() - t0
+        span.record(
+            points_in=chunk.n_points,
+            points_out=sum(c.n_points for c in outs),
+            chunks_out=len(outs),
+            wall_s=dt,
+            stream_t=chunk_time(chunk),
+        )
+        tracer.observe_operator(op.name, dt)
+        yield from outs
+    t0 = perf_counter()
+    outs = list(op.flush())
+    span.record(
+        points_in=0,
+        points_out=sum(c.n_points for c in outs),
+        chunks_out=len(outs),
+        wall_s=perf_counter() - t0,
+        chunks_in=0,
+    )
+    span.finish()
+    yield from outs
 
 
 def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStream:
@@ -56,8 +93,20 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
         for op in operators:
             op.reset()
         it: Iterator[Chunk] = stream.chunks()
-        for op in operators:
-            it = _feed(it, op)
+        tracer = current_tracer()
+        if tracer is None:
+            for op in operators:
+                it = _feed(it, op)
+        else:
+            # Parent spans follow dataflow: each operator's span hangs off
+            # the one feeding it, rooted at the upstream stream's tail span.
+            parent = tracer.span_for_stream(stream)
+            for op in operators:
+                span = tracer.begin_operator(op, parent=parent)
+                it = _traced_feed(it, op, span, tracer)
+                parent = span
+            if parent is not None:
+                tracer.bind_stream(result, parent)
         return it
 
     result = GeoStream(metadata, source)
@@ -83,7 +132,19 @@ def compose_streams(
 
     def source() -> Iterator[Chunk]:
         operator.reset()
-        return _merge(left.chunks(), right.chunks(), operator)
+        li, ri = left.chunks(), right.chunks()
+        tracer = current_tracer()
+        if tracer is None:
+            return _merge(li, ri, operator)
+        lspan = tracer.span_for_stream(left)
+        rspan = tracer.span_for_stream(right)
+        span = tracer.begin_operator(
+            operator,
+            parent=lspan,
+            inputs=[s.span_id for s in (lspan, rspan) if s is not None],
+        )
+        tracer.bind_stream(result, span)
+        return _traced_merge(li, ri, operator, span, tracer)
 
     result = GeoStream(metadata, source)
     result.pipeline_operators = [operator]  # type: ignore[attr-defined]
@@ -107,6 +168,54 @@ def _merge(
             yield from operator.process_side("right", rc)
             rc = next(right, None)
     yield from operator.flush()
+
+
+def _traced_merge(
+    left: Iterator[Chunk],
+    right: Iterator[Chunk],
+    operator: BinaryOperator,
+    span: Span,
+    tracer: Tracer,
+) -> Iterator[Chunk]:
+    """Traced variant of ``_merge`` (same interleaving, timed sides)."""
+
+    def step(side: str, chunk: Chunk) -> list[Chunk]:
+        t0 = perf_counter()
+        outs = list(operator.process_side(side, chunk))
+        dt = perf_counter() - t0
+        span.record(
+            points_in=chunk.n_points,
+            points_out=sum(c.n_points for c in outs),
+            chunks_out=len(outs),
+            wall_s=dt,
+            stream_t=chunk_time(chunk),
+        )
+        tracer.observe_operator(operator.name, dt)
+        return outs
+
+    lc = next(left, None)
+    rc = next(right, None)
+    while lc is not None or rc is not None:
+        take_left = rc is None or (lc is not None and chunk_time(lc) <= chunk_time(rc))
+        if take_left:
+            assert lc is not None
+            yield from step("left", lc)
+            lc = next(left, None)
+        else:
+            assert rc is not None
+            yield from step("right", rc)
+            rc = next(right, None)
+    t0 = perf_counter()
+    outs = list(operator.flush())
+    span.record(
+        points_in=0,
+        points_out=sum(c.n_points for c in outs),
+        chunks_out=len(outs),
+        wall_s=perf_counter() - t0,
+        chunks_in=0,
+    )
+    span.finish()
+    yield from outs
 
 
 def iter_pipeline_operators(stream: GeoStream) -> Iterator[Operator | BinaryOperator]:

@@ -10,10 +10,12 @@ runs are deterministic.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Iterator, Mapping
 
 from ..core.chunk import Chunk
 from ..core.stream import GeoStream
+from ..obs.tracing import current_tracer
 from .pipeline import chunk_time
 
 __all__ = ["merge_sources"]
@@ -23,6 +25,15 @@ def merge_sources(
     sources: Mapping[str, GeoStream],
 ) -> Iterator[tuple[str, Chunk]]:
     """Yield (stream_id, chunk) across all sources in timestamp order."""
+    tracer = current_tracer()
+    span = (
+        tracer.begin_span(
+            "merge-sources", kind="scheduler", sources=sorted(sources)
+        )
+        if tracer is not None
+        else None
+    )
+    started = perf_counter()
     heap: list[tuple[float, int, int, str, Chunk, Iterator[Chunk]]] = []
     seq = 0
     for order, (stream_id, stream) in enumerate(sources.items()):
@@ -31,10 +42,25 @@ def merge_sources(
         if first is not None:
             heapq.heappush(heap, (chunk_time(first), order, seq, stream_id, first, it))
             seq += 1
-    while heap:
-        _, order, _, stream_id, chunk, it = heapq.heappop(heap)
-        yield stream_id, chunk
-        nxt = next(it, None)
-        if nxt is not None:
-            heapq.heappush(heap, (chunk_time(nxt), order, seq, stream_id, nxt, it))
-            seq += 1
+    try:
+        while heap:
+            t, order, _, stream_id, chunk, it = heapq.heappop(heap)
+            if span is not None:
+                span.record(
+                    points_in=chunk.n_points,
+                    points_out=chunk.n_points,
+                    chunks_out=1,
+                    wall_s=0.0,
+                    stream_t=t,
+                )
+            yield stream_id, chunk
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(heap, (chunk_time(nxt), order, seq, stream_id, nxt, it))
+                seq += 1
+    finally:
+        if span is not None:
+            # The merge's own work is negligible; its wall clock is the
+            # whole scan (downstream consumers run between yields).
+            span.wall_time_s = perf_counter() - started
+            span.finish()

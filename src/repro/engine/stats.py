@@ -31,6 +31,7 @@ class OperatorReport:
     nonblocking: bool
     mean_wait_time: float = 0.0
     max_wait_time: float = 0.0
+    accounting_errors: int = 0
 
     @staticmethod
     def from_operator(op: Operator | BinaryOperator) -> "OperatorReport":
@@ -47,6 +48,7 @@ class OperatorReport:
             nonblocking=s.is_nonblocking,
             mean_wait_time=s.mean_wait_time,
             max_wait_time=s.wait_time_max,
+            accounting_errors=s.accounting_errors,
         )
 
 
@@ -59,17 +61,25 @@ def pipeline_report(stream: GeoStream) -> list[OperatorReport]:
 
 
 def format_report(reports: Sequence[OperatorReport]) -> str:
-    """Human-readable table of operator counters."""
+    """Human-readable table of operator counters.
+
+    Columns mirror the :class:`OperatorReport` fields: point and chunk
+    throughput, buffering high-water marks, and both mean and max wait
+    times (a composition's typical vs worst-case partner wait differ by
+    orders of magnitude under sequential band scans).
+    """
     header = (
-        f"{'operator':<28} {'pts_in':>10} {'pts_out':>10} "
-        f"{'max_buf_pts':>12} {'max_buf_KB':>11} {'wait_s':>8}"
+        f"{'operator':<28} {'pts_in':>10} {'pts_out':>10} {'chunks_in/out':>13} "
+        f"{'max_buf_pts':>12} {'max_buf_KB':>11} {'mean_wait_s':>12} {'max_wait_s':>11}"
     )
     lines = [header, "-" * len(header)]
     for r in reports:
-        wait = f"{r.mean_wait_time:.1f}" if r.mean_wait_time else "-"
+        chunks = f"{r.chunks_in}/{r.chunks_out}"
+        mean_wait = f"{r.mean_wait_time:.1f}" if r.mean_wait_time else "-"
+        max_wait = f"{r.max_wait_time:.1f}" if r.max_wait_time else "-"
         lines.append(
-            f"{r.repr:<28.28} {r.points_in:>10} {r.points_out:>10} "
+            f"{r.repr:<28.28} {r.points_in:>10} {r.points_out:>10} {chunks:>13} "
             f"{r.max_buffered_points:>12} {r.max_buffered_bytes / 1024:>11.1f} "
-            f"{wait:>8}"
+            f"{mean_wait:>12} {max_wait:>11}"
         )
     return "\n".join(lines)

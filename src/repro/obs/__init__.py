@@ -1,0 +1,100 @@
+"""Observability: metrics registry, pipeline span tracing, exporters.
+
+Usage pattern (the CLI's ``--trace`` / ``--metrics-out`` flags and the
+benchmark snapshot hook all go through this)::
+
+    from repro import obs
+
+    with obs.observe(trace=True) as ob:
+        frames = plan.collect_frames()          # instrumented run
+    lines = obs.snapshot_lines(reports, tracer=ob.tracer, registry=ob.registry)
+    obs.write_jsonl("run.jsonl", lines)
+
+Everything is off by default: the engine's hot paths check
+:func:`metrics_enabled` / :func:`current_tracer` and do no registry or
+span work when observability is disabled. See docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .export import collect_run, snapshot_lines, to_prometheus, write_jsonl
+from .registry import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+from .tracing import Span, Tracer, current_tracer, disable_tracing, enable_tracing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityError",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "metrics_enabled",
+    "enable_metrics",
+    "disable_metrics",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "collect_run",
+    "snapshot_lines",
+    "to_prometheus",
+    "write_jsonl",
+    "Observation",
+    "observe",
+]
+
+
+@dataclass
+class Observation:
+    """Handles to the registry/tracer active inside an ``observe()`` block."""
+
+    registry: MetricsRegistry
+    tracer: Optional[Tracer]
+
+
+@contextlib.contextmanager
+def observe(trace: bool = False, reset: bool = True) -> Iterator[Observation]:
+    """Enable metrics (and optionally tracing) for the duration of a block.
+
+    Resets the process registry on entry by default so each observed run
+    starts from clean counters, and restores the previous enabled/tracer
+    state on exit — nesting and test isolation both work.
+    """
+    registry = get_registry()
+    was_enabled = metrics_enabled()
+    previous_tracer = current_tracer()
+    if reset:
+        registry.reset()
+    enable_metrics()
+    tracer = enable_tracing(Tracer(registry)) if trace else previous_tracer
+    try:
+        yield Observation(registry=registry, tracer=tracer)
+    finally:
+        if not was_enabled:
+            disable_metrics()
+        if trace:
+            if previous_tracer is None:
+                disable_tracing()
+            else:
+                enable_tracing(previous_tracer)

@@ -1,0 +1,181 @@
+"""Exporters: JSON-lines snapshots and Prometheus text format.
+
+Two consumers, two formats. Benchmarks and tests want a machine-readable
+record of a whole run — :func:`collect_run` merges operator reports,
+tracer spans, and registry state into one serializable record, and
+:func:`snapshot_lines` / :func:`write_jsonl` flatten that into one JSON
+object per line (``type`` discriminates: meta / operator / span / counter
+/ gauge / histogram). Scrapers want the Prometheus exposition format —
+:func:`to_prometheus` renders the registry with proper label escaping.
+
+This module deliberately knows nothing about the engine: operator reports
+arrive as dataclasses (or dicts) and are serialized generically, so the
+exporters cannot create import cycles with the instrumented code.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import pathlib
+import re
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, Optional, Sequence
+
+from .registry import MetricsRegistry, get_registry
+from .tracing import Tracer, current_tracer
+
+__all__ = [
+    "collect_run",
+    "snapshot_lines",
+    "write_jsonl",
+    "to_prometheus",
+]
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _report_dict(report: object) -> dict:
+    """Serialize an OperatorReport (or any dataclass / mapping) generically."""
+    if is_dataclass(report) and not isinstance(report, type):
+        out = asdict(report)
+    elif isinstance(report, dict):
+        out = dict(report)
+    else:
+        raise TypeError(f"cannot serialize operator report of type {type(report)!r}")
+    out["type"] = "operator"
+    return out
+
+
+def collect_run(
+    reports: Sequence[object] = (),
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    label: str = "",
+) -> dict:
+    """Merge one run's operator reports, spans, and metrics into a record.
+
+    ``tracer`` defaults to the active tracer (if any); ``registry``
+    defaults to the process registry. The result round-trips through JSON.
+    """
+    if tracer is None:
+        tracer = current_tracer()
+    if registry is None:
+        registry = get_registry()
+    return {
+        "type": "run",
+        "label": label,
+        "time_unix": time.time(),
+        "operators": [_report_dict(r) for r in reports],
+        "spans": tracer.to_dicts() if tracer is not None else [],
+        "metrics": registry.snapshot(),
+    }
+
+
+def snapshot_lines(
+    reports: Sequence[object] = (),
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    label: str = "",
+) -> list[dict]:
+    """Flatten :func:`collect_run` into JSON-lines records (header first)."""
+    run = collect_run(reports=reports, tracer=tracer, registry=registry, label=label)
+    lines: list[dict] = [
+        {
+            "type": "meta",
+            "label": run["label"],
+            "time_unix": run["time_unix"],
+            "n_operators": len(run["operators"]),
+            "n_spans": len(run["spans"]),
+            "n_metrics": len(run["metrics"]),
+        }
+    ]
+    lines.extend(run["operators"])
+    lines.extend(run["spans"])
+    lines.extend(run["metrics"])
+    return lines
+
+
+def write_jsonl(
+    path: str | pathlib.Path, records: Iterable[dict], append: bool = False
+) -> int:
+    """Write records one JSON object per line; returns the line count."""
+    path = pathlib.Path(path)
+    if path.parent != path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with path.open("a" if append else "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+# -- Prometheus text exposition format ----------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_SANITIZE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_LABEL_SANITIZE.sub("_", k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    if registry is None:
+        registry = get_registry()
+    out = io.StringIO()
+    seen_types: set[str] = set()
+    for metric in registry:
+        snap = metric.snapshot()
+        name = _metric_name(snap["name"])
+        if name not in seen_types:
+            out.write(f"# TYPE {name} {snap['type']}\n")
+            seen_types.add(name)
+        labels = snap["labels"]
+        if snap["type"] in ("counter", "gauge"):
+            out.write(f"{name}{_format_labels(labels)} {_format_value(snap['value'])}\n")
+            continue
+        # Histogram: cumulative buckets, then sum and count.
+        running = 0
+        for bound, count in zip(snap["buckets"], snap["counts"]):
+            running += count
+            le = _format_labels(labels, {"le": _format_value(bound)})
+            out.write(f"{name}_bucket{le} {running}\n")
+        le = _format_labels(labels, {"le": "+Inf"})
+        out.write(f"{name}_bucket{le} {snap['count']}\n")
+        out.write(f"{name}_sum{_format_labels(labels)} {_format_value(snap['sum'])}\n")
+        out.write(f"{name}_count{_format_labels(labels)} {snap['count']}\n")
+    return out.getvalue()

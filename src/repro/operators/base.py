@@ -47,6 +47,10 @@ class OperatorStats:
     wait_time_total: float = 0.0
     wait_time_max: float = 0.0
     waits: int = 0
+    # Buffer-accounting violations (release exceeded additions). The error
+    # still raises, but counters are clamped first so a trace snapshot
+    # taken in the exception handler reads sanely post-mortem.
+    accounting_errors: int = 0
 
     def note_in(self, chunk: Chunk) -> None:
         self.chunks_in += 1
@@ -66,6 +70,9 @@ class OperatorStats:
         self.buffered_points -= points
         self.buffered_bytes -= nbytes
         if self.buffered_points < 0 or self.buffered_bytes < 0:
+            self.accounting_errors += 1
+            self.buffered_points = max(self.buffered_points, 0)
+            self.buffered_bytes = max(self.buffered_bytes, 0)
             raise OperatorError(
                 "buffer accounting went negative — operator released more than "
                 "it added"

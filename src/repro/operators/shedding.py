@@ -24,9 +24,24 @@ from typing import Iterable
 
 from ..core.chunk import Chunk, GridChunk, PointChunk
 from ..errors import OperatorError
+from ..obs.registry import get_registry, metrics_enabled
 from .base import Operator
 
 __all__ = ["FrameSubsampler", "AdaptiveLoadShedder"]
+
+
+def _publish_shed_metrics(op: "Operator", shed: bool, credit: float | None = None) -> None:
+    """Registry publication shared by both shedding policies.
+
+    Called only behind a ``metrics_enabled()`` check, so the disabled hot
+    path never touches the registry.
+    """
+    registry = get_registry()
+    registry.counter("shed_frames_seen_total", policy=op.name).inc()
+    if shed:
+        registry.counter("shed_frames_dropped_total", policy=op.name).inc()
+    if credit is not None:
+        registry.gauge("shed_credit_points", policy=op.name).set(credit)
 
 
 class FrameSubsampler(Operator):
@@ -70,6 +85,8 @@ class FrameSubsampler(Operator):
             self.frames_seen += 1
             if not self._keep_current:
                 self.frames_shed += 1
+            if metrics_enabled():
+                _publish_shed_metrics(self, shed=not self._keep_current)
         if self._keep_current:
             yield chunk
 
@@ -146,10 +163,18 @@ class AdaptiveLoadShedder(Operator):
             else:
                 self._keep_current = False
                 self.frames_shed += 1
+            if metrics_enabled():
+                _publish_shed_metrics(
+                    self, shed=not self._keep_current, credit=self._credit
+                )
         if self._keep_current:
             yield chunk
         else:
             self.points_shed += chunk.n_points
+            if metrics_enabled():
+                get_registry().counter(
+                    "shed_points_dropped_total", policy=self.name
+                ).inc(chunk.n_points)
 
     @property
     def shed_fraction(self) -> float:

@@ -10,10 +10,13 @@ the execution side of Fig. 3.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from ..core.chunk import Chunk
+from ..engine.pipeline import chunk_time
 from ..errors import PlanError
+from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.aggregate import RegionAggregate as RegionAggregateOp
 from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
 from ..operators.base import BinaryOperator, Operator
@@ -38,7 +41,7 @@ _Sink = Callable[[Chunk], None]
 class _Stage:
     """One operator wired to its downstream sink."""
 
-    __slots__ = ("op", "side", "downstream")
+    __slots__ = ("op", "side", "downstream", "_span", "_tracer")
 
     def __init__(
         self,
@@ -49,18 +52,78 @@ class _Stage:
         self.op = op
         self.side = side
         self.downstream = downstream
+        self._span: Span | None = None
+        self._tracer: Tracer | None = None
+
+    def _ensure_span(self, tracer: Tracer) -> Span:
+        """Lazily open this stage's span, parented on its consumer stage.
+
+        In a push network data flows stage -> downstream sink, so the span
+        tree mirrors the *query tree*: the operator nearest the client sink
+        is the root and its producers hang below it.
+        """
+        if self._span is None or self._tracer is not tracer:
+            downstream_stage = getattr(self.downstream, "__self__", None)
+            parent = (
+                downstream_stage._ensure_span(tracer)
+                if isinstance(downstream_stage, _Stage)
+                else None
+            )
+            attrs = {"path": "push"} if self.side is None else {
+                "path": "push", "side": self.side,
+            }
+            self._span = tracer.begin_operator(self.op, parent=parent, **attrs)
+            self._tracer = tracer
+        return self._span
 
     def feed(self, chunk: Chunk) -> None:
-        outs = (
+        tracer = current_tracer()
+        if tracer is None:
+            outs = (
+                self.op.process_side(self.side, chunk)
+                if self.side is not None
+                else self.op.process(chunk)
+            )
+            for out in outs:
+                self.downstream(out)
+            return
+        span = self._ensure_span(tracer)
+        t0 = perf_counter()
+        materialized = list(
             self.op.process_side(self.side, chunk)
             if self.side is not None
             else self.op.process(chunk)
         )
-        for out in outs:
+        dt = perf_counter() - t0
+        span.record(
+            points_in=chunk.n_points,
+            points_out=sum(c.n_points for c in materialized),
+            chunks_out=len(materialized),
+            wall_s=dt,
+            stream_t=chunk_time(chunk),
+        )
+        tracer.observe_operator(self.op.name, dt)
+        for out in materialized:
             self.downstream(out)
 
     def flush(self) -> None:
-        for out in self.op.flush():
+        tracer = current_tracer()
+        if tracer is None:
+            for out in self.op.flush():
+                self.downstream(out)
+            return
+        span = self._ensure_span(tracer)
+        t0 = perf_counter()
+        materialized = list(self.op.flush())
+        span.record(
+            points_in=0,
+            points_out=sum(c.n_points for c in materialized),
+            chunks_out=len(materialized),
+            wall_s=perf_counter() - t0,
+            chunks_in=0,
+        )
+        span.finish()
+        for out in materialized:
             self.downstream(out)
 
 
@@ -134,11 +197,29 @@ def compile_push_network(
     node: q.QueryNode,
     sink: _Sink,
     timestamp_policy: str = "sector",
+    source_crs: "dict | None" = None,
 ) -> PushNetwork:
-    """Compile a query tree into a push network ending at ``sink``."""
+    """Compile a query tree into a push network ending at ``sink``.
+
+    ``source_crs`` (stream_id -> CRS) enables the same safety net the pull
+    planner applies: a spatial restriction whose region CRS differs from
+    its input stream's CRS gets the region transformed at compile time,
+    so unrewritten queries behave identically on both execution paths.
+    """
     inputs: dict[str, list[_Sink]] = {}
     flush_order: list[_Stage] = []
     operators: list[Operator | BinaryOperator] = []
+
+    def node_crs(n: q.QueryNode):
+        if isinstance(n, q.StreamRef):
+            return (source_crs or {}).get(n.stream_id)
+        if isinstance(n, q.Reproject):
+            return n.dst_crs
+        if isinstance(n, q.Compose):
+            return node_crs(n.left)
+        if n.children:
+            return node_crs(n.children[0])
+        return None
 
     def compile_node(n: q.QueryNode, downstream: _Sink) -> None:
         # Stages are appended child-first so flushing drains upstream
@@ -157,7 +238,14 @@ def compile_push_network(
             compile_node(n.right, stage_right.feed)
             flush_order.append(stage_left)  # binary op flushes once
             return
-        op = _build_operator(n)
+        if isinstance(n, q.SpatialRestrict) and source_crs:
+            child_crs = node_crs(n.children[0])
+            region = n.region
+            if child_crs is not None and region.crs != child_crs:
+                region = region.transformed(child_crs)
+            op: Operator = SpatialRestriction(region)
+        else:
+            op = _build_operator(n)
         operators.append(op)
         stage = _Stage(op, downstream)
         compile_node(n.children[0], stage.feed)

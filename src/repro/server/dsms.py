@@ -19,6 +19,7 @@ from ..errors import RegionError, ServerError
 from ..geo.region import BoundingBox
 from ..index.base import RegionIndex
 from ..index.cascade_tree import CascadeTree
+from ..obs.registry import get_registry, metrics_enabled
 from ..query import ast as q
 from ..query.optimizer import optimize
 from ..query.parser import parse_query
@@ -197,7 +198,10 @@ class DSMSServer:
         fanout = _Fanout()
         fanout.sessions.append(session)
         policy = self._common_timestamp_policy(optimized)
-        network = compile_push_network(optimized, fanout, timestamp_policy=policy)
+        network = compile_push_network(
+            optimized, fanout, timestamp_policy=policy,
+            source_crs=dict(self.catalog.crs_of()),
+        )
         boxes = source_prune_boxes(optimized)
         registration = _Registration(fanout, network, boxes, optimized)
         reg_id = self._next_reg_id
@@ -288,6 +292,21 @@ class DSMSServer:
         """Distinct push networks currently executing."""
         return len(self._registrations)
 
+    def operator_reports(self):
+        """OperatorReports for every operator of every registered network.
+
+        The push-network analogue of ``engine.pipeline_report``: call after
+        ``run()`` to get the same per-operator cost table the pull path
+        prints (and that ``obs.collect_run`` serializes).
+        """
+        from ..engine.stats import OperatorReport
+
+        return [
+            OperatorReport.from_operator(op)
+            for reg in self._registrations.values()
+            for op in reg.network.operators
+        ]
+
     def _chunk_bbox(self, chunk: Chunk) -> BoundingBox | None:
         if isinstance(chunk, GridChunk):
             return chunk.lattice.bbox
@@ -313,6 +332,29 @@ class DSMSServer:
             for sid in sources
         }
         reg_ids = {id(r): rid for rid, r in self._registrations.items()}
+        # Metric handles are fetched once per run; the per-chunk cost of
+        # disabled observability is the single None check below.
+        obs = None
+        if metrics_enabled():
+            registry = get_registry()
+            registry.gauge("dsms_registered_networks").set(len(self._registrations))
+            registry.gauge("dsms_active_sessions").set(len(self.active_sessions()))
+            for sid, router in self._routers.items():
+                registry.gauge("dsms_router_regions", stream=sid).set(len(router))
+            per_query = {
+                rid: (
+                    registry.counter("dsms_query_chunks_routed_total", query=rid),
+                    registry.counter("dsms_query_chunks_pruned_total", query=rid),
+                )
+                for rid in self._registrations
+            }
+            obs = (
+                registry.counter("dsms_chunks_scanned_total"),
+                registry.counter("dsms_pairs_routed_total"),
+                registry.counter("dsms_pairs_skipped_total"),
+                registry.gauge("dsms_stream_clock_seconds"),
+                per_query,
+            )
         count = 0
         for stream_id, chunk in merge_sources(sources):
             if max_chunks is not None and count >= max_chunks:
@@ -327,12 +369,24 @@ class DSMSServer:
                 bbox = self._chunk_bbox(chunk)
                 if bbox is not None:
                     matched.update(router.overlapping(bbox))
+            routed = skipped = 0
             for registration in consumers[stream_id]:
-                if reg_ids[id(registration)] in matched:
+                rid = reg_ids[id(registration)]
+                if rid in matched:
                     registration.network.feed(stream_id, chunk)
-                    self.router_stats.pairs_routed += 1
+                    routed += 1
                 else:
-                    self.router_stats.pairs_skipped += 1
+                    skipped += 1
+                if obs is not None:
+                    obs[4][rid][0 if rid in matched else 1].inc()
+            self.router_stats.pairs_routed += routed
+            self.router_stats.pairs_skipped += skipped
+            if obs is not None:
+                scanned_c, routed_c, skipped_c, clock_g = obs[:4]
+                scanned_c.inc()
+                routed_c.inc(routed)
+                skipped_c.inc(skipped)
+                clock_g.set(self._now)
         if close:
             for registration in self._registrations.values():
                 registration.network.flush()

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.chunk import Chunk, PointChunk
+from ..obs.registry import LATENCY_BUCKETS, get_registry, metrics_enabled
 from ..operators.delivery import CollectingSink, DeliveredFrame, Delivery
 from ..query import ast as q
 
@@ -58,16 +59,38 @@ class ClientSession:
         # sequential band scans, stretches, warps) show up here directly.
         self.latencies: list[float] = []
         self._clock = None
+        self._obs = None  # lazily-fetched registry handles (see _obs_handles)
 
     def set_clock(self, clock) -> None:
         """Install the server's stream-time clock (for latency metrics)."""
         self._clock = clock
+
+    def _obs_handles(self):
+        """Registry instruments for this session, fetched on first use."""
+        if self._obs is None:
+            registry = get_registry()
+            sid = str(self.session_id)
+            self._obs = (
+                registry.counter("dsms_session_chunks_total", session=sid),
+                registry.counter("dsms_session_points_total", session=sid),
+                registry.gauge("dsms_session_pending_frames", session=sid),
+                registry.histogram(
+                    "dsms_delivery_lag_seconds",
+                    buckets=LATENCY_BUCKETS,
+                    session=sid,
+                ),
+            )
+        return self._obs
 
     # -- sink interface (called by the push network) ----------------------------
 
     def receive(self, chunk: Chunk) -> None:
         self.chunks_received += 1
         self.points_received += chunk.n_points
+        if metrics_enabled():
+            chunks_c, points_c, _, _ = self._obs_handles()
+            chunks_c.inc()
+            points_c.inc(chunk.n_points)
         if isinstance(chunk, PointChunk):
             values = np.asarray(chunk.values, dtype=float)
             for i in range(chunk.n_points):
@@ -92,8 +115,13 @@ class ClientSession:
         if self._clock is None:
             return
         now = self._clock()
-        for frame in self.frames[before:]:
-            self.latencies.append(now - frame.image.t)
+        new_lags = [now - frame.image.t for frame in self.frames[before:]]
+        self.latencies.extend(new_lags)
+        if metrics_enabled():
+            _, _, frames_g, lag_h = self._obs_handles()
+            frames_g.set(len(self.frames))
+            for lag in new_lags:
+                lag_h.observe(lag)
 
     def close(self) -> None:
         if not self.closed:

@@ -139,3 +139,45 @@ class TestReports:
         text = format_report(pipeline_report(out))
         assert "pts_in" in text
         assert str(op.stats.points_in) in text
+
+    def test_format_report_columns_match_report_fields(self, small_imager):
+        op = Rescale(2.0)
+        out = small_imager.stream("vis").pipe(op)
+        out.count_points()
+        text = format_report(pipeline_report(out))
+        for column in ("chunks_in/out", "mean_wait_s", "max_wait_s"):
+            assert column in text
+        assert f"{op.stats.chunks_in}/{op.stats.chunks_out}" in text
+
+    def test_format_report_wait_columns_render_values(self, scene):
+        # A sequential band scan forces the composition to wait a full
+        # band's scan time, so both wait columns must show numbers.
+        from repro.geo import goes_geostationary
+        from repro.ingest import GOESImager, western_us_sector
+
+        crs = goes_geostationary(-135.0)
+        sector = western_us_sector(crs, width=32, height=16)
+        imager = GOESImager(
+            scene=scene, sector_lattice=sector, n_frames=1,
+            band_interleave="band", t0=72_000.0,
+        )
+        op = StreamComposition("-")
+        out = compose_streams(imager.stream("nir"), imager.stream("vis"), op)
+        out.count_points()
+        report = [r for r in pipeline_report(out) if r.name == "composition"][0]
+        text = format_report([report])
+        row = text.splitlines()[-1]
+        assert f"{report.mean_wait_time:.1f}" in row
+        assert f"{report.max_wait_time:.1f}" in row
+
+    def test_multi_operator_pipeline_report_counts(self, small_imager):
+        ops = [Rescale(2.0), Rescale(0.5), Rescale(1.0)]
+        out = small_imager.stream("vis").pipe(*ops)
+        total = out.count_points()
+        reports = pipeline_report(out)
+        assert [r.name for r in reports] == ["value-transform"] * 3
+        # A pointwise chain conserves throughput at every hop.
+        for report in reports:
+            assert report.points_in == report.points_out == total
+            assert report.chunks_in == report.chunks_out
+            assert report.accounting_errors == 0
