@@ -79,8 +79,20 @@ from .operators import (
 )
 from .io import read_archive, write_archive
 from .operators import AdaptiveLoadShedder, FrameSubsampler, spatio_temporal_aggregate
+from .faults import (
+    BackoffPolicy,
+    DeadLetterSink,
+    FaultInjector,
+    FaultSpec,
+    FrameGuard,
+    RecoveryContext,
+    SimClock,
+    harden_catalog,
+    recovering,
+    resilient_stream,
+)
 from .query import Q, optimize, parse_query, plan_query
-from .server import ClientSession, DSMSServer, StreamCatalog
+from .server import ClientSession, DSMSServer, SessionCheckpoint, StreamCatalog
 
 __version__ = "1.0.0"
 
@@ -154,6 +166,18 @@ __all__ = [
     "DSMSServer",
     "StreamCatalog",
     "ClientSession",
+    "SessionCheckpoint",
+    # faults & recovery
+    "FaultSpec",
+    "FaultInjector",
+    "BackoffPolicy",
+    "DeadLetterSink",
+    "FrameGuard",
+    "RecoveryContext",
+    "SimClock",
+    "harden_catalog",
+    "recovering",
+    "resilient_stream",
     # io
     "read_archive",
     "write_archive",

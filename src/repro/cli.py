@@ -20,6 +20,7 @@ geographic coordinates.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
@@ -78,6 +79,46 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
 
 def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", False) or getattr(args, "metrics_out", None))
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="chaos drill: inject seeded faults into every source and run the "
+             "recovery stack (grammar in docs/faults.md; e.g. 'default' or "
+             "'drop=0.05,disconnect=1,seed=42')",
+    )
+
+
+def _maybe_harden(catalog, args: argparse.Namespace):
+    """Apply ``--inject-faults``: (catalog', recovery ctx | None, injector | None)."""
+    spec_text = getattr(args, "inject_faults", None)
+    if not spec_text:
+        return catalog, None, None
+    from .faults import FaultSpec, harden_catalog
+
+    hardened, injector, ctx = harden_catalog(catalog, FaultSpec.parse(spec_text))
+    return hardened, ctx, injector
+
+
+def _fault_scope(ctx):
+    """Install the recovery context for the run (no-op without faults)."""
+    if ctx is None:
+        return contextlib.nullcontext()
+    from .faults import recovering
+
+    return recovering(ctx)
+
+
+def _print_fault_summary(injector, ctx) -> None:
+    injected = {k: v for k, v in injector.counts.items() if v}
+    dl = ctx.dead_letter
+    print(f"\nfaults injected: {injected or 'none'}")
+    print(
+        f"recovery: {ctx.retries} reconnect(s), {dl.total} item(s) quarantined "
+        f"{dict(dl.by_reason)}, {ctx.stalls_observed} stall(s) observed, "
+        f"sim clock advanced {getattr(ctx.clock, 'total_slept', 0.0):g}s"
+    )
 
 
 def _run_observed_query(
@@ -159,18 +200,26 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    catalog, fctx, finj = _maybe_harden(catalog, args)
     if _obs_requested(args):
-        return _run_observed_query(catalog, args.query, args, args.out)
+        with _fault_scope(fctx):
+            code = _run_observed_query(catalog, args.query, args, args.out)
+        if finj is not None:
+            _print_fault_summary(finj, fctx)
+        return code
     tree = parse_query(args.query)
     if not args.no_optimize:
         tree = optimize(tree, dict(catalog.crs_of())).node
     sources = {sid: catalog.get(sid) for sid in catalog.ids()}
     plan = plan_query(tree, sources)
     start = time.perf_counter()
-    frames = plan.collect_frames()
+    with _fault_scope(fctx):
+        frames = plan.collect_frames()
     elapsed = time.perf_counter() - start
     print(f"{len(frames)} frames in {elapsed:.3f}s")
     print(format_report(pipeline_report(plan)))
+    if finj is not None:
+        _print_fault_summary(finj, fctx)
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -184,7 +233,9 @@ def cmd_query(args: argparse.Namespace) -> int:
 def _serve_demo_once(args: argparse.Namespace) -> tuple[DSMSServer, list, float]:
     """Register the demo clients and run the scan (shared by serve-demo/metrics)."""
     imager, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
-    server = DSMSServer(catalog)
+    catalog, fctx, finj = _maybe_harden(catalog, args)
+    args._fault_ctx, args._fault_injector = fctx, finj
+    server = DSMSServer(catalog, recovery=fctx)
     box = imager.sector_lattice.bbox
     sessions = []
     for i in range(args.clients):
@@ -205,7 +256,8 @@ def _serve_demo_once(args: argparse.Namespace) -> tuple[DSMSServer, list, float]
         print(f"client {i}: session #{session.session_id}, "
               f"rewrites: {', '.join(sorted(set(session.applied_rules))) or 'none'}")
     start = time.perf_counter()
-    server.run()
+    with _fault_scope(fctx):
+        server.run()
     elapsed = time.perf_counter() - start
     return server, sessions, elapsed
 
@@ -233,6 +285,8 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
             f"session #{session.session_id}: {len(session.frames)} frames, "
             f"{len(session.records)} records, {session.points_received} points"
         )
+    if getattr(args, "_fault_injector", None) is not None:
+        _print_fault_summary(args._fault_injector, args._fault_ctx)
     return 0
 
 
@@ -323,16 +377,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
     for path in args.archives:
         stream = catalog.register_archive(path)
         print(f"registered {stream.stream_id!r} from {path}")
+    catalog, fctx, finj = _maybe_harden(catalog, args)
     if _obs_requested(args):
-        return _run_observed_query(catalog, args.query, args, args.out)
+        with _fault_scope(fctx):
+            code = _run_observed_query(catalog, args.query, args, args.out)
+        if finj is not None:
+            _print_fault_summary(finj, fctx)
+        return code
     tree = parse_query(args.query)
     if not args.no_optimize:
         tree = optimize(tree, dict(catalog.crs_of())).node
     sources = {sid: catalog.get(sid) for sid in catalog.ids()}
     plan = plan_query(tree, sources)
-    frames = plan.collect_frames()
+    with _fault_scope(fctx):
+        frames = plan.collect_frames()
     print(f"{len(frames)} frames replayed")
     print(format_report(pipeline_report(plan)))
+    if finj is not None:
+        _print_fault_summary(finj, fctx)
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -364,12 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
     _add_common(p)
     _add_obs(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("serve-demo", help="run the multi-client DSMS demo")
     p.add_argument("--clients", type=int, default=4, help="number of demo clients")
     _add_common(p)
     _add_obs(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_serve_demo)
 
     p = sub.add_parser(
@@ -399,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="directory for PNG output")
     p.add_argument("--no-optimize", action="store_true", help="skip query rewriting")
     _add_obs(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_replay)
 
     return parser

@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, Sequence
 from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import StreamError
+from ..faults.recovery import current_recovery
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 
@@ -36,9 +37,17 @@ def chunk_time(chunk: Chunk) -> float:
 
 
 def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
+    ctx = current_recovery()
+    if ctx is None:
+        for chunk in chunks:
+            yield from op.process(chunk)
+        yield from op.flush()
+        return
+    # Degrade-gracefully mode: a chunk the operator cannot process is
+    # quarantined to the dead-letter sink instead of killing the pipeline.
     for chunk in chunks:
-        yield from op.process(chunk)
-    yield from op.flush()
+        yield from ctx.guard(op, chunk)
+    yield from ctx.guard_flush(op)
 
 
 def _traced_feed(
@@ -50,9 +59,10 @@ def _traced_feed(
     timed section covers only this operator's work, not the downstream
     consumers pulling on the generator.
     """
+    ctx = current_recovery()
     for chunk in chunks:
         t0 = perf_counter()
-        outs = list(op.process(chunk))
+        outs = list(op.process(chunk)) if ctx is None else ctx.guard(op, chunk)
         dt = perf_counter() - t0
         span.record(
             points_in=chunk.n_points,
@@ -64,7 +74,7 @@ def _traced_feed(
         tracer.observe_operator(op.name, dt)
         yield from outs
     t0 = perf_counter()
-    outs = list(op.flush())
+    outs = list(op.flush()) if ctx is None else ctx.guard_flush(op)
     span.record(
         points_in=0,
         points_out=sum(c.n_points for c in outs),
@@ -155,19 +165,29 @@ def compose_streams(
 def _merge(
     left: Iterator[Chunk], right: Iterator[Chunk], operator: BinaryOperator
 ) -> Iterator[Chunk]:
+    ctx = current_recovery()
+
+    def step(side: str, chunk: Chunk) -> Iterable[Chunk]:
+        if ctx is None:
+            return operator.process_side(side, chunk)
+        return ctx.guard(operator, chunk, side)
+
     lc = next(left, None)
     rc = next(right, None)
     while lc is not None or rc is not None:
         take_left = rc is None or (lc is not None and chunk_time(lc) <= chunk_time(rc))
         if take_left:
             assert lc is not None
-            yield from operator.process_side("left", lc)
+            yield from step("left", lc)
             lc = next(left, None)
         else:
             assert rc is not None
-            yield from operator.process_side("right", rc)
+            yield from step("right", rc)
             rc = next(right, None)
-    yield from operator.flush()
+    if ctx is None:
+        yield from operator.flush()
+    else:
+        yield from ctx.guard_flush(operator)
 
 
 def _traced_merge(
@@ -178,10 +198,15 @@ def _traced_merge(
     tracer: Tracer,
 ) -> Iterator[Chunk]:
     """Traced variant of ``_merge`` (same interleaving, timed sides)."""
+    ctx = current_recovery()
 
     def step(side: str, chunk: Chunk) -> list[Chunk]:
         t0 = perf_counter()
-        outs = list(operator.process_side(side, chunk))
+        outs = (
+            list(operator.process_side(side, chunk))
+            if ctx is None
+            else ctx.guard(operator, chunk, side)
+        )
         dt = perf_counter() - t0
         span.record(
             points_in=chunk.n_points,
@@ -206,7 +231,7 @@ def _traced_merge(
             yield from step("right", rc)
             rc = next(right, None)
     t0 = perf_counter()
-    outs = list(operator.flush())
+    outs = list(operator.flush()) if ctx is None else ctx.guard_flush(operator)
     span.record(
         points_in=0,
         points_out=sum(c.n_points for c in outs),

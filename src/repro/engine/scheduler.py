@@ -15,10 +15,30 @@ from typing import Iterator, Mapping
 
 from ..core.chunk import Chunk
 from ..core.stream import GeoStream
+from ..errors import RecoveryExhausted, SourceDisconnected
+from ..faults.recovery import current_recovery
 from ..obs.tracing import current_tracer
 from .pipeline import chunk_time
 
 __all__ = ["merge_sources"]
+
+
+def _advance(it, stream_id: str) -> Chunk | None:
+    """Next chunk of one source, dropping the source on terminal failure.
+
+    With a recovery context installed, a source whose reconnect budget is
+    exhausted (or that disconnects without a resilient wrapper) is removed
+    from the merge while the other sources keep flowing — the k-way scan
+    degrades instead of dying. Without a context, failures propagate.
+    """
+    try:
+        return next(it, None)
+    except (RecoveryExhausted, SourceDisconnected) as exc:
+        ctx = current_recovery()
+        if ctx is None:
+            raise
+        ctx.quarantine(None, reason="source-lost", stage=stream_id, error=exc)
+        return None
 
 
 def merge_sources(
@@ -38,7 +58,7 @@ def merge_sources(
     seq = 0
     for order, (stream_id, stream) in enumerate(sources.items()):
         it = iter(stream.chunks())
-        first = next(it, None)
+        first = _advance(it, stream_id)
         if first is not None:
             heapq.heappush(heap, (chunk_time(first), order, seq, stream_id, first, it))
             seq += 1
@@ -54,7 +74,7 @@ def merge_sources(
                     stream_t=t,
                 )
             yield stream_id, chunk
-            nxt = next(it, None)
+            nxt = _advance(it, stream_id)
             if nxt is not None:
                 heapq.heappush(heap, (chunk_time(nxt), order, seq, stream_id, nxt, it))
                 seq += 1

@@ -28,6 +28,9 @@ __all__ = [
     "ServerError",
     "ProtocolError",
     "CodecError",
+    "FaultError",
+    "SourceDisconnected",
+    "RecoveryExhausted",
 ]
 
 
@@ -123,3 +126,20 @@ class ProtocolError(ServerError):
 
 class CodecError(GeoStreamsError):
     """Image encoding or decoding (e.g. PNG) failed."""
+
+
+class FaultError(GeoStreamsError):
+    """A fault-injection spec is invalid or the injector was misused."""
+
+
+class SourceDisconnected(StreamError):
+    """A source stream dropped its connection mid-scan.
+
+    Raised by the fault injector (and, in a real deployment, by a downlink
+    receiver); :func:`repro.faults.resilient_stream` catches it and
+    reconnects with exponential backoff.
+    """
+
+
+class RecoveryExhausted(StreamError):
+    """Retries/backoff deadline exceeded while reconnecting a source."""

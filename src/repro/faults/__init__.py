@@ -1,0 +1,78 @@
+"""Fault injection and failure recovery (``repro.faults``).
+
+A seeded chaos layer for the GeoStreams DSMS: :class:`FaultSpec` describes
+a deterministic fault mix, :class:`FaultInjector` applies it to any
+GeoStream or raw-record feed, and the recovery side —
+:func:`resilient_stream`, :class:`FrameGuard`, :class:`RecoveryContext`,
+the DSMS's router fallback and shedding escalation — keeps continuous
+queries correct and live through it. See ``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector
+from .recovery import (
+    BackoffPolicy,
+    DeadLetter,
+    DeadLetterSink,
+    FrameGuard,
+    RecoveryContext,
+    SimClock,
+    SystemClock,
+    clear_recovery,
+    current_recovery,
+    install_recovery,
+    recovering,
+    resilient_stream,
+)
+from .spec import DEFAULT_INTENSITY, FAULT_KINDS, FaultSpec
+
+__all__ = [
+    "FaultSpec",
+    "FAULT_KINDS",
+    "DEFAULT_INTENSITY",
+    "FaultInjector",
+    "BackoffPolicy",
+    "DeadLetter",
+    "DeadLetterSink",
+    "FrameGuard",
+    "RecoveryContext",
+    "SimClock",
+    "SystemClock",
+    "current_recovery",
+    "install_recovery",
+    "clear_recovery",
+    "recovering",
+    "resilient_stream",
+    "harden_catalog",
+]
+
+
+def harden_catalog(catalog, spec: FaultSpec, context: RecoveryContext | None = None):
+    """Fault-inject *and* harden every stream of a catalog.
+
+    For each registered source this builds the full drill pipeline::
+
+        source -> FaultInjector.wrap_stream -> resilient_stream -> FrameGuard
+
+    i.e. faults go in at the source, reconnect-with-backoff absorbs the
+    disconnects, and the frame guard quarantines whatever corruption the
+    other classes produced — so only complete, bit-exact frames reach the
+    DSMS. Returns ``(hardened_catalog, injector, context)``; run the DSMS
+    under ``recovering(context)`` so the engine and server share the same
+    recovery state.
+    """
+    from ..server.catalog import StreamCatalog  # lazy: avoids an import cycle
+
+    ctx = context if context is not None else RecoveryContext()
+    injector = FaultInjector(spec, clock=ctx.clock)
+    hardened = StreamCatalog()
+    for sid, stream in catalog.items():
+        faulty = injector.wrap_stream(stream)
+        guarded = resilient_stream(faulty, context=ctx).pipe(
+            FrameGuard(value_set=stream.metadata.value_set, context=ctx)
+        )
+        hardened.register(
+            guarded.with_metadata(stream_id=sid), catalog.extent(sid)
+        )
+    return hardened, injector, ctx

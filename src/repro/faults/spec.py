@@ -1,0 +1,207 @@
+"""Fault specification: which faults to inject, how often, under which seed.
+
+Real GOES feeds are not the always-on downlink of Fig. 3: scans drop,
+counts corrupt, sectors truncate, links stall and disconnect. A
+:class:`FaultSpec` describes one such weather pattern *deterministically*
+— the same spec and seed always injects the same faults into the same
+stream — so chaos tests can assert exact recovery behaviour.
+
+Spec grammar (the CLI's ``--inject-faults`` argument)::
+
+    SPEC     := "default" | "none" | field ("," field)*
+    field    := KEY "=" VALUE
+    KEY      := drop | dup | reorder | bitflip | outrange | truncate
+              | stall | disconnect | seed
+    drop/dup/reorder/bitflip/outrange/truncate take a probability in [0, 1]
+    stall    := PROB | PROB ":" SECONDS       (simulated-time delay)
+    disconnect := COUNT | COUNT "@" CHUNKS    (disconnects per scan, position)
+    seed     := INT
+
+Examples::
+
+    drop=0.05,dup=0.02,seed=42
+    stall=0.1:30,disconnect=2@20
+    default                       # every class at its default intensity
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import FaultError
+
+__all__ = ["FaultSpec", "FAULT_KINDS", "DEFAULT_INTENSITY"]
+
+# Every fault class the injector knows, in injection-decision order.
+FAULT_KINDS = (
+    "drop",       # chunk silently lost
+    "dup",        # chunk delivered twice
+    "reorder",    # chunk swapped with its successor
+    "bitflip",    # counts corrupted by a flipped high bit
+    "outrange",   # counts pushed beyond the declared value set
+    "truncate",   # the rest of the chunk's scan sector is lost
+    "stall",      # simulated-time delay before delivery
+    "disconnect", # the source connection drops mid-scan
+)
+
+# Default per-class intensity used by ``FaultSpec.default()`` /
+# ``FaultSpec.single()`` — the "default intensity" the chaos acceptance
+# criterion refers to. High enough that even a 3-frame test stream is
+# guaranteed to see each class under the pinned seeds.
+DEFAULT_INTENSITY: dict[str, float] = {
+    "drop": 0.15,
+    "dup": 0.15,
+    "reorder": 0.20,
+    "bitflip": 0.12,
+    "outrange": 0.12,
+    "truncate": 0.10,
+    "stall": 0.15,
+    "disconnect": 1.0,  # count, not probability
+}
+
+
+def _prob(key: str, text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise FaultError(f"fault spec: {key} needs a number, got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"fault spec: {key} probability {value} outside [0, 1]")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic description of the faults to inject into a stream."""
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    bitflip: float = 0.0
+    outrange: float = 0.0
+    truncate: float = 0.0
+    stall: float = 0.0
+    stall_seconds: float = 30.0
+    disconnect: int = 0
+    disconnect_after: int = 20  # chunks delivered before each disconnect
+
+    def __post_init__(self) -> None:
+        for key in ("drop", "dup", "reorder", "bitflip", "outrange", "truncate", "stall"):
+            value = getattr(self, key)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"fault spec: {key} probability {value} outside [0, 1]")
+        if self.stall_seconds < 0:
+            raise FaultError("fault spec: stall seconds must be >= 0")
+        if self.disconnect < 0 or self.disconnect_after < 1:
+            raise FaultError("fault spec: disconnect count must be >= 0, position >= 1")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the spec grammar (see module docstring)."""
+        text = text.strip()
+        if not text or text == "none":
+            return cls()
+        fields: dict[str, object] = {}
+        base = cls()
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part == "default":
+                base = cls.default(seed=int(fields.get("seed", 0)))  # type: ignore[arg-type]
+                continue
+            if "=" not in part:
+                raise FaultError(f"fault spec: expected key=value, got {part!r}")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                try:
+                    fields["seed"] = int(value)
+                except ValueError:
+                    raise FaultError(f"fault spec: seed must be an integer, got {value!r}") from None
+            elif key == "stall":
+                prob, _, seconds = value.partition(":")
+                fields["stall"] = _prob("stall", prob)
+                if seconds:
+                    try:
+                        fields["stall_seconds"] = float(seconds)
+                    except ValueError:
+                        raise FaultError(
+                            f"fault spec: stall takes PROB[:SECONDS], got {value!r}"
+                        ) from None
+            elif key == "disconnect":
+                count, _, after = value.partition("@")
+                try:
+                    fields["disconnect"] = int(count)
+                    if after:
+                        fields["disconnect_after"] = int(after)
+                except ValueError:
+                    raise FaultError(
+                        f"fault spec: disconnect takes COUNT[@CHUNKS], got {value!r}"
+                    ) from None
+            elif key in FAULT_KINDS:
+                fields[key] = _prob(key, value)
+            else:
+                raise FaultError(
+                    f"fault spec: unknown key {key!r}; expected one of "
+                    f"{FAULT_KINDS + ('seed',)}"
+                )
+        return replace(base, **fields)  # type: ignore[arg-type]
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "FaultSpec":
+        """Every fault class at its default intensity."""
+        return cls(
+            seed=seed,
+            drop=DEFAULT_INTENSITY["drop"],
+            dup=DEFAULT_INTENSITY["dup"],
+            reorder=DEFAULT_INTENSITY["reorder"],
+            bitflip=DEFAULT_INTENSITY["bitflip"],
+            outrange=DEFAULT_INTENSITY["outrange"],
+            truncate=DEFAULT_INTENSITY["truncate"],
+            stall=DEFAULT_INTENSITY["stall"],
+            disconnect=int(DEFAULT_INTENSITY["disconnect"]),
+        )
+
+    @classmethod
+    def single(cls, kind: str, seed: int = 0) -> "FaultSpec":
+        """Only one fault class, at its default intensity."""
+        if kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+        if kind == "disconnect":
+            return cls(seed=seed, disconnect=int(DEFAULT_INTENSITY[kind]))
+        return cls(seed=seed, **{kind: DEFAULT_INTENSITY[kind]})  # type: ignore[arg-type]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def active_kinds(self) -> tuple[str, ...]:
+        """The fault classes this spec actually injects."""
+        out = [
+            k
+            for k in ("drop", "dup", "reorder", "bitflip", "outrange", "truncate", "stall")
+            if getattr(self, k) > 0.0
+        ]
+        if self.disconnect > 0:
+            out.append("disconnect")
+        return tuple(out)
+
+    def to_string(self) -> str:
+        """Round-trippable spec text (``FaultSpec.parse`` inverse)."""
+        parts = [f"seed={self.seed}"]
+        for key in ("drop", "dup", "reorder", "bitflip", "outrange", "truncate"):
+            value = getattr(self, key)
+            if value > 0.0:
+                parts.append(f"{key}={value:g}")
+        if self.stall > 0.0:
+            parts.append(f"stall={self.stall:g}:{self.stall_seconds:g}")
+        if self.disconnect > 0:
+            parts.append(f"disconnect={self.disconnect}@{self.disconnect_after}")
+        return ",".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_string()

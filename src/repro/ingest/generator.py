@@ -34,6 +34,7 @@ from ..core.lattice import GridLattice
 from ..core.metadata import FrameInfo
 from ..core.stream import Organization
 from ..errors import StreamError
+from ..faults.recovery import current_recovery
 
 __all__ = ["encode_record", "decode_record", "RawRecord", "StreamGenerator"]
 
@@ -174,9 +175,19 @@ class StreamGenerator:
     def decode_stream(self, records: Iterable[bytes]) -> Iterator[GridChunk]:
         """Parse a record sequence into chunks per the configured organization."""
         pending: dict[int, tuple[np.ndarray, FrameInfo, float, str, int]] = {}
+        ctx = current_recovery()
         for data in records:
-            record = decode_record(data)
-            frame_lattice = self._lattice_for(record)
+            try:
+                record = decode_record(data)
+                frame_lattice = self._lattice_for(record)
+            except StreamError as exc:
+                if ctx is None:
+                    raise
+                # Degrade-gracefully mode: a record that fails its CRC,
+                # width, or navigation checks is poison from a noisy
+                # downlink — quarantine it and keep decoding.
+                ctx.quarantine(data, reason="bad-record", stage="stream-generator", error=exc)
+                continue
             info = FrameInfo(frame_id=record.frame, lattice=frame_lattice)
             if self.organization is Organization.ROW_BY_ROW:
                 yield GridChunk(
@@ -213,6 +224,13 @@ class StreamGenerator:
                     last_in_frame=True,
                 )
         if pending:
-            raise StreamError(
-                f"record stream ended mid-frame for frame ids {sorted(pending)}"
-            )
+            if ctx is None:
+                raise StreamError(
+                    f"record stream ended mid-frame for frame ids {sorted(pending)}"
+                )
+            for key in sorted(pending):
+                ctx.quarantine(
+                    pending[key],
+                    reason="partial-frame-eof",
+                    stage="stream-generator",
+                )

@@ -129,6 +129,11 @@ class AdaptiveLoadShedder(Operator):
         self.frames_seen = 0
         self.frames_shed = 0
         self.points_shed = 0
+        # Pressure divides the per-frame refill; the DSMS escalates it
+        # under sustained source stalls (graceful degradation: shed more,
+        # stay live) and relaxes it once the feed recovers.
+        self._pressure = 1.0
+        self.escalations = 0
 
     def _reset_state(self) -> None:
         self._credit = 0.0
@@ -137,6 +142,29 @@ class AdaptiveLoadShedder(Operator):
         self.frames_seen = 0
         self.frames_shed = 0
         self.points_shed = 0
+        self._pressure = 1.0
+        self.escalations = 0
+
+    # -- overload response (driven by the DSMS under sustained stall) --------
+
+    @property
+    def pressure(self) -> float:
+        return self._pressure
+
+    def escalate(self, factor: float = 2.0) -> None:
+        """Cut the effective refill budget (bounded so it can recover)."""
+        if factor <= 1.0:
+            raise OperatorError(f"escalation factor must be > 1, got {factor}")
+        self._pressure = min(self._pressure * factor, 64.0)
+        self.escalations += 1
+        if metrics_enabled():
+            get_registry().counter(
+                "repro_faults_shed_escalations_total", policy=self.name
+            ).inc()
+
+    def relax(self) -> None:
+        """Undo escalation once the feed looks healthy again."""
+        self._pressure = 1.0
 
     def _frame_points_estimate(self, chunk: GridChunk) -> int:
         if chunk.frame is not None:
@@ -151,7 +179,7 @@ class AdaptiveLoadShedder(Operator):
         if key != self._current:
             self._current = key
             self.frames_seen += 1
-            self._credit = min(self._credit + self.budget, self.max_credit)
+            self._credit = min(self._credit + self.budget / self._pressure, self.max_credit)
             # Deficit accounting: a frame is admitted whenever the bucket
             # is positive and may drive it into debt, which future frame
             # periods repay. The long-run keep fraction then converges to

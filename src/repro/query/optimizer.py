@@ -203,10 +203,17 @@ class _Rewriter:
         if not isinstance(node, q.TemporalRestrict):
             return None
         child = node.child
+        # ValueMap and Magnify are chunk-at-a-time and timestamp-preserving,
+        # so the push is always exact. Stretch/Coarsen/Rotate/Reproject
+        # buffer multi-row bands or whole frames whose rows carry different
+        # measured timestamps: restricting the *input* rows by measured time
+        # can split a frame and change the result at interval boundaries.
+        # Sector-id restrictions are frame-granular, so they stay exact.
+        exact = isinstance(child, (q.ValueMap, q.Magnify)) or node.on_sector
         if isinstance(
             child,
             (q.ValueMap, q.Stretch, q.Magnify, q.Coarsen, q.Rotate, q.Reproject),
-        ):
+        ) and (exact or self.allow_inexact):
             self._note("push-temporal-unary")
             return child.with_children(
                 q.TemporalRestrict(child.child, node.timeset, node.on_sector)

@@ -4,9 +4,10 @@ from .catalog import StreamCatalog
 from .compiler import PushNetwork, compile_push_network
 from .dsms import DSMSServer, RouterStats, source_prune_boxes
 from .protocol import Request, format_query_request, parse_request
-from .session import AggregateRecord, ClientSession
+from .session import AggregateRecord, ClientSession, SessionCheckpoint
 
 __all__ = [
+    "SessionCheckpoint",
     "StreamCatalog",
     "PushNetwork",
     "compile_push_network",

@@ -16,6 +16,7 @@ from typing import Callable
 from ..core.chunk import Chunk
 from ..engine.pipeline import chunk_time
 from ..errors import PlanError
+from ..faults.recovery import current_recovery
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.aggregate import RegionAggregate as RegionAggregateOp
 from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
@@ -76,24 +77,26 @@ class _Stage:
             self._tracer = tracer
         return self._span
 
-    def feed(self, chunk: Chunk) -> None:
-        tracer = current_tracer()
-        if tracer is None:
-            outs = (
-                self.op.process_side(self.side, chunk)
-                if self.side is not None
-                else self.op.process(chunk)
-            )
-            for out in outs:
-                self.downstream(out)
-            return
-        span = self._ensure_span(tracer)
-        t0 = perf_counter()
-        materialized = list(
+    def _step(self, chunk: Chunk) -> "list[Chunk]":
+        """One operator step; quarantines poison chunks under recovery."""
+        ctx = current_recovery()
+        if ctx is not None:
+            return ctx.guard(self.op, chunk, self.side)
+        return list(
             self.op.process_side(self.side, chunk)
             if self.side is not None
             else self.op.process(chunk)
         )
+
+    def feed(self, chunk: Chunk) -> None:
+        tracer = current_tracer()
+        if tracer is None:
+            for out in self._step(chunk):
+                self.downstream(out)
+            return
+        span = self._ensure_span(tracer)
+        t0 = perf_counter()
+        materialized = self._step(chunk)
         dt = perf_counter() - t0
         span.record(
             points_in=chunk.n_points,
@@ -106,15 +109,21 @@ class _Stage:
         for out in materialized:
             self.downstream(out)
 
+    def _drain(self) -> "list[Chunk]":
+        ctx = current_recovery()
+        if ctx is not None:
+            return ctx.guard_flush(self.op)
+        return list(self.op.flush())
+
     def flush(self) -> None:
         tracer = current_tracer()
         if tracer is None:
-            for out in self.op.flush():
+            for out in self._drain():
                 self.downstream(out)
             return
         span = self._ensure_span(tracer)
         t0 = perf_counter()
-        materialized = list(self.op.flush())
+        materialized = self._drain()
         span.record(
             points_in=0,
             points_out=sum(c.n_points for c in materialized),

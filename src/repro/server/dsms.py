@@ -15,18 +15,21 @@ from dataclasses import dataclass
 from ..core.chunk import Chunk, GridChunk
 from ..engine.pipeline import chunk_time
 from ..engine.scheduler import merge_sources
-from ..errors import RegionError, ServerError
+from ..errors import GeoStreamsError, RegionError, ServerError
+from ..faults.recovery import RecoveryContext, current_recovery
 from ..geo.region import BoundingBox
 from ..index.base import RegionIndex
 from ..index.cascade_tree import CascadeTree
+from ..index.naive import NaiveRegionIndex
 from ..obs.registry import get_registry, metrics_enabled
+from ..operators.base import Operator
 from ..query import ast as q
 from ..query.optimizer import optimize
 from ..query.parser import parse_query
 from .catalog import StreamCatalog
 from .compiler import PushNetwork, compile_push_network
 from .protocol import Request, parse_request
-from .session import ClientSession
+from .session import ClientSession, SessionCheckpoint
 
 __all__ = ["DSMSServer", "source_prune_boxes", "RouterStats"]
 
@@ -96,6 +99,8 @@ class RouterStats:
     chunks_scanned: int = 0
     pairs_routed: int = 0  # (chunk, query) pairs actually fed
     pairs_skipped: int = 0  # pairs pruned by the region index
+    fallbacks: int = 0  # routers rebuilt as naive indexes after a failure
+    chunks_shed: int = 0  # chunks dropped by the ingest shedder
 
     @property
     def prune_fraction(self) -> float:
@@ -141,12 +146,22 @@ class DSMSServer:
         catalog: StreamCatalog,
         index_factory: type[RegionIndex] = CascadeTree,
         optimize_queries: bool = True,
+        ingest_shedder: Operator | None = None,
+        recovery: RecoveryContext | None = None,
     ) -> None:
         self.catalog = catalog
         self.optimize_queries = optimize_queries
         self._index_factory = index_factory
+        # Optional frame-shedding gate ahead of routing; under sustained
+        # source stalls (detected via the recovery clock) it is escalated.
+        self.ingest_shedder = ingest_shedder
+        # Explicit recovery context; falls back to the installed one.
+        self.recovery = recovery
         # One region index per source stream (regions live in that CRS).
         self._routers: dict[str, RegionIndex] = {}
+        # What each router holds, kept so a failing router can be rebuilt
+        # as a naive index without losing any registration.
+        self._router_boxes: dict[str, dict[int, BoundingBox]] = {}
         self._always: dict[str, set[int]] = {}
         # reg_id -> shared registration; session_id -> reg_id.
         self._registrations: dict[int, _Registration] = {}
@@ -241,7 +256,36 @@ class DSMSServer:
             if router is None:
                 router = self._index_factory()
                 self._routers[stream_id] = router
+            self._router_boxes.setdefault(stream_id, {})[reg_id] = box
+            try:
+                router.insert(reg_id, box)
+            except GeoStreamsError:
+                if self._recovery_ctx() is None:
+                    raise
+                # The rebuild replays every remembered box, including the
+                # one whose insert just failed.
+                self._router_fallback(stream_id)
+
+    def _recovery_ctx(self) -> RecoveryContext | None:
+        return self.recovery if self.recovery is not None else current_recovery()
+
+    def _router_fallback(self, stream_id: str) -> RegionIndex:
+        """Rebuild a failing router as a naive linear-scan index.
+
+        Graceful degradation: a cascade-tree bug must cost routing
+        *performance*, never routing *correctness* — the naive index
+        answers the same overlap queries from the remembered rectangles.
+        """
+        router = NaiveRegionIndex()
+        for reg_id, box in self._router_boxes.get(stream_id, {}).items():
             router.insert(reg_id, box)
+        self._routers[stream_id] = router
+        self.router_stats.fallbacks += 1
+        if metrics_enabled():
+            get_registry().counter(
+                "repro_faults_router_fallbacks_total", stream=stream_id
+            ).inc()
+        return router
 
     def deregister(self, session_id: int) -> None:
         reg_id = self._session_to_reg.pop(session_id, None)
@@ -260,9 +304,21 @@ class DSMSServer:
             router = self._routers.get(stream_id)
             if router is not None and reg_id in router:
                 router.remove(reg_id)
+            self._router_boxes.get(stream_id, {}).pop(reg_id, None)
             always = self._always.get(stream_id)
             if always is not None:
                 always.discard(reg_id)
+
+    def restore_session(self, checkpoint: SessionCheckpoint) -> ClientSession:
+        """Re-register a dropped client's query and resume past its checkpoint.
+
+        The replacement session replays the (deterministic) source scan but
+        silently discards everything the checkpoint says was already
+        delivered, so the reconnecting client sees each frame exactly once.
+        """
+        session = self.register(checkpoint.query_text, encode_png=checkpoint.encode_png)
+        session.resume_from(checkpoint)
+        return session
 
     # -- protocol front door ----------------------------------------------------------
 
@@ -355,11 +411,40 @@ class DSMSServer:
                 registry.gauge("dsms_stream_clock_seconds"),
                 per_query,
             )
+        ctx = self._recovery_ctx()
+        # Stall detection: the fault clock advances only when a source
+        # sleeps, so a large jump between consecutive chunks is a stalled
+        # downlink. Under sustained stall the ingest shedder escalates.
+        clock_last = ctx.clock.now() if ctx is not None else 0.0
+        healthy_streak = 0
+        escalated = False
         count = 0
         for stream_id, chunk in merge_sources(sources):
             if max_chunks is not None and count >= max_chunks:
                 break
             count += 1
+            if ctx is not None:
+                clock_now = ctx.clock.now()
+                if clock_now - clock_last >= ctx.stall_threshold_s:
+                    ctx.note_stall()
+                    healthy_streak = 0
+                    if self.ingest_shedder is not None and hasattr(
+                        self.ingest_shedder, "escalate"
+                    ):
+                        self.ingest_shedder.escalate()
+                        escalated = True
+                else:
+                    healthy_streak += 1
+                    if escalated and healthy_streak >= ctx.stall_relax_after:
+                        self.ingest_shedder.relax()
+                        escalated = False
+                clock_last = clock_now
+            if self.ingest_shedder is not None:
+                kept = list(self.ingest_shedder.process(chunk))
+                if not kept:
+                    self.router_stats.chunks_shed += 1
+                    continue
+                (chunk,) = kept
             self.router_stats.chunks_scanned += 1
             self._now = chunk_time(chunk)
             router = self._routers.get(stream_id)
@@ -368,12 +453,26 @@ class DSMSServer:
             if router is not None:
                 bbox = self._chunk_bbox(chunk)
                 if bbox is not None:
-                    matched.update(router.overlapping(bbox))
+                    try:
+                        matched.update(router.overlapping(bbox))
+                    except GeoStreamsError:
+                        if ctx is None:
+                            raise
+                        router = self._router_fallback(stream_id)
+                        matched.update(router.overlapping(bbox))
             routed = skipped = 0
             for registration in consumers[stream_id]:
                 rid = reg_ids[id(registration)]
                 if rid in matched:
-                    registration.network.feed(stream_id, chunk)
+                    try:
+                        registration.network.feed(stream_id, chunk)
+                    except GeoStreamsError as exc:
+                        if ctx is None:
+                            raise
+                        ctx.quarantine(
+                            chunk, reason="network-error",
+                            stage=f"network:{rid}", error=exc,
+                        )
                     routed += 1
                 else:
                     skipped += 1

@@ -12,11 +12,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.chunk import Chunk, PointChunk
+from ..engine.pipeline import chunk_time
 from ..obs.registry import LATENCY_BUCKETS, get_registry, metrics_enabled
 from ..operators.delivery import CollectingSink, DeliveredFrame, Delivery
 from ..query import ast as q
 
-__all__ = ["AggregateRecord", "ClientSession"]
+__all__ = ["AggregateRecord", "ClientSession", "SessionCheckpoint"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,25 @@ class AggregateRecord:
     t: float
     band: str
     sector: int | None
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """Resumable delivery position of one continuous-query session.
+
+    Captures how far results had been delivered when a client dropped;
+    :meth:`repro.server.dsms.DSMSServer.restore_session` re-registers the
+    query and the new session silently discards everything at or before
+    the checkpointed stream time — the reconnecting client sees no
+    duplicates and resumes at the next frame.
+    """
+
+    query_text: str
+    frames_delivered: int
+    last_frame_t: float
+    records_delivered: int
+    last_record_t: float
+    encode_png: bool = True
 
 
 class ClientSession:
@@ -60,6 +80,11 @@ class ClientSession:
         self.latencies: list[float] = []
         self._clock = None
         self._obs = None  # lazily-fetched registry handles (see _obs_handles)
+        # Checkpoint/restore: everything at or before these stream times was
+        # already delivered to the client in a previous session.
+        self._resume_frame_t = float("-inf")
+        self._resume_record_t = float("-inf")
+        self.resumed_skips = 0
 
     def set_clock(self, clock) -> None:
         """Install the server's stream-time clock (for latency metrics)."""
@@ -85,6 +110,18 @@ class ClientSession:
     # -- sink interface (called by the push network) ----------------------------
 
     def receive(self, chunk: Chunk) -> None:
+        if isinstance(chunk, PointChunk):
+            if self._resume_record_t > float("-inf"):
+                keep = chunk.t > self._resume_record_t
+                if not np.all(keep):
+                    self.resumed_skips += int(np.sum(~keep))
+                    if not np.any(keep):
+                        return
+                    chunk = chunk.select(keep)
+        elif chunk_time(chunk) <= self._resume_frame_t:
+            # Replayed data the previous session already delivered.
+            self.resumed_skips += 1
+            return
         self.chunks_received += 1
         self.points_received += chunk.n_points
         if metrics_enabled():
@@ -122,6 +159,31 @@ class ClientSession:
             frames_g.set(len(self.frames))
             for lag in new_lags:
                 lag_h.observe(lag)
+
+    # -- checkpoint / restore ---------------------------------------------------
+
+    def checkpoint(self) -> SessionCheckpoint:
+        """Snapshot the delivery position (for reconnect-and-resume)."""
+        return SessionCheckpoint(
+            query_text=self.query_text,
+            frames_delivered=len(self.frames),
+            last_frame_t=self.frames[-1].image.t if self.frames else float("-inf"),
+            records_delivered=len(self.records),
+            last_record_t=self.records[-1].t if self.records else float("-inf"),
+            encode_png=self._delivery.encode,
+        )
+
+    def resume_from(self, checkpoint: SessionCheckpoint) -> None:
+        """Skip everything a previous session already delivered.
+
+        Sources replay deterministically from the start (GeoStreams are
+        re-openable), so resuming means suppressing the replayed prefix:
+        grid chunks at or before the checkpointed frame time and aggregate
+        records at or before the checkpointed record time are discarded
+        before they reach the sink.
+        """
+        self._resume_frame_t = checkpoint.last_frame_t
+        self._resume_record_t = checkpoint.last_record_t
 
     def close(self) -> None:
         if not self.closed:

@@ -21,6 +21,7 @@ EXAMPLES = [
     "instrument_zoo",
     "archive_replay",
     "two_satellite_mosaic",
+    "chaos_run",
 ]
 
 

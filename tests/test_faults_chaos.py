@@ -1,0 +1,153 @@
+"""Seeded chaos runs: every fault class, end to end, bit-for-bit.
+
+For each fault kind and each seed the full push pipeline runs behind a
+:class:`~repro.faults.FaultInjector` and the hardened catalog from
+:func:`~repro.faults.harden_catalog`. The contract under test:
+
+* no fault ever surfaces as an unhandled exception;
+* every frame that *does* get delivered is bit-identical to the same
+  frame from a fault-free baseline run (corruption is quarantined, never
+  delivered);
+* the ``repro_faults_injected_total`` counters equal the injector's own
+  bookkeeping exactly — observability never under- or over-counts.
+
+Seeds default to five fixed values; CI's chaos job overrides them one at
+a time via the ``CHAOS_SEED`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.faults import FAULT_KINDS, FaultSpec, harden_catalog, recovering
+from repro.geo import goes_geostationary
+from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
+from repro.server import DSMSServer, StreamCatalog
+
+DAY_T0 = 72_000.0
+QUERY = "reflectance(goes.vis)"
+
+if "CHAOS_SEED" in os.environ:
+    SEEDS = (int(os.environ["CHAOS_SEED"]),)
+else:
+    SEEDS = (101, 202, 303, 404, 505)
+
+
+def make_catalog() -> StreamCatalog:
+    """A tiny single-band catalog: 3 frames of 16x8 — fast per-example."""
+    crs = goes_geostationary(-135.0)
+    imager = GOESImager(
+        scene=SyntheticEarth(seed=5),
+        sector_lattice=western_us_sector(crs, width=16, height=8),
+        n_frames=3,
+        t0=DAY_T0,
+    )
+    catalog = StreamCatalog()
+    catalog.register_imager(imager)
+    return catalog
+
+
+def run_query(catalog, ctx=None):
+    server = DSMSServer(catalog, recovery=ctx)
+    session = server.register(QUERY, encode_png=False)
+    if ctx is None:
+        server.run()
+    else:
+        with recovering(ctx):
+            server.run()
+    return session
+
+
+@pytest.fixture(scope="module")
+def baseline_frames():
+    """Fault-free frames keyed by timestamp (the equivalence oracle)."""
+    session = run_query(make_catalog())
+    assert len(session.frames) == 3
+    return {f.image.t: f.image for f in session.frames}
+
+
+class TestChaosPerKind:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_single_fault_kind(self, kind, seed, baseline_frames):
+        spec = FaultSpec.single(kind, seed=seed)
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        with obs.observe() as ob:
+            session = run_query(hardened, ctx)
+
+        # The spec's one active kind actually fired.
+        assert injector.counts[kind] > 0, f"{kind}@{seed} injected nothing"
+        for other in FAULT_KINDS:
+            if other != kind:
+                assert injector.counts[other] == 0
+
+        # Surviving frames are bit-identical to the fault-free baseline.
+        for frame in session.frames:
+            t = frame.image.t
+            assert t in baseline_frames, f"{kind}@{seed}: unknown frame t={t}"
+            assert np.array_equal(frame.image.values, baseline_frames[t].values), (
+                f"{kind}@{seed}: delivered frame at t={t} differs from baseline"
+            )
+
+        # Counters equal the injector's bookkeeping exactly.
+        counter = ob.registry.counter("repro_faults_injected_total", kind=kind)
+        assert counter.value == injector.counts[kind]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_default_spec_all_kinds_at_once(self, seed, baseline_frames):
+        """The combined default spec survives too — frames stay exact."""
+        spec = FaultSpec.default(seed=seed)
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        with obs.observe() as ob:
+            session = run_query(hardened, ctx)
+
+        assert sum(injector.counts.values()) > 0
+        for frame in session.frames:
+            t = frame.image.t
+            assert t in baseline_frames
+            assert np.array_equal(frame.image.values, baseline_frames[t].values)
+        for kind, n in injector.counts.items():
+            counter = ob.registry.counter("repro_faults_injected_total", kind=kind)
+            assert counter.value == n
+
+
+class TestChaosInvariants:
+    def test_zero_spec_is_identity(self, baseline_frames):
+        """A no-op spec delivers the full baseline, injecting nothing."""
+        spec = FaultSpec(seed=123)
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        session = run_query(hardened, ctx)
+        assert sum(injector.counts.values()) == 0
+        assert len(ctx.dead_letter) == 0
+        assert len(session.frames) == len(baseline_frames)
+        for frame in session.frames:
+            assert np.array_equal(
+                frame.image.values, baseline_frames[frame.image.t].values
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_run_is_deterministic(self, seed):
+        """Same spec, same seed -> identical injections and deliveries."""
+
+        def one_run():
+            hardened, injector, ctx = harden_catalog(
+                make_catalog(), FaultSpec.default(seed=seed)
+            )
+            session = run_query(hardened, ctx)
+            frames = [(f.image.t, f.image.values.tobytes()) for f in session.frames]
+            return dict(injector.counts), frames, dict(ctx.dead_letter.by_reason)
+
+        assert one_run() == one_run()
+
+    def test_dead_letter_explains_missing_frames(self, baseline_frames):
+        """Whenever frames go missing, the dead-letter sink says why."""
+        spec = FaultSpec.single("drop", seed=SEEDS[0])
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        session = run_query(hardened, ctx)
+        missing = len(baseline_frames) - len(session.frames)
+        if missing:
+            assert ctx.dead_letter.by_reason.get("incomplete-frame", 0) > 0

@@ -145,3 +145,39 @@ def test_restriction_commutes_with_itself(tree, region):
     once = collect(q.SpatialRestrict(tree, region))
     twice = collect(q.SpatialRestrict(q.SpatialRestrict(tree, region), region))
     assert sum(c.n_points for c in once) == sum(c.n_points for c in twice)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**16),
+    region=region_strategy(),
+    restriction=st.sampled_from(["spatial", "value"]),
+)
+def test_reorder_faults_commute_with_nonblocking_restriction(seed, region, restriction):
+    """Chunk reordering commutes with non-blocking restrictions.
+
+    A restriction that processes chunks statelessly maps any permutation
+    of its input to a permutation of its output, so injecting reorder
+    faults before or after it yields the same materialized image — the
+    multiset of restricted chunks is invariant. (This is exactly why the
+    FrameGuard may re-sort a frame's rows without changing query results.)
+    """
+    from repro.faults import FaultInjector, FaultSpec
+    from repro.operators import SpatialRestriction, ValueRestriction
+
+    def make_op():
+        if restriction == "spatial":
+            return SpatialRestriction(region)
+        return ValueRestriction(200.0, 900.0)
+
+    spec = FaultSpec(seed=seed, reorder=0.3)
+    base = _SOURCES["goes.vis"]
+    faults_before = FaultInjector(spec).wrap_stream(base).pipe(make_op())
+    faults_after = FaultInjector(spec).wrap_stream(base.pipe(make_op()))
+
+    def multiset(stream):
+        return sorted(
+            (c.t, c.row0, c.col0, c.band, c.values.tobytes()) for c in stream.chunks()
+        )
+
+    assert multiset(faults_before) == multiset(faults_after)

@@ -1,4 +1,11 @@
-"""Stream-time delivery latency: buffering shows up as lag (E5 companion)."""
+"""Stream-time delivery latency: buffering shows up as lag (E5 companion).
+
+All timing here is *simulated*: delivery lag is measured on the server's
+stream-time clock and source stalls advance the fault layer's
+:class:`~repro.faults.SimClock`. No test sleeps wall-clock time, so the
+module is timing-robust on loaded CI machines — a stalled downlink costs
+simulated seconds, not test-suite seconds.
+"""
 
 import math
 
@@ -6,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import Organization
+from repro.faults import FaultSpec, SimClock, harden_catalog, recovering
 from repro.ingest import GOESImager, western_us_sector
 from repro.server import DSMSServer, StreamCatalog
 
@@ -76,3 +84,42 @@ class TestDeliveryLatency:
         session = ClientSession(1, "x", q.StreamRef("s"), q.StreamRef("s"), [])
         assert math.isnan(session.mean_latency)
         assert session.latencies == []
+
+
+class TestLatencyUnderSimulatedStalls:
+    """Stalled sources cost simulated seconds only (the stall-injector clock)."""
+
+    def run_query(self, scene, geos_crs, spec=None):
+        _, server = make_server(scene, geos_crs, "row")
+        if spec is None:
+            session = server.register("reflectance(goes.vis)", encode_png=False)
+            server.run()
+            return session, None
+        hardened, injector, ctx = harden_catalog(server.catalog, spec)
+        server = DSMSServer(hardened, recovery=ctx)
+        session = server.register("reflectance(goes.vis)", encode_png=False)
+        with recovering(ctx):
+            server.run()
+        return session, ctx
+
+    def test_stalls_are_simulated_not_slept(self, scene, geos_crs):
+        """A heavily stalled run advances the SimClock, not the wall clock,
+        and stream-time delivery lag is identical to the fault-free run."""
+        baseline, _ = self.run_query(scene, geos_crs)
+        spec = FaultSpec(seed=303, stall=0.5, stall_seconds=30.0)
+        stalled, ctx = self.run_query(scene, geos_crs, spec)
+        assert isinstance(ctx.clock, SimClock)
+        # Dozens of 30-second stalls happened — all in simulated time.
+        assert ctx.clock.total_slept >= 30.0
+        # Stream-time latency is measured against chunk timestamps, so the
+        # stalls do not distort it: same frames, same lag, bit for bit.
+        assert len(stalled.frames) == len(baseline.frames)
+        assert stalled.latencies == baseline.latencies
+
+    def test_stalled_run_is_deterministic(self, scene, geos_crs):
+        spec = FaultSpec(seed=404, stall=0.3, stall_seconds=12.5)
+        a, ctx_a = self.run_query(scene, geos_crs, spec)
+        b, ctx_b = self.run_query(scene, geos_crs, spec)
+        assert ctx_a.clock.total_slept == ctx_b.clock.total_slept > 0
+        assert a.latencies == b.latencies
+        assert [f.image.t for f in a.frames] == [f.image.t for f in b.frames]
