@@ -91,6 +91,7 @@ from .faults import (
     recovering,
     resilient_stream,
 )
+from .plan import PlanDAG, PlanNode, build_composition, build_value_map, canonicalize
 from .query import Q, optimize, parse_query, plan_query
 from .server import ClientSession, DSMSServer, SessionCheckpoint, StreamCatalog
 
@@ -158,6 +159,12 @@ __all__ = [
     "parse_query",
     "optimize",
     "plan_query",
+    # plan IR
+    "PlanNode",
+    "PlanDAG",
+    "canonicalize",
+    "build_value_map",
+    "build_composition",
     # index
     "CascadeTree",
     "GridRegionIndex",

@@ -32,6 +32,7 @@ from .engine import format_report, pipeline_report
 from .errors import GeoStreamsError
 from .ingest import GOESImager, SyntheticEarth
 from .query import estimate_query, optimize, parse_query, plan_query
+from .plan import canonicalize
 from .server import DSMSServer, StreamCatalog, format_query_request
 
 __all__ = ["main", "build_demo_catalog"]
@@ -185,6 +186,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
     result = optimize(tree, dict(catalog.crs_of()))
     print("\noptimized (rules: " + (", ".join(result.applied) or "none") + "):")
     print(result.node.pretty(indent=1))
+    plan = canonicalize(result.node, crs_of=dict(catalog.crs_of()))
+    print("\nphysical plan (canonical, subplan fingerprints):")
+    print(plan.pretty(indent=1, fingerprints=True))
     profiles = catalog.profiles()
     try:
         before, _ = estimate_query(tree, profiles)
@@ -275,10 +279,15 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
             print(f"wrote {n} snapshot records to {args.metrics_out}")
     else:
         server, sessions, elapsed = _serve_demo_once(args)
+    if args.explain:
+        print(server.explain_dag())
     stats = server.router_stats
+    plan_stats = server.plan_stats
     print(
         f"\nscan: {stats.chunks_scanned} chunks in {elapsed:.2f}s; routing pruned "
-        f"{stats.prune_fraction:.0%} of (chunk, query) pairs"
+        f"{stats.prune_fraction:.0%} of (chunk, query) pairs; subplan sharing "
+        f"saved {plan_stats.chunks_saved} operator steps "
+        f"({server.plan_dag.stages_shared}/{server.plan_dag.stages_total} stages shared)"
     )
     for session in sessions:
         print(
@@ -431,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve-demo", help="run the multi-client DSMS demo")
     p.add_argument("--clients", type=int, default=4, help="number of demo clients")
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the shared operator DAG (stages, subscribers, fan-out)",
+    )
     _add_common(p)
     _add_obs(p)
     _add_faults(p)

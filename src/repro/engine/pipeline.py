@@ -9,8 +9,10 @@ would interleave on the wire.
 Re-opening a piped stream resets its operators first, so the same
 declared query can be executed repeatedly (each benchmark run, each
 registered continuous query evaluation). A pipeline is therefore not
-safely iterable from two places *simultaneously*; the DSMS gives each
-registered query its own operator instances.
+safely iterable from two places *simultaneously*: each open invalidates
+every earlier iterator, and pulling a stale one raises ``StreamError``
+instead of silently corrupting the freshly-reset operator state. The
+DSMS gives each registered query its own operator instances.
 """
 
 from __future__ import annotations
@@ -27,6 +29,32 @@ from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 
 __all__ = ["apply_operators", "compose_streams", "chunk_time", "iter_pipeline_operators"]
+
+
+def _epoch_guard(
+    it: Iterator[Chunk], state: dict, epoch: int, stream_id: str
+) -> Iterator[Chunk]:
+    """Invalidate an iterator once its pipeline has been re-opened.
+
+    Opening a piped stream resets the (shared, mutable) operators, so any
+    iterator from an earlier open would silently interleave with corrupted
+    state. The check runs *before* each pull, so no operator ever sees a
+    chunk from a stale iteration.
+    """
+    while True:
+        if state["epoch"] != epoch:
+            raise StreamError(
+                f"piped stream {stream_id!r} was re-opened while a previous "
+                "iteration was still in progress; a pipeline is not safely "
+                "iterable from two places simultaneously (collect one "
+                "iteration before starting another, or plan the query twice "
+                "for independent operator state)"
+            )
+        try:
+            chunk = next(it)
+        except StopIteration:
+            return
+        yield chunk
 
 
 def chunk_time(chunk: Chunk) -> float:
@@ -98,8 +126,11 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
     metadata = stream.metadata
     for op in operators:
         metadata = op.output_metadata(metadata)
+    state = {"epoch": 0}
 
     def source() -> Iterator[Chunk]:
+        state["epoch"] += 1
+        epoch = state["epoch"]
         for op in operators:
             op.reset()
         it: Iterator[Chunk] = stream.chunks()
@@ -117,7 +148,7 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
                 parent = span
             if parent is not None:
                 tracer.bind_stream(result, parent)
-        return it
+        return _epoch_guard(it, state, epoch, metadata.stream_id)
 
     result = GeoStream(metadata, source)
     # Expose the pipeline for stats inspection and plan introspection.
@@ -139,13 +170,18 @@ def compose_streams(
     if not isinstance(operator, BinaryOperator):
         raise StreamError(f"{type(operator).__name__} is not a BinaryOperator")
     metadata = operator.output_metadata(left.metadata, right.metadata)
+    state = {"epoch": 0}
 
     def source() -> Iterator[Chunk]:
+        state["epoch"] += 1
+        epoch = state["epoch"]
         operator.reset()
         li, ri = left.chunks(), right.chunks()
         tracer = current_tracer()
         if tracer is None:
-            return _merge(li, ri, operator)
+            return _epoch_guard(
+                _merge(li, ri, operator), state, epoch, metadata.stream_id
+            )
         lspan = tracer.span_for_stream(left)
         rspan = tracer.span_for_stream(right)
         span = tracer.begin_operator(
@@ -154,7 +190,10 @@ def compose_streams(
             inputs=[s.span_id for s in (lspan, rspan) if s is not None],
         )
         tracer.bind_stream(result, span)
-        return _traced_merge(li, ri, operator, span, tracer)
+        return _epoch_guard(
+            _traced_merge(li, ri, operator, span, tracer), state, epoch,
+            metadata.stream_id,
+        )
 
     result = GeoStream(metadata, source)
     result.pipeline_operators = [operator]  # type: ignore[attr-defined]

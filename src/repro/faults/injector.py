@@ -190,7 +190,7 @@ class FaultInjector:
         generator's recovery path quarantines the bad record. Truncation
         drops the remainder of the flipped record's frame.
         """
-        from ..ingest.generator import _HEADER  # lazy: avoids an import cycle
+        from ..ingest.generator import RECORD_HEADER  # lazy: avoids an import cycle
 
         spec = self.spec
         rng = random.Random(spec.seed ^ zlib.crc32(label.encode("utf-8")))
@@ -198,9 +198,9 @@ class FaultInjector:
         truncated: tuple[int, int] | None = None
 
         def frame_key(data: bytes) -> tuple[int, int] | None:
-            if len(data) < _HEADER.size:
+            if len(data) < RECORD_HEADER.size:
                 return None
-            _, sector, frame, *_rest = _HEADER.unpack(data[: _HEADER.size])
+            _, sector, frame, *_rest = RECORD_HEADER.unpack(data[: RECORD_HEADER.size])
             return (sector, frame)
 
         for data in raw:
@@ -216,7 +216,7 @@ class FaultInjector:
                 continue
             if spec.bitflip > 0.0 and rng.random() < spec.bitflip:
                 self._count("bitflip")
-                body_start = _HEADER.size
+                body_start = RECORD_HEADER.size
                 if len(data) > body_start + 4:
                     idx = body_start + rng.randrange(len(data) - body_start - 4)
                     data = data[:idx] + bytes([data[idx] ^ 0x80]) + data[idx + 1 :]

@@ -36,10 +36,11 @@ from ..core.stream import Organization
 from ..errors import StreamError
 from ..faults.recovery import current_recovery
 
-__all__ = ["encode_record", "decode_record", "RawRecord", "StreamGenerator"]
+__all__ = ["RECORD_HEADER", "encode_record", "decode_record", "RawRecord", "StreamGenerator"]
 
 _MAGIC = b"GVR1"
-_HEADER = struct.Struct(">4sII8sIdIB")
+# Public: the faults layer parses headers to corrupt records surgically.
+RECORD_HEADER = struct.Struct(">4sII8sIdIB")
 
 
 class RawRecord:
@@ -84,7 +85,7 @@ def encode_record(
     band_bytes = band.encode("ascii")
     if len(band_bytes) > 8:
         raise StreamError(f"band name {band!r} exceeds 8 bytes")
-    header = _HEADER.pack(
+    header = RECORD_HEADER.pack(
         _MAGIC,
         sector,
         frame,
@@ -100,18 +101,18 @@ def encode_record(
 
 def decode_record(data: bytes) -> RawRecord:
     """Parse and checksum-verify one wire record."""
-    if len(data) < _HEADER.size + 4:
+    if len(data) < RECORD_HEADER.size + 4:
         raise StreamError(f"raw record too short ({len(data)} bytes)")
     payload, crc_bytes = data[:-4], data[-4:]
     (crc_expected,) = struct.unpack(">I", crc_bytes)
     if zlib.crc32(payload) & 0xFFFFFFFF != crc_expected:
         raise StreamError("raw record CRC mismatch")
-    magic, sector, frame, band_raw, row, t, width, last = _HEADER.unpack(
-        payload[: _HEADER.size]
+    magic, sector, frame, band_raw, row, t, width, last = RECORD_HEADER.unpack(
+        payload[: RECORD_HEADER.size]
     )
     if magic != _MAGIC:
         raise StreamError(f"bad raw record magic {magic!r}")
-    body = payload[_HEADER.size :]
+    body = payload[RECORD_HEADER.size :]
     if len(body) != width * 2:
         raise StreamError(
             f"raw record body has {len(body)} bytes, expected {width * 2}"

@@ -1,0 +1,65 @@
+"""Physical-plan IR shared by the pull and push execution paths.
+
+Layering: the query layer parses and optimizes *logical* trees
+(``repro.query.ast``); this package lowers them to canonical physical
+plans (:func:`canonicalize`), which either execution path then turns into
+running machinery — pull via :func:`plan_to_stream` (chained lazy
+generators) or push via :class:`PlanDAG` (a shared operator DAG the DSMS
+feeds chunk-by-chunk, with subplan-level sharing across queries).
+"""
+
+from .canonical import canonicalize, estimate_plan
+from .lower import empty_stream, plan_to_stream
+from .nodes import (
+    COMMUTATIVE_GAMMAS,
+    Coarsen,
+    Compose,
+    EmptyPlan,
+    Magnify,
+    PlanNode,
+    RegionAgg,
+    Reproject,
+    Rotate,
+    SourceScan,
+    SpatialRestrict,
+    Stretch,
+    TemporalAgg,
+    TemporalRestrict,
+    ValueMap,
+    ValueRestrict,
+    source_ids,
+    walk,
+)
+from .ops import VALUE_MAP_DEFAULTS, build_composition, build_value_map
+from .stages import PlanDAG, PlanStats, Stage
+
+__all__ = [
+    "PlanNode",
+    "SourceScan",
+    "EmptyPlan",
+    "SpatialRestrict",
+    "TemporalRestrict",
+    "ValueRestrict",
+    "ValueMap",
+    "Stretch",
+    "Magnify",
+    "Coarsen",
+    "Rotate",
+    "Reproject",
+    "Compose",
+    "TemporalAgg",
+    "RegionAgg",
+    "walk",
+    "source_ids",
+    "COMMUTATIVE_GAMMAS",
+    "canonicalize",
+    "estimate_plan",
+    "plan_to_stream",
+    "empty_stream",
+    "build_value_map",
+    "build_composition",
+    "VALUE_MAP_DEFAULTS",
+    "PlanDAG",
+    "PlanStats",
+    "Stage",
+]

@@ -1,0 +1,166 @@
+"""Logical AST → canonical physical plan.
+
+Canonicalization makes structurally different but equivalent query trees
+produce *equal* plan nodes (hence equal fingerprints), which is what
+subplan sharing keys on:
+
+* commutative compositions (γ in ``+ * sup inf``) order their children
+  deterministically by fingerprint;
+* adjacent restrictions of the same kind fold into one (mirroring the
+  optimizer's ``merge-spatial``/``merge-temporal`` rules, plus value
+  ranges by interval intersection);
+* spatial-restriction regions are resolved into the child's CRS when the
+  source CRSs are known (the planner's safety net, applied once at plan
+  time instead of per lowering);
+* value-map parameters are materialized against their declared defaults
+  so ``reflectance()`` and ``reflectance(bits=10)`` hash identically;
+* each composition's timestamp-matching policy is resolved from the
+  source metadata (or a supplied default) and recorded in the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.timeset import intersect_timesets
+from ..errors import PlanError
+from ..geo.crs import CRS
+from ..geo.region import intersect_regions
+from ..query import ast as q
+from . import nodes as p
+from .nodes import COMMUTATIVE_GAMMAS
+from .ops import VALUE_MAP_DEFAULTS
+
+__all__ = ["canonicalize", "estimate_plan"]
+
+
+def _plan_crs(plan: p.PlanNode, crs_of: Mapping[str, CRS]) -> CRS | None:
+    """Output CRS of a plan, when derivable from the source CRS map."""
+    if isinstance(plan, p.SourceScan):
+        return crs_of.get(plan.stream_id)
+    if isinstance(plan, p.Reproject):
+        return plan.dst_crs
+    if isinstance(plan, p.Compose):
+        return _plan_crs(plan.left, crs_of)
+    children = plan.children
+    if children:
+        return _plan_crs(children[0], crs_of)
+    return None
+
+
+def _leaf_policy(
+    plan: p.PlanNode, policy_of: Mapping[str, str], default_policy: str
+) -> str:
+    """Timestamp policy of the leftmost source below ``plan``.
+
+    Matches what the pull executor historically derived from stream
+    metadata: operators preserve the policy, so the composed stream's
+    policy is its leftmost source's.
+    """
+    cur = plan
+    while True:
+        if isinstance(cur, p.SourceScan):
+            return policy_of.get(cur.stream_id, default_policy)
+        children = cur.children
+        if not children:
+            return default_policy
+        cur = children[0]
+
+
+def canonicalize(
+    node: q.QueryNode,
+    *,
+    crs_of: Mapping[str, CRS] | None = None,
+    policy_of: Mapping[str, str] | None = None,
+    default_policy: str = "sector",
+) -> p.PlanNode:
+    """Lower a logical query tree to its canonical physical plan."""
+    crs_map = dict(crs_of or {})
+    policy_map = dict(policy_of or {})
+
+    def visit(n: q.QueryNode) -> p.PlanNode:
+        if isinstance(n, q.StreamRef):
+            return p.SourceScan(n.stream_id)
+        if isinstance(n, q.Empty):
+            return p.EmptyPlan(n.reason)
+        if isinstance(n, q.Compose):
+            left = visit(n.left)
+            right = visit(n.right)
+            # Policy from the original left subtree, mirroring pull-path
+            # semantics, *before* any commutative reordering.
+            policy = _leaf_policy(left, policy_map, default_policy)
+            if n.gamma in COMMUTATIVE_GAMMAS and right.fingerprint < left.fingerprint:
+                left, right = right, left
+            return p.Compose(left, right, n.gamma, policy)
+        if isinstance(n, q.SpatialRestrict):
+            child = visit(n.child)
+            region = n.region
+            child_crs = _plan_crs(child, crs_map)
+            if child_crs is not None and region.crs != child_crs:
+                # Safety net: the optimizer normally maps regions across
+                # CRSs; do it here too so unoptimized queries still run.
+                region = region.transformed(child_crs)
+            if isinstance(child, p.SpatialRestrict) and child.region.crs == region.crs:
+                inner = child
+                if region is inner.region or region == inner.region:
+                    return inner  # identical restriction twice
+                region = intersect_regions(region, inner.region)
+                child = inner.child
+            return p.SpatialRestrict(child, region)
+        if isinstance(n, q.TemporalRestrict):
+            child = visit(n.child)
+            timeset = n.timeset
+            if isinstance(child, p.TemporalRestrict) and child.on_sector == n.on_sector:
+                inner = child
+                if timeset == inner.timeset:
+                    return inner
+                timeset = intersect_timesets(timeset, inner.timeset)
+                child = inner.child
+            return p.TemporalRestrict(child, timeset, n.on_sector)
+        if isinstance(n, q.ValueRestrict):
+            child = visit(n.child)
+            lo, hi = n.lo, n.hi
+            if isinstance(child, p.ValueRestrict):
+                inner = child
+                lo = inner.lo if lo is None else (lo if inner.lo is None else max(lo, inner.lo))
+                hi = inner.hi if hi is None else (hi if inner.hi is None else min(hi, inner.hi))
+                child = inner.child
+            return p.ValueRestrict(child, lo, hi)
+        if isinstance(n, q.ValueMap):
+            child = visit(n.child)
+            defaults = VALUE_MAP_DEFAULTS.get(n.kind)
+            if defaults is None:
+                params = tuple(sorted(n.params))
+            else:
+                params = tuple(
+                    (name, float(n.param(name, default))) for name, default in defaults
+                )
+            return p.ValueMap(child, n.kind, params)
+        if isinstance(n, q.Stretch):
+            return p.Stretch(visit(n.child), n.kind)
+        if isinstance(n, q.Magnify):
+            return p.Magnify(visit(n.child), n.k)
+        if isinstance(n, q.Coarsen):
+            return p.Coarsen(visit(n.child), n.k)
+        if isinstance(n, q.Rotate):
+            return p.Rotate(visit(n.child), n.angle_deg)
+        if isinstance(n, q.Reproject):
+            return p.Reproject(visit(n.child), n.dst_crs, n.method)
+        if isinstance(n, q.TemporalAgg):
+            return p.TemporalAgg(visit(n.child), n.func, n.window, n.mode)
+        if isinstance(n, q.RegionAgg):
+            return p.RegionAgg(visit(n.child), tuple(n.regions), n.func)
+        raise PlanError(f"canonicalizer does not know node type {type(n).__name__}")
+
+    return visit(node)
+
+
+def estimate_plan(plan: p.PlanNode, profiles):
+    """Cost-estimate a canonical plan (delegates to the logical model).
+
+    Estimates are defined over canonicalized plans so that two queries
+    that will share execution also share one cost figure.
+    """
+    from ..query.cost import estimate_query
+
+    return estimate_query(plan.to_ast(), profiles)

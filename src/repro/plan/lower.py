@@ -1,0 +1,53 @@
+"""Pull-side lowering: canonical plan → lazy GeoStream pipeline.
+
+The pull executor re-opens sources per query, so no stages are shared;
+what it shares with the push executor is the *plan* and the single
+operator-construction table on the plan nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.stream import GeoStream
+from ..engine.pipeline import compose_streams
+from . import nodes as p
+
+__all__ = ["plan_to_stream", "empty_stream"]
+
+
+def empty_stream(reason: str = "") -> GeoStream:
+    """A stream that never produces chunks (optimizer-proven empty query)."""
+    from ..core.stream import Organization, StreamMetadata
+    from ..core.valueset import FLOAT32
+    from ..geo.crs import LATLON
+
+    metadata = StreamMetadata(
+        stream_id=f"(empty:{reason})" if reason else "(empty)",
+        band="",
+        crs=LATLON,
+        organization=Organization.IMAGE_BY_IMAGE,
+        value_set=FLOAT32,
+        description=f"provably empty: {reason}" if reason else "provably empty",
+    )
+    return GeoStream(metadata, lambda: iter(()))
+
+
+def plan_to_stream(
+    plan: p.PlanNode, resolve: Callable[[str], GeoStream]
+) -> GeoStream:
+    """Build the executable GeoStream for a canonical plan.
+
+    Fresh operator instances are created per call so that concurrently
+    planned queries never share mutable state.
+    """
+    if isinstance(plan, p.SourceScan):
+        return resolve(plan.stream_id)
+    if isinstance(plan, p.EmptyPlan):
+        return empty_stream(plan.reason)
+    if isinstance(plan, p.Compose):
+        left = plan_to_stream(plan.left, resolve)
+        right = plan_to_stream(plan.right, resolve)
+        return compose_streams(left, right, plan.make_operator())
+    child = plan_to_stream(plan.children[0], resolve)
+    return child.pipe(plan.make_operator())

@@ -1,0 +1,409 @@
+"""Physical-plan IR: the algebra as executable plan nodes.
+
+Each :class:`PlanNode` mirrors one algebra operator and owns the *single*
+place where its physical operator is constructed (``make_operator``),
+replacing the duplicated construction tables the pull planner and push
+compiler used to carry. Plan nodes are frozen dataclasses with structural
+equality, and each node exposes a cached structural ``fingerprint`` so
+that equal subplans — after canonicalization — hash equal. That
+fingerprint is what lets the DSMS share *subplans* between different
+registered queries instead of only deduplicating byte-identical ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Iterator, Tuple
+
+from ..core.timeset import TimeSet
+from ..errors import PlanError
+from ..geo.crs import CRS
+from ..geo.region import BoundingBox, Region
+from ..query import ast as q
+
+__all__ = [
+    "PlanNode",
+    "SourceScan",
+    "EmptyPlan",
+    "SpatialRestrict",
+    "TemporalRestrict",
+    "ValueRestrict",
+    "ValueMap",
+    "Stretch",
+    "Magnify",
+    "Coarsen",
+    "Rotate",
+    "Reproject",
+    "Compose",
+    "TemporalAgg",
+    "RegionAgg",
+    "walk",
+    "source_ids",
+]
+
+# Compositions that commute pointwise; canonicalization may reorder their
+# children. 'mosaic' is excluded: first-wins semantics are order-sensitive.
+COMMUTATIVE_GAMMAS = frozenset({"+", "*", "sup", "inf"})
+
+
+def _token(value: object) -> str:
+    """Stable structural token for one plan-node field value.
+
+    Region objects other than bounding boxes compare by identity, so they
+    are fingerprinted by identity too: two plans share a stage for them
+    only when they hold the *same* region object. That forgoes some
+    sharing but can never merge plans that are not equal.
+    """
+    if isinstance(value, PlanNode):
+        return value.fingerprint
+    if value is None or isinstance(value, (str, int, bool)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, tuple):
+        return "(" + ",".join(_token(v) for v in value) + ")"
+    if isinstance(value, CRS):
+        # spec_of gives a content token for the standard projections; a
+        # bespoke CRS falls back to identity (sound, just never shared).
+        try:
+            from ..geo.crs import spec_of
+
+            return f"crs:{spec_of(value)}"
+        except Exception:
+            return f"crs:{type(value).__name__}@{id(value):x}"
+    if isinstance(value, BoundingBox):
+        return (
+            f"bbox({value.xmin!r},{value.ymin!r},{value.xmax!r},"
+            f"{value.ymax!r},{_token(value.crs)})"
+        )
+    if isinstance(value, Region):
+        return f"region:{type(value).__name__}@{id(value):x}"
+    if isinstance(value, TimeSet):
+        text = repr(value)
+        if " at 0x" in text:  # default object repr: not content-stable
+            return f"time:{type(value).__name__}@{id(value):x}"
+        return f"time:{text}"
+    return f"{type(value).__name__}@{id(value):x}"
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for physical-plan nodes (frozen, structurally equal)."""
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        return tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), PlanNode)
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """Structural hash: equal (canonical) subplans get equal digests."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = ";".join(
+                [type(self).__name__]
+                + [f"{f.name}={_token(getattr(self, f.name))}" for f in fields(self)]
+            )
+            cached = hashlib.blake2b(payload.encode(), digest_size=10).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def make_operator(self):
+        """Fresh physical operator for this node (leaves have none)."""
+        raise PlanError(f"{type(self).__name__} has no physical operator")
+
+    def to_ast(self) -> q.QueryNode:
+        """Equivalent logical AST node (for cost estimation, printing)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0, *, fingerprints: bool = False) -> str:
+        pad = "  " * indent
+        line = f"{pad}{self.describe()}"
+        if fingerprints:
+            line += f"  #{self.fingerprint}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1, fingerprints=fingerprints))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SourceScan(PlanNode):
+    """Scan of one registered source stream (leaf)."""
+
+    stream_id: str
+
+    def to_ast(self) -> q.QueryNode:
+        return q.StreamRef(self.stream_id)
+
+    def describe(self) -> str:
+        return f"Scan({self.stream_id})"
+
+
+@dataclass(frozen=True)
+class EmptyPlan(PlanNode):
+    """A provably-empty stream (leaf); produces nothing, consumes nothing."""
+
+    reason: str = ""
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Empty(self.reason)
+
+    def describe(self) -> str:
+        return f"Empty({self.reason})" if self.reason else "Empty"
+
+
+@dataclass(frozen=True)
+class SpatialRestrict(PlanNode):
+    """G|R with the region already resolved into the child's CRS."""
+
+    child: PlanNode
+    region: Region
+
+    def make_operator(self):
+        from ..operators.restriction import SpatialRestriction
+
+        return SpatialRestriction(self.region)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.SpatialRestrict(self.child.to_ast(), self.region)
+
+    def describe(self) -> str:
+        b = self.region.bounding_box
+        return (
+            f"SpatialRestrict({type(self.region).__name__} "
+            f"[{b.xmin:g},{b.ymin:g}..{b.xmax:g},{b.ymax:g}] @{self.region.crs.name})"
+        )
+
+
+@dataclass(frozen=True)
+class TemporalRestrict(PlanNode):
+    """G|T — keep points whose timestamp is in T."""
+
+    child: PlanNode
+    timeset: TimeSet
+    on_sector: bool = False
+
+    def make_operator(self):
+        from ..operators.restriction import TemporalRestriction
+
+        return TemporalRestriction(self.timeset, on_sector=self.on_sector)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.TemporalRestrict(self.child.to_ast(), self.timeset, self.on_sector)
+
+    def describe(self) -> str:
+        kind = "sector" if self.on_sector else "time"
+        return f"TemporalRestrict({kind}: {self.timeset!r})"
+
+
+@dataclass(frozen=True)
+class ValueRestrict(PlanNode):
+    """G|V — keep points whose value lies in [lo, hi]."""
+
+    child: PlanNode
+    lo: float | None = None
+    hi: float | None = None
+
+    def make_operator(self):
+        from ..operators.restriction import ValueRestriction
+
+        return ValueRestriction(lo=self.lo, hi=self.hi)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.ValueRestrict(self.child.to_ast(), self.lo, self.hi)
+
+    def describe(self) -> str:
+        return f"ValueRestrict([{self.lo}, {self.hi}])"
+
+
+@dataclass(frozen=True)
+class ValueMap(PlanNode):
+    """Pointwise value transform with normalized (name, value) params."""
+
+    child: PlanNode
+    kind: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    def make_operator(self):
+        from .ops import build_value_map
+
+        return build_value_map(self.kind, self.params)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.ValueMap(self.child.to_ast(), self.kind, self.params)
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v:g}" for k, v in self.params)
+        return f"ValueMap({self.kind}{', ' if args else ''}{args})"
+
+
+@dataclass(frozen=True)
+class Stretch(PlanNode):
+    """Frame-buffered contrast scaling."""
+
+    child: PlanNode
+    kind: str = "linear"
+
+    def make_operator(self):
+        from ..operators.value_transform import FrameStretch
+
+        return FrameStretch(self.kind)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Stretch(self.child.to_ast(), self.kind)
+
+    def describe(self) -> str:
+        return f"Stretch({self.kind})"
+
+
+@dataclass(frozen=True)
+class Magnify(PlanNode):
+    child: PlanNode
+    k: int = 2
+
+    def make_operator(self):
+        from ..operators.spatial_transform import Magnify as MagnifyOp
+
+        return MagnifyOp(self.k)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Magnify(self.child.to_ast(), self.k)
+
+    def describe(self) -> str:
+        return f"Magnify(k={self.k})"
+
+
+@dataclass(frozen=True)
+class Coarsen(PlanNode):
+    child: PlanNode
+    k: int = 2
+
+    def make_operator(self):
+        from ..operators.spatial_transform import Coarsen as CoarsenOp
+
+        return CoarsenOp(self.k)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Coarsen(self.child.to_ast(), self.k)
+
+    def describe(self) -> str:
+        return f"Coarsen(k={self.k})"
+
+
+@dataclass(frozen=True)
+class Rotate(PlanNode):
+    child: PlanNode
+    angle_deg: float = 0.0
+
+    def make_operator(self):
+        from ..operators.spatial_transform import Rotate as RotateOp
+
+        return RotateOp(self.angle_deg)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Rotate(self.child.to_ast(), self.angle_deg)
+
+    def describe(self) -> str:
+        return f"Rotate({self.angle_deg:g} deg)"
+
+
+@dataclass(frozen=True)
+class Reproject(PlanNode):
+    child: PlanNode
+    dst_crs: CRS
+    method: str = "bilinear"
+
+    def make_operator(self):
+        from ..operators.reprojection import Reproject as ReprojectOp
+
+        return ReprojectOp(self.dst_crs, method=self.method)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Reproject(self.child.to_ast(), self.dst_crs, self.method)
+
+    def describe(self) -> str:
+        return f"Reproject(to={self.dst_crs.name}, {self.method})"
+
+
+@dataclass(frozen=True)
+class Compose(PlanNode):
+    """G1 γ G2 with the timestamp-matching policy resolved into the plan.
+
+    The policy is part of the node (and hence of the fingerprint): two
+    compositions only share a physical stage when they also agree on how
+    chunk timestamps are matched across sides.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    gamma: str = "+"
+    timestamp_policy: str = "sector"
+
+    def make_operator(self):
+        from .ops import build_composition
+
+        return build_composition(self.gamma, self.timestamp_policy)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.Compose(self.left.to_ast(), self.right.to_ast(), self.gamma)
+
+    def describe(self) -> str:
+        return f"Compose({self.gamma}, match={self.timestamp_policy})"
+
+
+@dataclass(frozen=True)
+class TemporalAgg(PlanNode):
+    child: PlanNode
+    func: str = "mean"
+    window: int = 2
+    mode: str = "sliding"
+
+    def make_operator(self):
+        from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
+
+        return TemporalAggregateOp(self.window, self.func, self.mode)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.TemporalAgg(self.child.to_ast(), self.func, self.window, self.mode)
+
+    def describe(self) -> str:
+        return f"TemporalAgg({self.func}, window={self.window}, {self.mode})"
+
+
+@dataclass(frozen=True)
+class RegionAgg(PlanNode):
+    child: PlanNode
+    regions: tuple[tuple[str, Region], ...] = ()
+    func: str = "mean"
+
+    def make_operator(self):
+        from ..operators.aggregate import RegionAggregate as RegionAggregateOp
+
+        return RegionAggregateOp(dict(self.regions), self.func)
+
+    def to_ast(self) -> q.QueryNode:
+        return q.RegionAgg(self.child.to_ast(), self.regions, self.func)
+
+    def describe(self) -> str:
+        names = ", ".join(name for name, _ in self.regions)
+        return f"RegionAgg({self.func}: {names})"
+
+
+def walk(node: PlanNode) -> Iterator[PlanNode]:
+    """Depth-first pre-order traversal."""
+    yield node
+    for child in node.children:
+        yield from walk(child)
+
+
+def source_ids(node: PlanNode) -> set[str]:
+    """The source streams a plan scans."""
+    return {n.stream_id for n in walk(node) if isinstance(n, SourceScan)}

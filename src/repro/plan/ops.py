@@ -1,0 +1,88 @@
+"""Operator factories shared by every lowering of the plan IR.
+
+These used to live as private helpers inside ``query/planner.py`` with
+the push compiler reaching across the package boundary for them; they are
+now the one public construction point for parameterized operators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.valueset import NDVI_VALUES, ValueSet
+from ..errors import PlanError
+from ..operators.base import Operator
+from ..operators.composition import StreamComposition, normalized_difference
+from ..operators.value_transform import (
+    CountsToReflectance,
+    PointwiseTransform,
+    Rescale,
+)
+
+__all__ = ["build_value_map", "build_composition", "VALUE_MAP_DEFAULTS"]
+
+# Canonical parameter lists (name, default) per value-map kind. The
+# canonicalizer materializes every parameter in this order so that
+# e.g. reflectance() and reflectance(bits=10) hash identically.
+VALUE_MAP_DEFAULTS: dict[str, tuple[tuple[str, float], ...]] = {
+    "rescale": (("gain", 1.0), ("offset", 0.0)),
+    "reflectance": (("bits", 10.0),),
+    "gamma": (("exponent", 1.0),),
+    "negate": (),
+    "absolute": (),
+}
+
+
+def build_value_map(
+    kind: str,
+    params: Mapping[str, float] | Iterable[tuple[str, float]] = (),
+) -> Operator:
+    """Instantiate the operator for a named pointwise value transform."""
+    table = dict(params)
+    if kind == "rescale":
+        return Rescale(table.get("gain", 1.0), table.get("offset", 0.0))
+    if kind == "reflectance":
+        return CountsToReflectance(bits=int(table.get("bits", 10.0)))
+    if kind == "gamma":
+        exponent = table.get("exponent", 1.0)
+        return PointwiseTransform(
+            lambda v: np.power(np.clip(v.astype(np.float64), 0.0, None), exponent),
+            label=f"gamma({exponent:g})",
+        )
+    if kind == "negate":
+        return PointwiseTransform(lambda v: -v.astype(np.float64), label="negate")
+    if kind == "absolute":
+        return PointwiseTransform(lambda v: np.abs(v.astype(np.float64)), label="abs")
+    raise PlanError(f"unknown value transform kind {kind!r}")
+
+
+def build_composition(gamma: str, timestamp_policy: str = "sector") -> StreamComposition:
+    """Instantiate the binary composition operator for one γ kernel.
+
+    The macro kernels ``ndvi``/``evi2`` expand to their band-math
+    definitions with dedicated output value sets.
+    """
+    if gamma == "ndvi":
+        return StreamComposition(
+            normalized_difference,
+            timestamp_policy=timestamp_policy,
+            band="ndvi",
+            output_value_set=NDVI_VALUES,
+        )
+    if gamma == "evi2":
+
+        def kernel(n: np.ndarray, r: np.ndarray) -> np.ndarray:
+            denom = n + 2.4 * r + 1.0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = 2.5 * (n - r) / denom
+            return np.where(np.isfinite(out), out, np.nan)
+
+        return StreamComposition(
+            kernel,
+            timestamp_policy=timestamp_policy,
+            band="evi2",
+            output_value_set=ValueSet("evi2", np.float32, lo=-2.5, hi=2.5),
+        )
+    return StreamComposition(gamma, timestamp_policy=timestamp_policy)

@@ -1,0 +1,389 @@
+"""The shared operator DAG: one physical stage per canonical subplan.
+
+A :class:`PlanDAG` merges every registered query's canonical plan into a
+single push-execution graph. Stages are keyed by subplan fingerprint, so
+two different queries that share an operator prefix (say, everyone
+computing ``reflectance(goes.vis)`` before their own restriction) run the
+common stages *once per chunk* and fan the results out — the paper's
+"single scan serves all queries" promise extended below the scan.
+
+Refcounting is by subscriber: each stage remembers the root (query) ids
+subscribed to it, chunks are only propagated along edges some *active*
+subscriber is downstream of, and removing a query prunes exactly the
+stages nobody else needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Iterable
+
+from ..core.chunk import Chunk
+from ..engine.pipeline import chunk_time
+from ..errors import PlanError
+from ..faults.recovery import current_recovery
+from ..obs.registry import get_registry, metrics_enabled
+from ..obs.tracing import Span, Tracer, current_tracer
+from ..operators.base import BinaryOperator, Operator
+from .nodes import Compose, EmptyPlan, PlanNode, SourceScan
+
+__all__ = ["PlanDAG", "Stage", "PlanStats"]
+
+_Sink = Callable[[Chunk], None]
+
+
+@dataclass
+class PlanStats:
+    """How much work subplan sharing saved."""
+
+    subplan_hits: int = 0  # registrations that reused an existing stage
+    stage_executions: int = 0  # operator steps actually run
+    chunks_saved: int = 0  # steps avoided because a stage is shared
+
+
+class Edge:
+    """One dataflow edge: from a producer to a stage input or a terminal sink.
+
+    Terminal edges carry the root ids they deliver for; stage edges defer
+    to the target stage's subscriber set.
+    """
+
+    __slots__ = ("stage", "side", "sink", "roots")
+
+    def __init__(
+        self,
+        stage: "Stage | None" = None,
+        side: str | None = None,
+        sink: _Sink | None = None,
+        roots: set[int] | None = None,
+    ) -> None:
+        self.stage = stage
+        self.side = side
+        self.sink = sink
+        self.roots: set[int] = roots if roots is not None else set()
+
+    def accepts(self, active: frozenset[int]) -> bool:
+        if self.stage is not None:
+            return bool(active & self.stage.subscribers)
+        return bool(active & self.roots)
+
+    def deliver(self, chunk: Chunk) -> None:
+        if self.stage is not None:
+            self.stage.feed(chunk, self.side)
+        else:
+            self.sink(chunk)
+
+
+class Stage:
+    """One physical operator, shared by every query whose plan contains it."""
+
+    __slots__ = ("node", "op", "outputs", "subscribers", "_dag", "_span", "_tracer")
+
+    def __init__(self, node: PlanNode, op: Operator | BinaryOperator, dag: "PlanDAG") -> None:
+        self.node = node
+        self.op = op
+        self.outputs: list[Edge] = []
+        self.subscribers: set[int] = set()
+        self._dag = dag
+        self._span: Span | None = None
+        self._tracer: Tracer | None = None
+
+    def _ensure_span(self, tracer: Tracer) -> Span:
+        """Lazily open this stage's span, parented on a consumer stage.
+
+        Spans are per *physical* stage: a stage serving three queries has
+        one span. In push execution data flows producer -> consumer, so
+        the span tree mirrors the plan with sinks at the root.
+        """
+        if self._span is None or self._tracer is not tracer:
+            parent = None
+            for edge in self.outputs:
+                if edge.stage is not None:
+                    parent = edge.stage._ensure_span(tracer)
+                    break
+            self._span = tracer.begin_operator(
+                self.op, parent=parent, path="push", shared=len(self.subscribers) > 1
+            )
+            self._tracer = tracer
+        return self._span
+
+    def _step(self, chunk: Chunk, side: str | None) -> list[Chunk]:
+        """One operator step; quarantines poison chunks under recovery."""
+        ctx = current_recovery()
+        if ctx is not None:
+            return ctx.guard(self.op, chunk, side)
+        return list(
+            self.op.process_side(side, chunk) if side is not None else self.op.process(chunk)
+        )
+
+    def feed(self, chunk: Chunk, side: str | None = None) -> None:
+        dag = self._dag
+        dag.stats.stage_executions += 1
+        active = dag._active
+        if active is not None and len(self.subscribers) > 1:
+            overlap = len(active & self.subscribers)
+            if overlap > 1:
+                # This one execution stands in for `overlap` per-query ones.
+                dag.stats.chunks_saved += overlap - 1
+        tracer = current_tracer()
+        if tracer is None:
+            for out in self._step(chunk, side):
+                self._emit(out)
+            return
+        span = self._ensure_span(tracer)
+        t0 = perf_counter()
+        materialized = self._step(chunk, side)
+        dt = perf_counter() - t0
+        span.record(
+            points_in=chunk.n_points,
+            points_out=sum(c.n_points for c in materialized),
+            chunks_out=len(materialized),
+            wall_s=dt,
+            stream_t=chunk_time(chunk),
+        )
+        tracer.observe_operator(self.op.name, dt)
+        for out in materialized:
+            self._emit(out)
+
+    def _emit(self, chunk: Chunk) -> None:
+        active = self._dag._active
+        for edge in self.outputs:
+            if active is None or edge.accepts(active):
+                edge.deliver(chunk)
+
+    def _drain(self) -> list[Chunk]:
+        ctx = current_recovery()
+        if ctx is not None:
+            return ctx.guard_flush(self.op)
+        return list(self.op.flush())
+
+    def flush(self) -> None:
+        tracer = current_tracer()
+        if tracer is None:
+            for out in self._drain():
+                self._emit(out)
+            return
+        span = self._ensure_span(tracer)
+        t0 = perf_counter()
+        materialized = self._drain()
+        span.record(
+            points_in=0,
+            points_out=sum(c.n_points for c in materialized),
+            chunks_out=len(materialized),
+            wall_s=perf_counter() - t0,
+            chunks_in=0,
+        )
+        span.finish()
+        for out in materialized:
+            self._emit(out)
+
+
+class PlanDAG:
+    """All registered plans merged into one operator DAG with fan-out."""
+
+    def __init__(self, share: bool = True) -> None:
+        self.share = share
+        # fingerprint -> stage, for subplan reuse (only when sharing).
+        self._by_fingerprint: dict[str, Stage] = {}
+        # Creation order is topological (children are built first), so
+        # flushing in order drains producers before their consumers.
+        self.order: list[Stage] = []
+        # stream_id -> edges fed directly by that source's chunks.
+        self.taps: dict[str, list[Edge]] = {}
+        self.stats = PlanStats()
+        self._active: frozenset[int] | None = None
+        self._flushed = False
+
+    # -- construction / teardown ---------------------------------------------------
+
+    def add_plan(self, plan: PlanNode, sink: _Sink, root_id: int) -> list[Stage]:
+        """Wire one query plan into the DAG, reusing shared subplans.
+
+        Returns the stages the plan uses (for refcounted removal).
+        """
+        stages: list[Stage] = []
+        top = self._build(plan, stages)
+        terminal = Edge(sink=sink, roots={root_id})
+        if top is None:  # bare source scan (or provably empty query)
+            if isinstance(plan, SourceScan):
+                self.taps.setdefault(plan.stream_id, []).append(terminal)
+        else:
+            top.outputs.append(terminal)
+        for stage in stages:
+            stage.subscribers.add(root_id)
+        return stages
+
+    def _build(self, node: PlanNode, stages: list[Stage]) -> Stage | None:
+        if isinstance(node, (SourceScan, EmptyPlan)):
+            return None
+        if self.share:
+            existing = self._by_fingerprint.get(node.fingerprint)
+            # Fingerprints are a fast path; actual node equality decides.
+            if existing is not None and existing.node == node:
+                self.stats.subplan_hits += 1
+                if metrics_enabled():
+                    get_registry().counter("repro_plan_subplan_hits_total").inc()
+                if existing not in stages:
+                    stages.append(existing)
+                    for child_stage in self._collect_upstream(existing):
+                        if child_stage not in stages:
+                            stages.append(child_stage)
+                return existing
+        if isinstance(node, Compose):
+            pairs: tuple[tuple[str | None, PlanNode], ...] = (
+                ("left", node.left),
+                ("right", node.right),
+            )
+        else:
+            pairs = tuple((None, child) for child in node.children)
+        built = [(side, child, self._build(child, stages)) for side, child in pairs]
+        stage = Stage(node, node.make_operator(), self)
+        if self.share:
+            self._by_fingerprint[node.fingerprint] = stage
+        self.order.append(stage)
+        stages.append(stage)
+        for side, child, child_stage in built:
+            if isinstance(child, EmptyPlan):
+                continue
+            edge = Edge(stage=stage, side=side)
+            if isinstance(child, SourceScan):
+                self.taps.setdefault(child.stream_id, []).append(edge)
+            else:
+                child_stage.outputs.append(edge)
+        return stage
+
+    def _collect_upstream(self, stage: Stage) -> list[Stage]:
+        """Every stage feeding into ``stage`` (transitively)."""
+        want = {id(stage)}
+        out: list[Stage] = []
+        # self.order is topological, so a reverse sweep finds producers.
+        for candidate in reversed(self.order):
+            if any(
+                edge.stage is not None and id(edge.stage) in want
+                for edge in candidate.outputs
+            ):
+                want.add(id(candidate))
+                out.append(candidate)
+        return out
+
+    def remove_plan(self, root_id: int, stages: Iterable[Stage]) -> None:
+        """Drop one query: unsubscribe, then prune stages nobody needs."""
+        stages = list(stages)
+        for stage in stages:
+            stage.subscribers.discard(root_id)
+            stage.outputs = [
+                edge
+                for edge in stage.outputs
+                if edge.stage is not None or (edge.roots.discard(root_id) or edge.roots)
+            ]
+        dead = {id(s) for s in stages if not s.subscribers}
+        self._prune_terminal_taps(root_id)
+        if not dead:
+            return
+        self.order = [s for s in self.order if id(s) not in dead]
+        for fp, stage in list(self._by_fingerprint.items()):
+            if id(stage) in dead:
+                del self._by_fingerprint[fp]
+        for stage in self.order:
+            stage.outputs = [
+                e for e in stage.outputs if e.stage is None or id(e.stage) not in dead
+            ]
+        for stream_id, edges in list(self.taps.items()):
+            kept = [e for e in edges if e.stage is None or id(e.stage) not in dead]
+            if kept:
+                self.taps[stream_id] = kept
+            else:
+                del self.taps[stream_id]
+
+    def _prune_terminal_taps(self, root_id: int) -> None:
+        for stream_id, edges in list(self.taps.items()):
+            kept = []
+            for edge in edges:
+                if edge.stage is None:
+                    edge.roots.discard(root_id)
+                    if not edge.roots:
+                        continue
+                kept.append(edge)
+            if kept:
+                self.taps[stream_id] = kept
+            else:
+                del self.taps[stream_id]
+
+    # -- execution -----------------------------------------------------------------
+
+    @property
+    def source_ids(self) -> list[str]:
+        return sorted(self.taps)
+
+    @property
+    def stages_total(self) -> int:
+        return len(self.order)
+
+    @property
+    def stages_shared(self) -> int:
+        return sum(1 for s in self.order if len(s.subscribers) > 1)
+
+    def feed(self, stream_id: str, chunk: Chunk, active: Iterable[int] | None = None) -> None:
+        """Push one source chunk through every active consumer of it.
+
+        ``active`` (root/query ids the router matched for this chunk)
+        gates propagation: an edge is taken only when some active query
+        is downstream of it, so shared stages run at most once per chunk
+        regardless of subscriber count.
+        """
+        if self._flushed:
+            raise PlanError("push network already flushed")
+        self._active = frozenset(active) if active is not None else None
+        try:
+            for edge in self.taps.get(stream_id, ()):
+                if self._active is None or edge.accepts(self._active):
+                    edge.deliver(chunk)
+        finally:
+            self._active = None
+
+    def flush(self) -> None:
+        """End of input: drain every stage, producers before consumers."""
+        if self._flushed:
+            return
+        self._flushed = True
+        for stage in list(self.order):
+            stage.flush()
+
+    def reset(self) -> None:
+        for stage in self.order:
+            stage.op.reset()
+        self._flushed = False
+
+    def operators(self) -> list[Operator | BinaryOperator]:
+        """Each distinct physical operator once, in topological order."""
+        return [stage.op for stage in self.order]
+
+    # -- introspection -------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable DAG listing for EXPLAIN output."""
+        lines = [
+            f"shared plan DAG: {self.stages_total} stages "
+            f"({self.stages_shared} shared), sources: {', '.join(self.source_ids) or '-'}"
+        ]
+        labels = {id(stage): f"s{i}" for i, stage in enumerate(self.order)}
+
+        def edge_text(edge: Edge) -> str:
+            if edge.stage is not None:
+                side = f".{edge.side}" if edge.side else ""
+                return f"{labels[id(edge.stage)]}{side}"
+            roots = ",".join(str(r) for r in sorted(edge.roots))
+            return f"sink[q{roots}]"
+
+        for stream_id in self.source_ids:
+            targets = ", ".join(edge_text(e) for e in self.taps[stream_id])
+            lines.append(f"  source {stream_id} -> {targets}")
+        for stage in self.order:
+            subs = ",".join(str(r) for r in sorted(stage.subscribers))
+            targets = ", ".join(edge_text(e) for e in stage.outputs) or "-"
+            lines.append(
+                f"  {labels[id(stage)]}: {stage.node.describe()}"
+                f"  subscribers=[{subs}] -> {targets}"
+            )
+        return "\n".join(lines)

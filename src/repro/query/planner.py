@@ -1,105 +1,25 @@
 """Physical planning: lower a query tree onto operator pipelines.
 
-The planner maps each AST node to a fresh operator instance (fresh so
-that concurrently registered queries never share mutable state) and
-builds the lazy GeoStream for the whole expression. It also exposes
-``explain``, combining the optimizer trace with per-node cost estimates.
+The planner is a thin lowering over the plan IR (``repro.plan``): the
+query tree is canonicalized — commutative compositions ordered, adjacent
+restrictions folded, regions resolved into their input CRS — and the
+canonical plan is turned into a lazy GeoStream with fresh operator
+instances per call (fresh so that concurrently registered queries never
+share mutable state). The push compiler lowers from the same IR, so
+operator construction lives in exactly one place.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Mapping
 
-import numpy as np
-
 from ..core.stream import GeoStream
-from ..core.valueset import NDVI_VALUES, ValueSet
-from ..engine.pipeline import compose_streams
 from ..errors import PlanError
-from ..operators.composition import StreamComposition, normalized_difference
-from ..operators.aggregate import RegionAggregate as RegionAggregateOp
-from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
 from ..operators.base import Operator
-from ..operators.reprojection import Reproject as ReprojectOp
-from ..operators.restriction import (
-    SpatialRestriction,
-    TemporalRestriction,
-    ValueRestriction,
-)
-from ..operators.spatial_transform import Coarsen as CoarsenOp
-from ..operators.spatial_transform import Magnify as MagnifyOp
-from ..operators.spatial_transform import Rotate as RotateOp
-from ..operators.value_transform import (
-    CountsToReflectance,
-    FrameStretch,
-    PointwiseTransform,
-    Rescale,
-)
 from . import ast as q
 
 __all__ = ["plan_query", "build_value_map"]
-
-
-def _empty_stream(reason: str) -> GeoStream:
-    """A stream that never produces chunks (optimizer-proven empty query)."""
-    from ..core.stream import Organization, StreamMetadata
-    from ..core.valueset import FLOAT32
-    from ..geo.crs import LATLON
-
-    metadata = StreamMetadata(
-        stream_id=f"(empty:{reason})" if reason else "(empty)",
-        band="",
-        crs=LATLON,
-        organization=Organization.IMAGE_BY_IMAGE,
-        value_set=FLOAT32,
-        description=f"provably empty: {reason}" if reason else "provably empty",
-    )
-    return GeoStream(metadata, lambda: iter(()))
-
-
-def build_value_map(node: q.ValueMap) -> Operator:
-    """Instantiate the operator for a named pointwise value transform."""
-    kind = node.kind
-    if kind == "rescale":
-        return Rescale(node.param("gain", 1.0), node.param("offset", 0.0))
-    if kind == "reflectance":
-        return CountsToReflectance(bits=int(node.param("bits", 10.0)))
-    if kind == "gamma":
-        exponent = node.param("exponent", 1.0)
-        return PointwiseTransform(
-            lambda v: np.power(np.clip(v.astype(np.float64), 0.0, None), exponent),
-            label=f"gamma({exponent:g})",
-        )
-    if kind == "negate":
-        return PointwiseTransform(lambda v: -v.astype(np.float64), label="negate")
-    if kind == "absolute":
-        return PointwiseTransform(lambda v: np.abs(v.astype(np.float64)), label="abs")
-    raise PlanError(f"unknown value transform kind {kind!r}")
-
-
-def _composition_operator(gamma: str, timestamp_policy: str) -> StreamComposition:
-    if gamma == "ndvi":
-        return StreamComposition(
-            normalized_difference,
-            timestamp_policy=timestamp_policy,
-            band="ndvi",
-            output_value_set=NDVI_VALUES,
-        )
-    if gamma == "evi2":
-
-        def kernel(n: np.ndarray, r: np.ndarray) -> np.ndarray:
-            denom = n + 2.4 * r + 1.0
-            with np.errstate(divide="ignore", invalid="ignore"):
-                out = 2.5 * (n - r) / denom
-            return np.where(np.isfinite(out), out, np.nan)
-
-        return StreamComposition(
-            kernel,
-            timestamp_policy=timestamp_policy,
-            band="evi2",
-            output_value_set=ValueSet("evi2", np.float32, lo=-2.5, hi=2.5),
-        )
-    return StreamComposition(gamma, timestamp_policy=timestamp_policy)
 
 
 def plan_query(
@@ -111,6 +31,8 @@ def plan_query(
     ``catalog`` resolves stream ids to source GeoStreams (a mapping or a
     resolver function). Fresh operator instances are created per call.
     """
+    # Imported lazily: repro.plan itself imports the query package.
+    from ..plan import canonicalize, plan_to_stream
 
     def resolve(stream_id: str) -> GeoStream:
         if callable(catalog):
@@ -120,45 +42,33 @@ def plan_query(
         except KeyError:
             raise PlanError(f"unknown stream {stream_id!r}") from None
 
-    def lower(n: q.QueryNode) -> GeoStream:
-        if isinstance(n, q.StreamRef):
-            return resolve(n.stream_id)
-        if isinstance(n, q.Empty):
-            return _empty_stream(n.reason)
-        if isinstance(n, q.Compose):
-            left = lower(n.left)
-            right = lower(n.right)
-            policy = left.metadata.timestamp_policy
-            return compose_streams(left, right, _composition_operator(n.gamma, policy))
+    # Resolve every referenced source up front: their CRSs and timestamp
+    # policies feed canonicalization (and unknown streams fail early).
+    sources: dict[str, GeoStream] = {}
+    for ref in (n for n in q.walk(node) if isinstance(n, q.StreamRef)):
+        if ref.stream_id not in sources:
+            sources[ref.stream_id] = resolve(ref.stream_id)
+    plan = canonicalize(
+        node,
+        crs_of={sid: s.crs for sid, s in sources.items()},
+        policy_of={sid: s.metadata.timestamp_policy for sid, s in sources.items()},
+        default_policy="measured",
+    )
+    return plan_to_stream(plan, lambda sid: sources[sid] if sid in sources else resolve(sid))
 
-        child = lower(n.children[0])
-        if isinstance(n, q.SpatialRestrict):
-            region = n.region
-            if region.crs != child.crs:
-                # Safety net: the optimizer normally maps regions across
-                # CRSs; do it here too so unoptimized plans still run.
-                region = region.transformed(child.crs)
-            return child.pipe(SpatialRestriction(region))
-        if isinstance(n, q.TemporalRestrict):
-            return child.pipe(TemporalRestriction(n.timeset, on_sector=n.on_sector))
-        if isinstance(n, q.ValueRestrict):
-            return child.pipe(ValueRestriction(lo=n.lo, hi=n.hi))
-        if isinstance(n, q.ValueMap):
-            return child.pipe(build_value_map(n))
-        if isinstance(n, q.Stretch):
-            return child.pipe(FrameStretch(n.kind))
-        if isinstance(n, q.Magnify):
-            return child.pipe(MagnifyOp(n.k))
-        if isinstance(n, q.Coarsen):
-            return child.pipe(CoarsenOp(n.k))
-        if isinstance(n, q.Rotate):
-            return child.pipe(RotateOp(n.angle_deg))
-        if isinstance(n, q.Reproject):
-            return child.pipe(ReprojectOp(n.dst_crs, method=n.method))
-        if isinstance(n, q.TemporalAgg):
-            return child.pipe(TemporalAggregateOp(n.window, n.func, n.mode))
-        if isinstance(n, q.RegionAgg):
-            return child.pipe(RegionAggregateOp(dict(n.regions), n.func))
-        raise PlanError(f"planner does not know node type {type(n).__name__}")
 
-    return lower(node)
+def build_value_map(node: q.ValueMap) -> Operator:
+    """Deprecated shim: use :func:`repro.plan.build_value_map` instead.
+
+    The construction table moved into the plan layer so both execution
+    paths share it; this wrapper keeps old import sites working.
+    """
+    warnings.warn(
+        "repro.query.planner.build_value_map is deprecated; "
+        "use repro.plan.build_value_map(kind, params)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..plan import build_value_map as _build
+
+    return _build(node.kind, node.params)

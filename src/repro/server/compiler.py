@@ -3,203 +3,60 @@
 Pull-style execution (``plan_query``) has every registered query re-read
 its source streams — N queries means N scans of the downlink, which a
 stream system cannot afford. The DSMS therefore compiles each query into
-a *push network*: a DAG of operator stages fed chunk-by-chunk from the
-shared source scan, with results pushed into the client's sink. This is
-the execution side of Fig. 3.
+a *push network* fed chunk-by-chunk from the shared source scan, with
+results pushed into the client's sink. This is the execution side of
+Fig. 3.
+
+The compiler is a thin lowering over the plan IR: the tree is
+canonicalized (``repro.plan.canonicalize``) and wired into a
+:class:`repro.plan.PlanDAG`. ``PushNetwork`` keeps the historical
+single-query interface; the DSMS itself builds one server-wide DAG so
+different queries share common subplans.
 """
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import Callable
 
 from ..core.chunk import Chunk
-from ..engine.pipeline import chunk_time
-from ..errors import PlanError
-from ..faults.recovery import current_recovery
-from ..obs.tracing import Span, Tracer, current_tracer
-from ..operators.aggregate import RegionAggregate as RegionAggregateOp
-from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
 from ..operators.base import BinaryOperator, Operator
-from ..operators.reprojection import Reproject as ReprojectOp
-from ..operators.restriction import (
-    SpatialRestriction,
-    TemporalRestriction,
-    ValueRestriction,
-)
-from ..operators.spatial_transform import Coarsen as CoarsenOp
-from ..operators.spatial_transform import Magnify as MagnifyOp
-from ..operators.spatial_transform import Rotate as RotateOp
-from ..operators.value_transform import FrameStretch
+from ..plan import PlanDAG, canonicalize
 from ..query import ast as q
-from ..query.planner import _composition_operator, build_value_map
 
 __all__ = ["PushNetwork", "compile_push_network"]
 
 _Sink = Callable[[Chunk], None]
 
 
-class _Stage:
-    """One operator wired to its downstream sink."""
-
-    __slots__ = ("op", "side", "downstream", "_span", "_tracer")
-
-    def __init__(
-        self,
-        op: Operator | BinaryOperator,
-        downstream: _Sink,
-        side: str | None = None,
-    ) -> None:
-        self.op = op
-        self.side = side
-        self.downstream = downstream
-        self._span: Span | None = None
-        self._tracer: Tracer | None = None
-
-    def _ensure_span(self, tracer: Tracer) -> Span:
-        """Lazily open this stage's span, parented on its consumer stage.
-
-        In a push network data flows stage -> downstream sink, so the span
-        tree mirrors the *query tree*: the operator nearest the client sink
-        is the root and its producers hang below it.
-        """
-        if self._span is None or self._tracer is not tracer:
-            downstream_stage = getattr(self.downstream, "__self__", None)
-            parent = (
-                downstream_stage._ensure_span(tracer)
-                if isinstance(downstream_stage, _Stage)
-                else None
-            )
-            attrs = {"path": "push"} if self.side is None else {
-                "path": "push", "side": self.side,
-            }
-            self._span = tracer.begin_operator(self.op, parent=parent, **attrs)
-            self._tracer = tracer
-        return self._span
-
-    def _step(self, chunk: Chunk) -> "list[Chunk]":
-        """One operator step; quarantines poison chunks under recovery."""
-        ctx = current_recovery()
-        if ctx is not None:
-            return ctx.guard(self.op, chunk, self.side)
-        return list(
-            self.op.process_side(self.side, chunk)
-            if self.side is not None
-            else self.op.process(chunk)
-        )
-
-    def feed(self, chunk: Chunk) -> None:
-        tracer = current_tracer()
-        if tracer is None:
-            for out in self._step(chunk):
-                self.downstream(out)
-            return
-        span = self._ensure_span(tracer)
-        t0 = perf_counter()
-        materialized = self._step(chunk)
-        dt = perf_counter() - t0
-        span.record(
-            points_in=chunk.n_points,
-            points_out=sum(c.n_points for c in materialized),
-            chunks_out=len(materialized),
-            wall_s=dt,
-            stream_t=chunk_time(chunk),
-        )
-        tracer.observe_operator(self.op.name, dt)
-        for out in materialized:
-            self.downstream(out)
-
-    def _drain(self) -> "list[Chunk]":
-        ctx = current_recovery()
-        if ctx is not None:
-            return ctx.guard_flush(self.op)
-        return list(self.op.flush())
-
-    def flush(self) -> None:
-        tracer = current_tracer()
-        if tracer is None:
-            for out in self._drain():
-                self.downstream(out)
-            return
-        span = self._ensure_span(tracer)
-        t0 = perf_counter()
-        materialized = self._drain()
-        span.record(
-            points_in=0,
-            points_out=sum(c.n_points for c in materialized),
-            chunks_out=len(materialized),
-            wall_s=perf_counter() - t0,
-            chunks_in=0,
-        )
-        span.finish()
-        for out in materialized:
-            self.downstream(out)
-
-
 class PushNetwork:
     """A compiled query: feed source chunks in, results push to the sink."""
 
-    def __init__(
-        self,
-        inputs: dict[str, list[_Sink]],
-        flush_order: list[_Stage | Operator],
-        operators: list[Operator | BinaryOperator],
-    ) -> None:
-        self.inputs = inputs
-        self._flush_order = flush_order
-        self.operators = operators
-        self._flushed = False
+    def __init__(self, dag: PlanDAG) -> None:
+        self._dag = dag
 
     @property
     def source_ids(self) -> list[str]:
-        return sorted(self.inputs)
+        return self._dag.source_ids
+
+    @property
+    def inputs(self) -> dict[str, list]:
+        """stream_id -> edges fed by that source (kept for introspection)."""
+        return self._dag.taps
+
+    @property
+    def operators(self) -> list[Operator | BinaryOperator]:
+        return self._dag.operators()
 
     def feed(self, stream_id: str, chunk: Chunk) -> None:
         """Push one source chunk into every place the query consumes it."""
-        if self._flushed:
-            raise PlanError("push network already flushed")
-        for sink in self.inputs.get(stream_id, ()):
-            sink(chunk)
+        self._dag.feed(stream_id, chunk)
 
     def flush(self) -> None:
         """End of input: drain every operator, sources-first."""
-        if self._flushed:
-            return
-        self._flushed = True
-        for stage in self._flush_order:
-            stage.flush()
+        self._dag.flush()
 
     def reset(self) -> None:
-        for op in self.operators:
-            op.reset()
-        self._flushed = False
-
-
-def _build_operator(node: q.QueryNode) -> Operator:
-    """Operator instance for a unary AST node (mirrors the pull planner)."""
-    if isinstance(node, q.SpatialRestrict):
-        return SpatialRestriction(node.region)
-    if isinstance(node, q.TemporalRestrict):
-        return TemporalRestriction(node.timeset, on_sector=node.on_sector)
-    if isinstance(node, q.ValueRestrict):
-        return ValueRestriction(lo=node.lo, hi=node.hi)
-    if isinstance(node, q.ValueMap):
-        return build_value_map(node)
-    if isinstance(node, q.Stretch):
-        return FrameStretch(node.kind)
-    if isinstance(node, q.Magnify):
-        return MagnifyOp(node.k)
-    if isinstance(node, q.Coarsen):
-        return CoarsenOp(node.k)
-    if isinstance(node, q.Rotate):
-        return RotateOp(node.angle_deg)
-    if isinstance(node, q.Reproject):
-        return ReprojectOp(node.dst_crs, method=node.method)
-    if isinstance(node, q.TemporalAgg):
-        return TemporalAggregateOp(node.window, node.func, node.mode)
-    if isinstance(node, q.RegionAgg):
-        return RegionAggregateOp(dict(node.regions), node.func)
-    raise PlanError(f"push compiler does not know node type {type(node).__name__}")
+        self._dag.reset()
 
 
 def compile_push_network(
@@ -215,50 +72,7 @@ def compile_push_network(
     its input stream's CRS gets the region transformed at compile time,
     so unrewritten queries behave identically on both execution paths.
     """
-    inputs: dict[str, list[_Sink]] = {}
-    flush_order: list[_Stage] = []
-    operators: list[Operator | BinaryOperator] = []
-
-    def node_crs(n: q.QueryNode):
-        if isinstance(n, q.StreamRef):
-            return (source_crs or {}).get(n.stream_id)
-        if isinstance(n, q.Reproject):
-            return n.dst_crs
-        if isinstance(n, q.Compose):
-            return node_crs(n.left)
-        if n.children:
-            return node_crs(n.children[0])
-        return None
-
-    def compile_node(n: q.QueryNode, downstream: _Sink) -> None:
-        # Stages are appended child-first so flushing drains upstream
-        # operators before the ones they feed.
-        if isinstance(n, q.StreamRef):
-            inputs.setdefault(n.stream_id, []).append(downstream)
-            return
-        if isinstance(n, q.Empty):
-            return  # never produces or consumes anything
-        if isinstance(n, q.Compose):
-            op = _composition_operator(n.gamma, timestamp_policy)
-            operators.append(op)
-            stage_left = _Stage(op, downstream, side="left")
-            stage_right = _Stage(op, downstream, side="right")
-            compile_node(n.left, stage_left.feed)
-            compile_node(n.right, stage_right.feed)
-            flush_order.append(stage_left)  # binary op flushes once
-            return
-        if isinstance(n, q.SpatialRestrict) and source_crs:
-            child_crs = node_crs(n.children[0])
-            region = n.region
-            if child_crs is not None and region.crs != child_crs:
-                region = region.transformed(child_crs)
-            op: Operator = SpatialRestriction(region)
-        else:
-            op = _build_operator(n)
-        operators.append(op)
-        stage = _Stage(op, downstream)
-        compile_node(n.children[0], stage.feed)
-        flush_order.append(stage)
-
-    compile_node(node, sink)
-    return PushNetwork(inputs, flush_order, operators)
+    plan = canonicalize(node, crs_of=source_crs, default_policy=timestamp_policy)
+    dag = PlanDAG()
+    dag.add_plan(plan, sink, root_id=0)
+    return PushNetwork(dag)

@@ -23,11 +23,12 @@ from ..index.cascade_tree import CascadeTree
 from ..index.naive import NaiveRegionIndex
 from ..obs.registry import get_registry, metrics_enabled
 from ..operators.base import Operator
+from ..plan import PlanDAG, PlanNode, Stage, canonicalize
+from ..plan import source_ids as plan_source_ids
 from ..query import ast as q
 from ..query.optimizer import optimize
 from ..query.parser import parse_query
 from .catalog import StreamCatalog
-from .compiler import PushNetwork, compile_push_network
 from .protocol import Request, parse_request
 from .session import ClientSession, SessionCheckpoint
 
@@ -129,9 +130,10 @@ class _Fanout:
 @dataclass
 class _Registration:
     fanout: _Fanout
-    network: PushNetwork
+    plan: PlanNode
+    stages: list[Stage]
     boxes: dict[str, BoundingBox | None]
-    key: q.QueryNode
+    sources: set[str]
 
     @property
     def sessions(self) -> list[ClientSession]:
@@ -148,10 +150,15 @@ class DSMSServer:
         optimize_queries: bool = True,
         ingest_shedder: Operator | None = None,
         recovery: RecoveryContext | None = None,
+        share_subplans: bool = True,
     ) -> None:
         self.catalog = catalog
         self.optimize_queries = optimize_queries
         self._index_factory = index_factory
+        # All registered queries merged into one operator DAG; with
+        # ``share_subplans`` on, common canonical prefixes execute once
+        # per chunk and fan out to every subscribed query.
+        self.plan_dag = PlanDAG(share=share_subplans)
         # Optional frame-shedding gate ahead of routing; under sustained
         # source stalls (detected via the recovery clock) it is escalated.
         self.ingest_shedder = ingest_shedder
@@ -199,10 +206,15 @@ class DSMSServer:
         session.set_clock(lambda: self._now)
         self._next_session_id += 1
 
-        # Identical optimized queries share one push network: the intro's
-        # "duplicated processes" collapse into a single execution whose
-        # results fan out to every subscriber.
-        shared = self._find_shared(optimized)
+        # Queries with the same *canonical plan* share one fan-out: the
+        # intro's "duplicated processes" collapse into a single execution
+        # whose results fan out to every subscriber. Different queries
+        # sharing only a plan prefix still share those stages below.
+        policy = self._common_timestamp_policy(optimized)
+        plan = canonicalize(
+            optimized, crs_of=dict(self.catalog.crs_of()), default_policy=policy
+        )
+        shared = self._find_shared(plan)
         if shared is not None:
             shared.fanout.sessions.append(session)
             self._session_to_reg[session.session_id] = next(
@@ -212,23 +224,24 @@ class DSMSServer:
 
         fanout = _Fanout()
         fanout.sessions.append(session)
-        policy = self._common_timestamp_policy(optimized)
-        network = compile_push_network(
-            optimized, fanout, timestamp_policy=policy,
-            source_crs=dict(self.catalog.crs_of()),
-        )
         boxes = source_prune_boxes(optimized)
-        registration = _Registration(fanout, network, boxes, optimized)
         reg_id = self._next_reg_id
         self._next_reg_id += 1
+        stages = self.plan_dag.add_plan(plan, fanout, reg_id)
+        registration = _Registration(
+            fanout, plan, stages, boxes, plan_source_ids(plan)
+        )
         self._registrations[reg_id] = registration
         self._session_to_reg[session.session_id] = reg_id
         self._route(reg_id, boxes)
         return session
 
-    def _find_shared(self, optimized: q.QueryNode) -> _Registration | None:
+    def _find_shared(self, plan: PlanNode) -> _Registration | None:
         for registration in self._registrations.values():
-            if registration.key == optimized:
+            if (
+                registration.plan.fingerprint == plan.fingerprint
+                and registration.plan == plan
+            ):
                 return registration
         return None
 
@@ -300,6 +313,9 @@ class DSMSServer:
         if registration.sessions:
             return  # other subscribers keep the shared network alive
         del self._registrations[reg_id]
+        # Refcounted teardown: only stages no surviving query subscribes
+        # to are pruned from the shared DAG.
+        self.plan_dag.remove_plan(reg_id, registration.stages)
         for stream_id in registration.boxes:
             router = self._routers.get(stream_id)
             if router is not None and reg_id in router:
@@ -345,22 +361,30 @@ class DSMSServer:
 
     @property
     def shared_network_count(self) -> int:
-        """Distinct push networks currently executing."""
+        """Distinct query plans (fan-outs) currently executing."""
         return len(self._registrations)
 
+    @property
+    def plan_stats(self):
+        """Sharing statistics of the server-wide plan DAG."""
+        return self.plan_dag.stats
+
+    def explain_dag(self) -> str:
+        """Render the shared operator DAG (CLI ``--explain``)."""
+        return self.plan_dag.render()
+
     def operator_reports(self):
-        """OperatorReports for every operator of every registered network.
+        """OperatorReports for every physical stage of the shared DAG.
 
         The push-network analogue of ``engine.pipeline_report``: call after
         ``run()`` to get the same per-operator cost table the pull path
-        prints (and that ``obs.collect_run`` serializes).
+        prints (and that ``obs.collect_run`` serializes). Shared stages
+        appear once, however many queries subscribe to them.
         """
         from ..engine.stats import OperatorReport
 
         return [
-            OperatorReport.from_operator(op)
-            for reg in self._registrations.values()
-            for op in reg.network.operators
+            OperatorReport.from_operator(op) for op in self.plan_dag.operators()
         ]
 
     def _chunk_bbox(self, chunk: Chunk) -> BoundingBox | None:
@@ -378,13 +402,11 @@ class DSMSServer:
         quantify the pruning.
         """
         needed = {
-            sid
-            for reg in self._registrations.values()
-            for sid in reg.network.source_ids
+            sid for reg in self._registrations.values() for sid in reg.sources
         }
         sources = {sid: self.catalog.get(sid) for sid in sorted(needed)}
         consumers: dict[str, list[_Registration]] = {
-            sid: [r for r in self._registrations.values() if sid in r.network.inputs]
+            sid: [r for r in self._registrations.values() if sid in r.sources]
             for sid in sources
         }
         reg_ids = {id(r): rid for rid, r in self._registrations.items()}
@@ -395,6 +417,8 @@ class DSMSServer:
             registry = get_registry()
             registry.gauge("dsms_registered_networks").set(len(self._registrations))
             registry.gauge("dsms_active_sessions").set(len(self.active_sessions()))
+            registry.gauge("repro_plan_stages_total").set(self.plan_dag.stages_total)
+            registry.gauge("repro_plan_stages_shared").set(self.plan_dag.stages_shared)
             for sid, router in self._routers.items():
                 registry.gauge("dsms_router_regions", stream=sid).set(len(router))
             per_query = {
@@ -464,20 +488,23 @@ class DSMSServer:
             for registration in consumers[stream_id]:
                 rid = reg_ids[id(registration)]
                 if rid in matched:
-                    try:
-                        registration.network.feed(stream_id, chunk)
-                    except GeoStreamsError as exc:
-                        if ctx is None:
-                            raise
-                        ctx.quarantine(
-                            chunk, reason="network-error",
-                            stage=f"network:{rid}", error=exc,
-                        )
                     routed += 1
                 else:
                     skipped += 1
                 if obs is not None:
                     obs[4][rid][0 if rid in matched else 1].inc()
+            if routed:
+                # One pass through the shared DAG serves every matched
+                # query; stages with several active subscribers run once.
+                try:
+                    self.plan_dag.feed(stream_id, chunk, active=matched)
+                except GeoStreamsError as exc:
+                    if ctx is None:
+                        raise
+                    ctx.quarantine(
+                        chunk, reason="network-error",
+                        stage=f"network:{stream_id}", error=exc,
+                    )
             self.router_stats.pairs_routed += routed
             self.router_stats.pairs_skipped += skipped
             if obs is not None:
@@ -487,8 +514,14 @@ class DSMSServer:
                 skipped_c.inc(skipped)
                 clock_g.set(self._now)
         if close:
+            self.plan_dag.flush()
             for registration in self._registrations.values():
-                registration.network.flush()
                 for session in registration.sessions:
                     session.close()
+        if obs is not None:
+            registry = get_registry()
+            stats = self.plan_dag.stats
+            registry.gauge("repro_plan_chunks_saved").set(stats.chunks_saved)
+            registry.gauge("repro_plan_subplan_cache_hits").set(stats.subplan_hits)
+            registry.gauge("repro_plan_stage_executions").set(stats.stage_executions)
         return self.router_stats

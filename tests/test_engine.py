@@ -181,3 +181,41 @@ class TestReports:
             assert report.points_in == report.points_out == total
             assert report.chunks_in == report.chunks_out
             assert report.accounting_errors == 0
+
+
+class TestConcurrentIteration:
+    """Re-opening a piped stream invalidates in-flight iterators."""
+
+    def test_double_open_raises_stream_error(self):
+        stream = make_stream("s", [0.0, 1.0, 2.0]).pipe(Rescale(2.0))
+        first = stream.chunks()
+        next(first)  # first iteration in progress
+        second = stream.chunks()  # re-open resets the shared operators
+        next(second)
+        with pytest.raises(StreamError, match="re-opened"):
+            next(first)
+
+    def test_double_open_of_composition_raises(self):
+        left = make_stream("l", [0.0, 1.0])
+        right = make_stream("r", [0.0, 1.0])
+        composed = compose_streams(left, right, StreamComposition("+"))
+        first = composed.chunks()
+        next(first)
+        second = composed.chunks()
+        next(second)
+        with pytest.raises(StreamError, match="re-opened"):
+            next(first)
+
+    def test_sequential_reiteration_still_works(self):
+        stream = make_stream("s", [0.0, 1.0]).pipe(Rescale(2.0))
+        a = list(stream.chunks())
+        b = list(stream.chunks())
+        assert len(a) == len(b) == 2
+
+    def test_stale_iterator_poisoned_even_after_second_finishes(self):
+        stream = make_stream("s", [0.0, 1.0, 2.0]).pipe(Rescale(2.0))
+        first = stream.chunks()
+        next(first)
+        list(stream.chunks())  # complete second iteration
+        with pytest.raises(StreamError, match="re-opened"):
+            next(first)
