@@ -14,7 +14,11 @@ import pytest
 
 from repro.server import DSMSServer, StreamCatalog
 
-from conftest import make_imager
+from conftest import BENCH_SMOKE, make_imager, write_bench_snapshot
+
+# Reduced-size mode (REPRO_BENCH_SMOKE=1): smaller sector, fewer clients.
+SECTOR = (48, 24) if BENCH_SMOKE else (96, 48)
+QUERY_COUNTS = (1, 2, 4, 8) if BENCH_SMOKE else (1, 2, 4, 8, 16, 32)
 
 
 def overlapping_queries(n: int) -> list[str]:
@@ -39,21 +43,21 @@ def chunks_processed(server) -> int:
     return sum(stage.op.stats.chunks_in for stage in server.plan_dag.order)
 
 
-@pytest.mark.parametrize("n_queries", [1, 2, 4, 8, 16, 32])
+@pytest.mark.parametrize("n_queries", QUERY_COUNTS)
 @pytest.mark.parametrize("share", [True, False], ids=["shared", "unshared"])
 def test_registration_scaling_wall_time(benchmark, n_queries, share, scene, geos_crs):
-    imager = make_imager(scene, geos_crs, width=96, height=48, n_frames=1)
+    imager = make_imager(scene, geos_crs, *SECTOR, n_frames=1)
     benchmark.pedantic(
         run_server, args=(imager, n_queries, share), rounds=3, iterations=1
     )
 
 
 def test_marginal_chunks_shrink_with_sharing(benchmark, claims, scene, geos_crs):
-    imager = make_imager(scene, geos_crs, width=96, height=48, n_frames=1)
+    imager = make_imager(scene, geos_crs, *SECTOR, n_frames=1)
 
     def sweep():
         rows = []
-        for n in (1, 2, 4, 8, 16, 32):
+        for n in QUERY_COUNTS:
             shared_server, shared_sessions = run_server(imager, n, share=True)
             solo_server, solo_sessions = run_server(imager, n, share=False)
             rows.append(
@@ -69,6 +73,7 @@ def test_marginal_chunks_shrink_with_sharing(benchmark, claims, scene, geos_crs)
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    n_max = rows[-1]["n"]
 
     # Per-query marginal chunk count strictly below unshared for N >= 2.
     below = all(
@@ -76,30 +81,40 @@ def test_marginal_chunks_shrink_with_sharing(benchmark, claims, scene, geos_crs)
         for row in rows
         if row["n"] >= 2
     )
-    n32 = rows[-1]
+    top = rows[-1]
     claims.record(
         "F4",
-        "marginal chunks/query, sharing vs unshared (N=32)",
-        f"{n32['shared_chunks'] / 32:.1f} vs {n32['unshared_chunks'] / 32:.1f}",
+        f"marginal chunks/query, sharing vs unshared (N={n_max})",
+        f"{top['shared_chunks'] / n_max:.1f} vs {top['unshared_chunks'] / n_max:.1f}",
         "strictly below unshared for N >= 2",
         below,
     )
     claims.record(
         "F4",
-        "operator steps saved by subplan sharing (N=32)",
-        n32["chunks_saved"],
+        f"operator steps saved by subplan sharing (N={n_max})",
+        top["chunks_saved"],
         "> 0 (shared prefix runs once per chunk)",
-        n32["chunks_saved"] > 0,
+        top["chunks_saved"] > 0,
     )
     # With sharing, total work grows sub-linearly: N queries cost far less
     # than N times one query (prefix amortized across all subscribers).
-    n1, n32_total = rows[0]["shared_chunks"], n32["shared_chunks"]
+    n1, top_total = rows[0]["shared_chunks"], top["shared_chunks"]
     claims.record(
         "F4",
-        "total chunks at N=32 vs 32x the N=1 cost (shared)",
-        f"{n32_total} vs {32 * n1}",
+        f"total chunks at N={n_max} vs {n_max}x the N=1 cost (shared)",
+        f"{top_total} vs {n_max * n1}",
         "sub-linear scaling",
-        n32_total < 32 * n1,
+        top_total < n_max * n1,
+    )
+    write_bench_snapshot(
+        "f4_sharing",
+        {
+            "sector": list(SECTOR),
+            "query_counts": list(QUERY_COUNTS),
+            "rows": [
+                {k: v for k, v in row.items() if k != "sessions"} for row in rows
+            ],
+        },
     )
     # Results are identical either way, for every query.
     identical = True

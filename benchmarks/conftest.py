@@ -8,7 +8,10 @@ EXPERIMENTS.md's measured columns are transcribed from.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import time
 from dataclasses import dataclass, field
 
 import pytest
@@ -17,6 +20,32 @@ from repro.geo import goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 
 DAY_T0 = 72_000.0
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Reduced-size mode for CI's bench-smoke job: set REPRO_BENCH_SMOKE=1 and
+# benchmarks shrink their workloads (fewer queries, smaller sectors) while
+# still exercising the full measurement + snapshot path.
+BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def write_bench_snapshot(name: str, payload: dict) -> pathlib.Path:
+    """Write a ``BENCH_<name>.json`` perf snapshot (repo root by default).
+
+    The committed snapshots record the perf trajectory across PRs; CI's
+    bench-smoke job regenerates them in reduced-size mode and uploads the
+    result as a workflow artifact (override the directory with
+    ``REPRO_BENCH_OUT``).
+    """
+    out_dir = pathlib.Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    record = {"experiment": name, "smoke": BENCH_SMOKE, "time_unix": time.time()}
+    record.update(payload)
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 # Opt-in observability: set REPRO_OBS_SNAPSHOT=/path/to/file.jsonl and every
 # benchmark runs with metrics + tracing enabled, appending one snapshot

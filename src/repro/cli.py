@@ -82,6 +82,52 @@ def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", False) or getattr(args, "metrics_out", None))
 
 
+def _add_analyze(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: execute the plan DAG with stage statistics on "
+             "and print observed vs estimated cost per stage",
+    )
+    parser.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="load a fitted cost-calibration profile (JSON) for the estimates",
+    )
+    parser.add_argument(
+        "--fit-calibration", default=None, metavar="PATH",
+        help="after the analyzed run, fit a calibration profile from the "
+             "observed stage statistics and save it to PATH",
+    )
+
+
+def _load_calibration(args: argparse.Namespace):
+    path = getattr(args, "calibration", None)
+    if not path:
+        return None
+    from .query import CalibrationProfile
+
+    profile = CalibrationProfile.load(path)
+    print(
+        f"loaded calibration profile from {path} "
+        f"({len(profile.coefficients)} operator kinds, {profile.n_samples} samples)"
+    )
+    return profile
+
+
+def _maybe_fit_calibration(server: DSMSServer, collector, args: argparse.Namespace) -> None:
+    path = getattr(args, "fit_calibration", None)
+    if not path:
+        return
+    from .query import CalibrationProfile
+
+    samples = list(server.calibration_samples(collector))
+    profile = CalibrationProfile.fit(samples)
+    profile.save(path)
+    print(
+        f"fitted calibration profile ({len(profile.coefficients)} operator kinds, "
+        f"{profile.n_samples} samples) -> {path}"
+    )
+
+
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
@@ -144,7 +190,7 @@ def _run_observed_query(
         reports = server.operator_reports()
     frames = [f.image for f in session.frames]
     print(f"{len(frames)} frames in {elapsed:.3f}s (via DSMS, traced)")
-    print(format_report(reports))
+    print(format_report(reports, ob.registry))
     spans = ob.tracer.to_dicts() if ob.tracer is not None else []
     op_spans = [s for s in spans if s["kind"] != "scheduler"]
     print(
@@ -199,6 +245,15 @@ def cmd_explain(args: argparse.Namespace) -> int:
         )
     except GeoStreamsError as exc:
         print(f"\n(cost estimate unavailable: {exc})")
+    if args.analyze:
+        calibration = _load_calibration(args)
+        with obs.observe(stats=True) as ob:
+            server = DSMSServer(catalog)
+            server.register(args.query)
+            server.run()
+            print("\nEXPLAIN ANALYZE (one observed demo scan):")
+            print(server.explain_analyze(collector=ob.stats, calibration=calibration))
+            _maybe_fit_calibration(server, ob.stats, args)
     return 0
 
 
@@ -267,10 +322,17 @@ def _serve_demo_once(args: argparse.Namespace) -> tuple[DSMSServer, list, float]
 
 
 def cmd_serve_demo(args: argparse.Namespace) -> int:
-    if _obs_requested(args):
-        with obs.observe(trace=args.trace) as ob:
+    analyzed = None
+    if _obs_requested(args) or args.analyze:
+        with obs.observe(trace=args.trace, stats=args.analyze) as ob:
             server, sessions, elapsed = _serve_demo_once(args)
             reports = server.operator_reports()
+            if args.analyze:
+                calibration = _load_calibration(args)
+                analyzed = server.explain_analyze(
+                    collector=ob.stats, calibration=calibration
+                )
+                _maybe_fit_calibration(server, ob.stats, args)
         if args.metrics_out is not None:
             lines = obs.snapshot_lines(
                 reports, tracer=ob.tracer, registry=ob.registry, label="serve-demo"
@@ -281,6 +343,8 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
         server, sessions, elapsed = _serve_demo_once(args)
     if args.explain:
         print(server.explain_dag())
+    if analyzed is not None:
+        print(analyzed)
     stats = server.router_stats
     plan_stats = server.plan_stats
     print(
@@ -300,7 +364,21 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
 
 
 def _metrics_self_test() -> int:
-    """Exercise the observability layer's invariants end to end."""
+    """Exercise the observability layer's invariants end to end.
+
+    Returns 0 on success and 1 on any failed invariant (distinct from the
+    argparse/usage exit code 2), so CI can gate on it directly.
+    """
+    try:
+        _metrics_self_test_body()
+    except AssertionError as exc:
+        print(f"metrics self-test: FAILED ({exc})", file=sys.stderr)
+        return 1
+    print("metrics self-test: ok (registry, histograms, escaping, spans, zero-cost)")
+    return 0
+
+
+def _metrics_self_test_body() -> None:
     from .obs.export import to_prometheus
     from .obs.registry import MetricsRegistry
 
@@ -338,11 +416,20 @@ def _metrics_self_test() -> int:
     assert len(spans) == 2 and spans[1]["parent_id"] == spans[0]["span_id"], "span DAG"
     assert all(s["points_in"] > 0 and s["wall_time_s"] > 0 for s in spans), "span data"
 
+    # Histogram quantiles: interpolated estimates stay inside the observed
+    # value range and the exporter renders them as companion series.
+    qh = registry.histogram("demo_quantile_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        qh.observe(v)
+    p50 = qh.quantile(0.5)
+    assert p50 is not None and 1.0 <= p50 <= 2.0, f"p50 interpolation: {p50}"
+    assert 'demo_quantile_seconds{quantile="0.95"}' in to_prometheus(registry), (
+        "prometheus quantile series"
+    )
+
     obs.get_registry().reset()
     imager.stream("vis").pipe(Rescale(2.0)).count_points()
     assert len(obs.get_registry()) == 0, "disabled runs must not touch the registry"
-    print("metrics self-test: ok (registry, histograms, escaping, spans, zero-cost)")
-    return 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -427,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("explain", help="parse, optimize, and cost a query")
     p.add_argument("query", help="query text (see repro.query.parser)")
     _add_common(p)
+    _add_analyze(p)
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("query", help="execute a query and optionally write PNGs")
@@ -447,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_obs(p)
+    _add_analyze(p)
     _add_faults(p)
     p.set_defaults(func=cmd_serve_demo)
 

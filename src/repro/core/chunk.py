@@ -17,7 +17,7 @@ Chunks are immutable; operators derive new chunks with ``with_values`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Union
 
 import numpy as np
@@ -26,6 +26,7 @@ from ..errors import StreamError
 from ..geo.crs import CRS
 from .lattice import GridLattice
 from .metadata import FrameInfo
+from .provenance import Provenance
 
 __all__ = ["GridChunk", "PointChunk", "Chunk", "TimestampPolicy"]
 
@@ -54,6 +55,9 @@ class GridChunk:
     row0: int = 0
     col0: int = 0
     last_in_frame: bool = True
+    # Lineage tag (opt-in, attached only under a stats collector); excluded
+    # from equality so tagged and untagged chunks still compare equal.
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values)
@@ -154,6 +158,7 @@ class PointChunk:
     t: np.ndarray
     crs: CRS
     sector: int | None = None
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         x = np.asarray(self.x, dtype=float)

@@ -1,0 +1,85 @@
+"""Compact chunk lineage tags.
+
+A GeoStream is a *function* from spatio-temporal points to values, so any
+delivered value should be able to answer "which raw scans and which
+operators produced you". :class:`Provenance` is the compact answer: the
+set of ``(stream_id, scan_ordinal)`` source scans a chunk derives from
+and the set of plan-stage fingerprints it traversed.
+
+Tags are immutable and merge monotonically: every operator output carries
+the union of its inputs' tags plus the operator's own stage fingerprint.
+For buffering operators (frame assembly, temporal windows, composition)
+this is a sound *over*-approximation — a flushed chunk is tagged with
+every scan the operator consumed since its last emission, never fewer.
+
+Provenance is opt-in (attached only while a stats collector is
+installed, see :mod:`repro.obs.stats`) and deliberately tiny: frozensets
+of small tuples/strings, no per-point bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Provenance"]
+
+# Beyond this many distinct scans we stop enumerating and keep a count —
+# lineage stays O(1) per chunk even for day-long windows.
+MAX_TRACKED_SCANS = 256
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Lineage tag: source scans consumed and stage fingerprints traversed."""
+
+    sources: frozenset[tuple[str, int]] = field(default_factory=frozenset)
+    stages: frozenset[str] = field(default_factory=frozenset)
+    dropped_sources: int = 0  # scans beyond MAX_TRACKED_SCANS, counted not listed
+
+    @classmethod
+    def scan(cls, stream_id: str, ordinal: int) -> "Provenance":
+        """The tag of a raw source chunk: one scan, no stages yet."""
+        return cls(sources=frozenset({(stream_id, int(ordinal))}))
+
+    def with_stage(self, fingerprint: str) -> "Provenance":
+        if fingerprint in self.stages:
+            return self
+        return Provenance(
+            sources=self.sources,
+            stages=self.stages | {fingerprint},
+            dropped_sources=self.dropped_sources,
+        )
+
+    def merge(self, other: "Provenance | None") -> "Provenance":
+        if other is None or other == self:
+            return self
+        sources = self.sources | other.sources
+        dropped = self.dropped_sources + other.dropped_sources
+        if len(sources) > MAX_TRACKED_SCANS:
+            # Keep the most recent scans (highest ordinals) and count the rest.
+            kept = sorted(sources, key=lambda s: (s[1], s[0]))[-MAX_TRACKED_SCANS:]
+            dropped += len(sources) - len(kept)
+            sources = frozenset(kept)
+        return Provenance(
+            sources=sources,
+            stages=self.stages | other.stages,
+            dropped_sources=dropped,
+        )
+
+    @property
+    def stream_ids(self) -> frozenset[str]:
+        return frozenset(stream_id for stream_id, _ in self.sources)
+
+    def scan_ordinals(self, stream_id: str) -> tuple[int, ...]:
+        return tuple(sorted(o for sid, o in self.sources if sid == stream_id))
+
+    def describe(self) -> str:
+        parts = []
+        for sid in sorted(self.stream_ids):
+            ordinals = self.scan_ordinals(sid)
+            parts.append(f"{sid}[{','.join(str(o) for o in ordinals)}]")
+        if self.dropped_sources:
+            parts.append(f"(+{self.dropped_sources} earlier scans)")
+        src = " ".join(parts) or "-"
+        fps = ",".join(sorted(self.stages)) or "-"
+        return f"sources: {src}  stages: {fps}"

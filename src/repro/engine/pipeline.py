@@ -18,6 +18,7 @@ DSMS gives each registered query its own operator instances.
 from __future__ import annotations
 
 import math
+from dataclasses import replace as dc_replace
 from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
@@ -25,6 +26,7 @@ from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import StreamError
 from ..faults.recovery import current_recovery
+from ..obs.stats import StatsCollector, current_collector
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 
@@ -66,6 +68,10 @@ def chunk_time(chunk: Chunk) -> float:
 
 def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
     ctx = current_recovery()
+    collector = current_collector()
+    if collector is not None:
+        yield from _stats_feed(chunks, op, collector, ctx)
+        return
     if ctx is None:
         for chunk in chunks:
             yield from op.process(chunk)
@@ -76,6 +82,53 @@ def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
     for chunk in chunks:
         yield from ctx.guard(op, chunk)
     yield from ctx.guard_flush(op)
+
+
+def _stats_feed(
+    chunks: Iterable[Chunk], op: Operator, collector: StatsCollector, ctx
+) -> Iterator[Chunk]:
+    """Stats-collecting variant of ``_feed`` for the pull executor.
+
+    Pull pipelines have no shared stages, but the plan lowering stamps
+    each operator with its plan node's fingerprint/kind, so observed
+    statistics land in the same per-subplan ledgers the push DAG uses.
+    Provenance tags, when present on inputs, are merged and re-stamped.
+    """
+    entry = collector.stage(
+        getattr(op, "plan_fingerprint", None) or f"pull:{op.name}",
+        label=getattr(op, "plan_label", "") or op.name,
+        kind=getattr(op, "plan_kind", "") or type(op).__name__,
+    )
+    prov = None
+
+    def finish(chunk: Chunk | None, outs: list[Chunk], dt: float) -> list[Chunk]:
+        nonlocal prov
+        entry.observe(
+            points_in=chunk.n_points if chunk is not None else 0,
+            points_out=sum(c.n_points for c in outs),
+            bytes_in=chunk.nbytes if chunk is not None else 0,
+            bytes_out=sum(c.nbytes for c in outs),
+            chunks_out=len(outs),
+            wall_s=dt,
+            chunks_in=1 if chunk is not None else 0,
+        )
+        if collector.provenance:
+            if chunk is not None and chunk.provenance is not None:
+                prov = (
+                    chunk.provenance if prov is None else prov.merge(chunk.provenance)
+                )
+            if prov is not None and outs:
+                tag = prov.with_stage(entry.fingerprint)
+                outs = [dc_replace(c, provenance=tag) for c in outs]
+        return outs
+
+    for chunk in chunks:
+        t0 = perf_counter()
+        outs = list(op.process(chunk)) if ctx is None else ctx.guard(op, chunk)
+        yield from finish(chunk, outs, perf_counter() - t0)
+    t0 = perf_counter()
+    outs = list(op.flush()) if ctx is None else ctx.guard_flush(op)
+    yield from finish(None, outs, perf_counter() - t0)
 
 
 def _traced_feed(
@@ -205,11 +258,49 @@ def _merge(
     left: Iterator[Chunk], right: Iterator[Chunk], operator: BinaryOperator
 ) -> Iterator[Chunk]:
     ctx = current_recovery()
+    collector = current_collector()
+    entry = None
+    prov = None
+    if collector is not None:
+        entry = collector.stage(
+            getattr(operator, "plan_fingerprint", None) or f"pull:{operator.name}",
+            label=getattr(operator, "plan_label", "") or operator.name,
+            kind=getattr(operator, "plan_kind", "") or type(operator).__name__,
+        )
+
+    def observe(chunk: Chunk | None, outs: list[Chunk], dt: float) -> list[Chunk]:
+        nonlocal prov
+        entry.observe(
+            points_in=chunk.n_points if chunk is not None else 0,
+            points_out=sum(c.n_points for c in outs),
+            bytes_in=chunk.nbytes if chunk is not None else 0,
+            bytes_out=sum(c.nbytes for c in outs),
+            chunks_out=len(outs),
+            wall_s=dt,
+            chunks_in=1 if chunk is not None else 0,
+        )
+        if collector.provenance:
+            if chunk is not None and chunk.provenance is not None:
+                prov = (
+                    chunk.provenance if prov is None else prov.merge(chunk.provenance)
+                )
+            if prov is not None and outs:
+                tag = prov.with_stage(entry.fingerprint)
+                outs = [dc_replace(c, provenance=tag) for c in outs]
+        return outs
 
     def step(side: str, chunk: Chunk) -> Iterable[Chunk]:
-        if ctx is None:
-            return operator.process_side(side, chunk)
-        return ctx.guard(operator, chunk, side)
+        if entry is None:
+            if ctx is None:
+                return operator.process_side(side, chunk)
+            return ctx.guard(operator, chunk, side)
+        t0 = perf_counter()
+        outs = (
+            list(operator.process_side(side, chunk))
+            if ctx is None
+            else ctx.guard(operator, chunk, side)
+        )
+        return observe(chunk, outs, perf_counter() - t0)
 
     lc = next(left, None)
     rc = next(right, None)
@@ -223,10 +314,15 @@ def _merge(
             assert rc is not None
             yield from step("right", rc)
             rc = next(right, None)
-    if ctx is None:
-        yield from operator.flush()
-    else:
-        yield from ctx.guard_flush(operator)
+    if entry is None:
+        if ctx is None:
+            yield from operator.flush()
+        else:
+            yield from ctx.guard_flush(operator)
+        return
+    t0 = perf_counter()
+    outs = list(operator.flush()) if ctx is None else ctx.guard_flush(operator)
+    yield from observe(None, outs, perf_counter() - t0)
 
 
 def _traced_merge(

@@ -60,13 +60,17 @@ def pipeline_report(stream: GeoStream) -> list[OperatorReport]:
     return [OperatorReport.from_operator(op) for op in iter_pipeline_operators(stream)]
 
 
-def format_report(reports: Sequence[OperatorReport]) -> str:
+def format_report(reports: Sequence[OperatorReport], registry=None) -> str:
     """Human-readable table of operator counters.
 
     Columns mirror the :class:`OperatorReport` fields: point and chunk
     throughput, buffering high-water marks, and both mean and max wait
     times (a composition's typical vs worst-case partner wait differ by
     orders of magnitude under sequential band scans).
+
+    Passing a :class:`~repro.obs.registry.MetricsRegistry` appends a
+    quantile section: interpolated p50/p95/p99 for every histogram the
+    run published (delivery lag, per-operator wall time, ...).
     """
     header = (
         f"{'operator':<28} {'pts_in':>10} {'pts_out':>10} {'chunks_in/out':>13} "
@@ -82,4 +86,27 @@ def format_report(reports: Sequence[OperatorReport]) -> str:
             f"{r.max_buffered_points:>12} {r.max_buffered_bytes / 1024:>11.1f} "
             f"{mean_wait:>12} {max_wait:>11}"
         )
+    if registry is not None:
+        quantile_lines = []
+        for metric in registry:
+            if metric.kind != "histogram":
+                continue
+            snap = metric.snapshot()
+            if not snap["count"]:
+                continue
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(snap["labels"].items()))
+            name = snap["name"] + (f"{{{label_text}}}" if label_text else "")
+
+            def fmt(v):
+                return f"{v:.4g}" if v is not None else "-"
+
+            quantile_lines.append(
+                f"  {name:<48.48} p50 {fmt(snap['p50']):>9} "
+                f"p95 {fmt(snap['p95']):>9} p99 {fmt(snap['p99']):>9} "
+                f"(n={snap['count']})"
+            )
+        if quantile_lines:
+            lines.append("")
+            lines.append("histogram quantiles (interpolated from buckets):")
+            lines.extend(quantile_lines)
     return "\n".join(lines)

@@ -36,6 +36,17 @@ from .registry import (
     metrics_enabled,
     set_registry,
 )
+from .slo import SLOBreach, SLOMonitor, SLOPolicy
+from .stats import (
+    Reservoir,
+    StageStats,
+    StatsCollector,
+    current_collector,
+    disable_stats,
+    enable_stats,
+    format_lineage,
+    lineage,
+)
 from .tracing import Span, Tracer, current_tracer, disable_tracing, enable_tracing
 
 __all__ = [
@@ -60,6 +71,17 @@ __all__ = [
     "snapshot_lines",
     "to_prometheus",
     "write_jsonl",
+    "Reservoir",
+    "StageStats",
+    "StatsCollector",
+    "current_collector",
+    "enable_stats",
+    "disable_stats",
+    "lineage",
+    "format_lineage",
+    "SLOPolicy",
+    "SLOBreach",
+    "SLOMonitor",
     "Observation",
     "observe",
 ]
@@ -67,29 +89,36 @@ __all__ = [
 
 @dataclass
 class Observation:
-    """Handles to the registry/tracer active inside an ``observe()`` block."""
+    """Handles to the registry/tracer/stats active inside ``observe()``."""
 
     registry: MetricsRegistry
     tracer: Optional[Tracer]
+    stats: Optional[StatsCollector] = None
 
 
 @contextlib.contextmanager
-def observe(trace: bool = False, reset: bool = True) -> Iterator[Observation]:
-    """Enable metrics (and optionally tracing) for the duration of a block.
+def observe(
+    trace: bool = False, reset: bool = True, stats: bool = False
+) -> Iterator[Observation]:
+    """Enable metrics (and optionally tracing/stage stats) for a block.
 
     Resets the process registry on entry by default so each observed run
-    starts from clean counters, and restores the previous enabled/tracer
-    state on exit — nesting and test isolation both work.
+    starts from clean counters, and restores the previous enabled/tracer/
+    collector state on exit — nesting and test isolation both work. With
+    ``stats=True`` a :class:`StatsCollector` is installed, so DAG stages
+    accumulate :class:`StageStats` and chunks carry provenance tags.
     """
     registry = get_registry()
     was_enabled = metrics_enabled()
     previous_tracer = current_tracer()
+    previous_collector = current_collector()
     if reset:
         registry.reset()
     enable_metrics()
     tracer = enable_tracing(Tracer(registry)) if trace else previous_tracer
+    collector = enable_stats() if stats else previous_collector
     try:
-        yield Observation(registry=registry, tracer=tracer)
+        yield Observation(registry=registry, tracer=tracer, stats=collector)
     finally:
         if not was_enabled:
             disable_metrics()
@@ -98,3 +127,8 @@ def observe(trace: bool = False, reset: bool = True) -> Iterator[Observation]:
                 disable_tracing()
             else:
                 enable_tracing(previous_tracer)
+        if stats:
+            if previous_collector is None:
+                disable_stats()
+            else:
+                enable_stats(previous_collector)

@@ -178,4 +178,10 @@ def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
         out.write(f"{name}_bucket{le} {snap['count']}\n")
         out.write(f"{name}_sum{_format_labels(labels)} {_format_value(snap['sum'])}\n")
         out.write(f"{name}_count{_format_labels(labels)} {snap['count']}\n")
+        # Interpolated quantiles (summary-style companion series).
+        for key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            value = snap.get(key)
+            if value is not None:
+                ql = _format_labels(labels, {"quantile": q})
+                out.write(f"{name}{ql} {_format_value(value)}\n")
     return out.getvalue()

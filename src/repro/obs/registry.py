@@ -208,6 +208,46 @@ class Histogram(_Instrument):
         out.append((float("inf"), running + self._counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Interpolated streaming quantile from the bucket counts.
+
+        Linear interpolation within the bucket holding the requested
+        rank (Prometheus ``histogram_quantile`` style), clamped by the
+        observed min/max so estimates never leave the seen value range;
+        the +Inf overflow bucket resolves to the observed max. Returns
+        None before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            lo_seen, hi_seen = self._min, self._max
+        total = sum(counts)
+        if total == 0:
+            return None
+        if q == 0.0:
+            return lo_seen
+        if q == 1.0:
+            return hi_seen
+        target = q * total
+        running = 0
+        for i, n in enumerate(counts):
+            if n and running + n >= target:
+                if i >= len(self.buckets):  # overflow bucket: only max known
+                    return hi_seen
+                lower = self.buckets[i - 1] if i > 0 else lo_seen
+                upper = self.buckets[i]
+                if lo_seen is not None:
+                    lower = max(lower if lower is not None else lo_seen, lo_seen)
+                if hi_seen is not None:
+                    upper = min(upper, hi_seen)
+                if lower is None or upper < lower:
+                    return upper
+                frac = (target - running) / n
+                return lower + frac * (upper - lower)
+            running += n
+        return hi_seen  # pragma: no cover - rank always lands in a bucket
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -219,6 +259,9 @@ class Histogram(_Instrument):
             "sum": self._sum,
             "min": self._min,
             "max": self._max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

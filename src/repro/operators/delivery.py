@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 
 from ..core.chunk import Chunk, PointChunk
 from ..core.image import RasterImage
+from ..core.provenance import Provenance
 from ..errors import OperatorError
 from .aggregate import _FrameCollector
 from .base import Operator
@@ -22,13 +23,24 @@ __all__ = ["Delivery", "DeliveredFrame", "CollectingSink"]
 
 
 class DeliveredFrame:
-    """One frame shipped to a client: PNG bytes plus its georeferencing."""
+    """One frame shipped to a client: PNG bytes plus its georeferencing.
 
-    __slots__ = ("png", "image")
+    ``provenance`` (when the run recorded lineage) is the merged tag of
+    every chunk that contributed to the frame: which raw scans and which
+    plan stages produced these pixels.
+    """
 
-    def __init__(self, png: bytes, image: RasterImage) -> None:
+    __slots__ = ("png", "image", "provenance")
+
+    def __init__(
+        self,
+        png: bytes,
+        image: RasterImage,
+        provenance: Provenance | None = None,
+    ) -> None:
         self.png = png
         self.image = image
+        self.provenance = provenance
 
     def __repr__(self) -> str:
         return (
@@ -64,19 +76,28 @@ class Delivery(Operator):
         self.sink = sink if sink is not None else CollectingSink()
         self.encode = encode
         self._collector = _FrameCollector(self)
+        self._pending_prov: Provenance | None = None
 
     def _reset_state(self) -> None:
         self._collector = _FrameCollector(self)
+        self._pending_prov = None
 
     def _ship(self, image: RasterImage) -> None:
         png = image.to_png_bytes() if self.encode else b""
-        self.sink(DeliveredFrame(png, image))
+        self.sink(DeliveredFrame(png, image, provenance=self._pending_prov))
+        self._pending_prov = None
 
     def _process(self, chunk: Chunk) -> Iterable[Chunk]:
         if isinstance(chunk, PointChunk):
             raise OperatorError(
                 "PNG delivery is defined on raster streams; aggregate point "
                 "results are shipped by the server session layer instead"
+            )
+        if chunk.provenance is not None:
+            self._pending_prov = (
+                chunk.provenance
+                if self._pending_prov is None
+                else self._pending_prov.merge(chunk.provenance)
             )
         image = self._collector.add(chunk)
         if image is not None:

@@ -155,12 +155,14 @@ def canonicalize(
     return visit(node)
 
 
-def estimate_plan(plan: p.PlanNode, profiles):
+def estimate_plan(plan: p.PlanNode, profiles, calibration=None):
     """Cost-estimate a canonical plan (delegates to the logical model).
 
     Estimates are defined over canonicalized plans so that two queries
-    that will share execution also share one cost figure.
+    that will share execution also share one cost figure. A fitted
+    :class:`~repro.query.calibration.CalibrationProfile` prices the plan
+    in measured wall seconds (``Estimate.seconds``).
     """
     from ..query.cost import estimate_query
 
-    return estimate_query(plan.to_ast(), profiles)
+    return estimate_query(plan.to_ast(), profiles, calibration=calibration)

@@ -33,6 +33,19 @@ def empty_stream(reason: str = "") -> GeoStream:
     return GeoStream(metadata, lambda: iter(()))
 
 
+def _stamp(op, plan: p.PlanNode):
+    """Tag a fresh operator with its plan node's identity.
+
+    The pull executor has no shared stages, but stamping the subplan
+    fingerprint lets :mod:`repro.obs.stats` account pull-path work in the
+    same per-subplan ledgers the push DAG uses.
+    """
+    op.plan_fingerprint = plan.fingerprint
+    op.plan_label = plan.describe()
+    op.plan_kind = type(plan).__name__
+    return op
+
+
 def plan_to_stream(
     plan: p.PlanNode, resolve: Callable[[str], GeoStream]
 ) -> GeoStream:
@@ -48,6 +61,6 @@ def plan_to_stream(
     if isinstance(plan, p.Compose):
         left = plan_to_stream(plan.left, resolve)
         right = plan_to_stream(plan.right, resolve)
-        return compose_streams(left, right, plan.make_operator())
+        return compose_streams(left, right, _stamp(plan.make_operator(), plan))
     child = plan_to_stream(plan.children[0], resolve)
-    return child.pipe(plan.make_operator())
+    return child.pipe(_stamp(plan.make_operator(), plan))

@@ -16,14 +16,17 @@ stages nobody else needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from time import perf_counter
 from typing import Callable, Iterable
 
 from ..core.chunk import Chunk
+from ..core.provenance import Provenance
 from ..engine.pipeline import chunk_time
 from ..errors import PlanError
 from ..faults.recovery import current_recovery
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.stats import StageStats, StatsCollector, current_collector
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 from .nodes import Compose, EmptyPlan, PlanNode, SourceScan
@@ -78,7 +81,18 @@ class Edge:
 class Stage:
     """One physical operator, shared by every query whose plan contains it."""
 
-    __slots__ = ("node", "op", "outputs", "subscribers", "_dag", "_span", "_tracer")
+    __slots__ = (
+        "node",
+        "op",
+        "outputs",
+        "subscribers",
+        "_dag",
+        "_span",
+        "_tracer",
+        "_stats",
+        "_collector",
+        "_prov",
+    )
 
     def __init__(self, node: PlanNode, op: Operator | BinaryOperator, dag: "PlanDAG") -> None:
         self.node = node
@@ -88,6 +102,12 @@ class Stage:
         self._dag = dag
         self._span: Span | None = None
         self._tracer: Tracer | None = None
+        self._stats: StageStats | None = None
+        self._collector: StatsCollector | None = None
+        # Cumulative merged provenance of everything this stage has eaten;
+        # sound for buffering operators (outputs tagged with at-least the
+        # scans that could have contributed).
+        self._prov: Provenance | None = None
 
     def _ensure_span(self, tracer: Tracer) -> Span:
         """Lazily open this stage's span, parented on a consumer stage.
@@ -117,6 +137,29 @@ class Stage:
             self.op.process_side(side, chunk) if side is not None else self.op.process(chunk)
         )
 
+    def _stats_entry(self, collector: StatsCollector) -> StageStats:
+        if self._stats is None or self._collector is not collector:
+            self._stats = collector.stage(
+                self.node.fingerprint,
+                label=self.node.describe(),
+                kind=type(self.node).__name__,
+            )
+            self._collector = collector
+        return self._stats
+
+    def _tag_outputs(self, chunk: Chunk | None, outs: list[Chunk]) -> list[Chunk]:
+        """Merge input provenance and stamp outputs with this stage's mark."""
+        if chunk is not None and chunk.provenance is not None:
+            self._prov = (
+                chunk.provenance
+                if self._prov is None
+                else self._prov.merge(chunk.provenance)
+            )
+        if self._prov is None or not outs:
+            return outs
+        tag = self._prov.with_stage(self.node.fingerprint)
+        return [dc_replace(c, provenance=tag) for c in outs]
+
     def feed(self, chunk: Chunk, side: str | None = None) -> None:
         dag = self._dag
         dag.stats.stage_executions += 1
@@ -127,22 +170,36 @@ class Stage:
                 # This one execution stands in for `overlap` per-query ones.
                 dag.stats.chunks_saved += overlap - 1
         tracer = current_tracer()
-        if tracer is None:
+        collector = current_collector()
+        if tracer is None and collector is None:
             for out in self._step(chunk, side):
                 self._emit(out)
             return
-        span = self._ensure_span(tracer)
         t0 = perf_counter()
         materialized = self._step(chunk, side)
         dt = perf_counter() - t0
-        span.record(
-            points_in=chunk.n_points,
-            points_out=sum(c.n_points for c in materialized),
-            chunks_out=len(materialized),
-            wall_s=dt,
-            stream_t=chunk_time(chunk),
-        )
-        tracer.observe_operator(self.op.name, dt)
+        points_out = sum(c.n_points for c in materialized)
+        if tracer is not None:
+            span = self._ensure_span(tracer)
+            span.record(
+                points_in=chunk.n_points,
+                points_out=points_out,
+                chunks_out=len(materialized),
+                wall_s=dt,
+                stream_t=chunk_time(chunk),
+            )
+            tracer.observe_operator(self.op.name, dt)
+        if collector is not None:
+            self._stats_entry(collector).observe(
+                points_in=chunk.n_points,
+                points_out=points_out,
+                bytes_in=chunk.nbytes,
+                bytes_out=sum(c.nbytes for c in materialized),
+                chunks_out=len(materialized),
+                wall_s=dt,
+            )
+            if collector.provenance:
+                materialized = self._tag_outputs(chunk, materialized)
         for out in materialized:
             self._emit(out)
 
@@ -160,21 +217,37 @@ class Stage:
 
     def flush(self) -> None:
         tracer = current_tracer()
-        if tracer is None:
+        collector = current_collector()
+        if tracer is None and collector is None:
             for out in self._drain():
                 self._emit(out)
             return
-        span = self._ensure_span(tracer)
         t0 = perf_counter()
         materialized = self._drain()
-        span.record(
-            points_in=0,
-            points_out=sum(c.n_points for c in materialized),
-            chunks_out=len(materialized),
-            wall_s=perf_counter() - t0,
-            chunks_in=0,
-        )
-        span.finish()
+        dt = perf_counter() - t0
+        points_out = sum(c.n_points for c in materialized)
+        if tracer is not None:
+            span = self._ensure_span(tracer)
+            span.record(
+                points_in=0,
+                points_out=points_out,
+                chunks_out=len(materialized),
+                wall_s=dt,
+                chunks_in=0,
+            )
+            span.finish()
+        if collector is not None:
+            self._stats_entry(collector).observe(
+                points_in=0,
+                points_out=points_out,
+                bytes_in=0,
+                bytes_out=sum(c.nbytes for c in materialized),
+                chunks_out=len(materialized),
+                wall_s=dt,
+                chunks_in=0,
+            )
+            if collector.provenance:
+                materialized = self._tag_outputs(None, materialized)
         for out in materialized:
             self._emit(out)
 
@@ -359,6 +432,18 @@ class PlanDAG:
         """Each distinct physical operator once, in topological order."""
         return [stage.op for stage in self.order]
 
+    def stage_fingerprints(self, root_id: int | None = None) -> set[str]:
+        """Fingerprints of the stages serving one query (or every query).
+
+        This is exactly the set a delivered frame's provenance tag should
+        list after a full run under a stats collector.
+        """
+        return {
+            stage.node.fingerprint
+            for stage in self.order
+            if root_id is None or root_id in stage.subscribers
+        }
+
     # -- introspection -------------------------------------------------------------
 
     def render(self) -> str:
@@ -384,6 +469,7 @@ class PlanDAG:
             targets = ", ".join(edge_text(e) for e in stage.outputs) or "-"
             lines.append(
                 f"  {labels[id(stage)]}: {stage.node.describe()}"
+                f"  #{stage.node.fingerprint}"
                 f"  subscribers=[{subs}] -> {targets}"
             )
         return "\n".join(lines)

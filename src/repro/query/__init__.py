@@ -2,6 +2,7 @@
 
 from . import ast
 from .builder import Q, QueryBuilder
+from .calibration import CalibrationProfile, CalibrationSample
 from .cost import Estimate, NodeCost, StreamProfile, estimate_query
 from .optimizer import OptimizeResult, infer_crs, optimize
 from .parser import parse_query, resolve_crs
@@ -21,4 +22,6 @@ __all__ = [
     "StreamProfile",
     "Estimate",
     "NodeCost",
+    "CalibrationProfile",
+    "CalibrationSample",
 ]

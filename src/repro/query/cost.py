@@ -72,6 +72,9 @@ class Estimate:
     work: float
     buffer: float  # total buffered points across operators so far
     max_op_buffer: float
+    # Predicted wall seconds per frame; only set when a CalibrationProfile
+    # was supplied (work is otherwise a unitless point-touch count).
+    seconds: float | None = None
 
     def charged(self, work: float = 0.0, op_buffer: float = 0.0) -> "Estimate":
         return replace(
@@ -113,9 +116,16 @@ def _spatial_selectivity(bbox: BoundingBox | None, region_bbox: BoundingBox, crs
 
 
 def estimate_query(
-    node: q.QueryNode, profiles: Mapping[str, StreamProfile]
+    node: q.QueryNode,
+    profiles: Mapping[str, StreamProfile],
+    calibration=None,
 ) -> tuple[Estimate, list[NodeCost]]:
-    """Estimate per-frame cost of a query tree bottom-up."""
+    """Estimate per-frame cost of a query tree bottom-up.
+
+    With a :class:`~repro.query.calibration.CalibrationProfile` the
+    returned estimate also carries ``seconds`` — the work units priced by
+    measured per-operator-kind coefficients.
+    """
     breakdown: list[NodeCost] = []
 
     def visit(n: q.QueryNode) -> Estimate:
@@ -259,4 +269,6 @@ def estimate_query(
         raise PlanError(f"cost model does not know node type {type(n).__name__}")
 
     total = visit(node)
+    if calibration is not None:
+        total = replace(total, seconds=calibration.cost_seconds(breakdown))
     return total, breakdown

@@ -12,7 +12,10 @@ contribute to — the architecture of Section 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as dc_replace
+
 from ..core.chunk import Chunk, GridChunk
+from ..core.provenance import Provenance
 from ..engine.pipeline import chunk_time
 from ..engine.scheduler import merge_sources
 from ..errors import GeoStreamsError, RegionError, ServerError
@@ -22,10 +25,13 @@ from ..index.base import RegionIndex
 from ..index.cascade_tree import CascadeTree
 from ..index.naive import NaiveRegionIndex
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.slo import SLOMonitor, SLOPolicy
+from ..obs.stats import StatsCollector, current_collector
 from ..operators.base import Operator
-from ..plan import PlanDAG, PlanNode, Stage, canonicalize
+from ..plan import PlanDAG, PlanNode, Stage, canonicalize, estimate_plan
 from ..plan import source_ids as plan_source_ids
 from ..query import ast as q
+from ..query.calibration import CalibrationSample, kind_of
 from ..query.optimizer import optimize
 from ..query.parser import parse_query
 from .catalog import StreamCatalog
@@ -151,6 +157,7 @@ class DSMSServer:
         ingest_shedder: Operator | None = None,
         recovery: RecoveryContext | None = None,
         share_subplans: bool = True,
+        slo: SLOPolicy | None = None,
     ) -> None:
         self.catalog = catalog
         self.optimize_queries = optimize_queries
@@ -177,6 +184,13 @@ class DSMSServer:
         self._next_reg_id = 1
         self._now = 0.0  # stream-time clock: measured time of the latest chunk
         self.router_stats = RouterStats()
+        # Optional delivery-lag SLO: per-query watermarks, repro_slo_*
+        # metrics, breach callbacks, and shedding escalation.
+        self.slo_monitor = SLOMonitor(slo) if slo is not None else None
+
+    def set_slo(self, policy: SLOPolicy | None) -> None:
+        """Install (or clear) the delivery-lag SLO for subsequent runs."""
+        self.slo_monitor = SLOMonitor(policy) if policy is not None else None
 
     # -- registration ------------------------------------------------------------
 
@@ -373,6 +387,222 @@ class DSMSServer:
         """Render the shared operator DAG (CLI ``--explain``)."""
         return self.plan_dag.render()
 
+    # -- SLO monitoring ---------------------------------------------------------
+
+    def _observe_slo(
+        self,
+        monitor: SLOMonitor,
+        seen: dict[int, int],
+        last_clock: dict[int, float],
+        clock_now: float | None,
+    ) -> None:
+        """Update every query's lag picture after one scanned chunk.
+
+        Breach edges drive the same shedding valve the stall detector
+        uses: escalate on breach, relax once the monitor's hysteresis
+        declares the query healthy again.
+        """
+        shedder = self.ingest_shedder
+        for rid, reg in self._registrations.items():
+            delivered = sum(len(s.frames) + len(s.records) for s in reg.sessions)
+            clock_lag = None
+            if clock_now is not None:
+                if delivered > seen.get(rid, 0):
+                    last_clock[rid] = clock_now
+                seen[rid] = delivered
+                clock_lag = clock_now - last_clock.get(rid, clock_now)
+            watermarks = [
+                s.watermark for s in reg.sessions if s.watermark > float("-inf")
+            ]
+            was_breached = monitor.is_breached(rid)
+            monitor.observe(
+                rid,
+                watermark=max(watermarks) if watermarks else None,
+                stream_t=self._now,
+                clock_lag_s=clock_lag,
+            )
+            if shedder is None or not monitor.policy.escalate_shedding:
+                continue
+            now_breached = monitor.is_breached(rid)
+            if now_breached and not was_breached and hasattr(shedder, "escalate"):
+                shedder.escalate()
+            elif was_breached and not now_breached and hasattr(shedder, "relax"):
+                shedder.relax()
+
+    # -- EXPLAIN ANALYZE --------------------------------------------------------
+
+    def _stage_own_work(self, profiles) -> dict[str, float | None]:
+        """Per-frame estimated work of each stage's *own* operator.
+
+        ``estimate_plan`` prices whole subplans; subtracting the direct
+        children's totals isolates the stage itself, matching how
+        observed statistics are kept (one ledger per physical stage).
+        """
+        totals: dict[str, float | None] = {}
+
+        def total(node: PlanNode) -> float | None:
+            fp = node.fingerprint
+            if fp not in totals:
+                try:
+                    est, _ = estimate_plan(node, profiles)
+                    totals[fp] = est.work
+                except GeoStreamsError:
+                    totals[fp] = None
+            return totals[fp]
+
+        own: dict[str, float | None] = {}
+        for stage in self.plan_dag.order:
+            node = stage.node
+            whole = total(node)
+            if whole is None:
+                own[node.fingerprint] = None
+                continue
+            children = [total(c) for c in node.children]
+            if any(c is None for c in children):
+                own[node.fingerprint] = None
+            else:
+                own[node.fingerprint] = max(0.0, whole - sum(children))
+        return own
+
+    def _stage_frames(self, node: PlanNode, collector: StatsCollector) -> int:
+        """Frames of input this stage's subplan saw during the run."""
+        frames = [
+            collector.frames_scanned.get(sid, 0) for sid in plan_source_ids(node)
+        ]
+        return max(frames) if frames else 0
+
+    def calibration_samples(
+        self, collector: StatsCollector | None = None
+    ) -> list[CalibrationSample]:
+        """(kind, estimated work units, observed wall seconds) per stage.
+
+        Feed these to :meth:`CalibrationProfile.fit` to turn one observed
+        run into per-operator-kind cost coefficients.
+        """
+        collector = collector if collector is not None else current_collector()
+        if collector is None:
+            raise ServerError(
+                "calibration needs observed stage statistics; run under "
+                "obs.observe(stats=True) first"
+            )
+        profiles = self.catalog.profiles()
+        own = self._stage_own_work(profiles)
+        samples: list[CalibrationSample] = []
+        for stage in self.plan_dag.order:
+            fp = stage.node.fingerprint
+            st = collector.get(fp)
+            work = own.get(fp)
+            if st is None or work is None or work <= 0:
+                continue
+            frames = self._stage_frames(stage.node, collector)
+            if frames <= 0:
+                continue
+            samples.append(
+                CalibrationSample(
+                    kind=kind_of(stage.node),
+                    work_units=work * frames,
+                    wall_s=st.wall_s,
+                )
+            )
+        return samples
+
+    def explain_analyze(
+        self,
+        collector: StatsCollector | None = None,
+        calibration=None,
+        flag_ratio: float = 3.0,
+    ) -> str:
+        """Render the DAG annotated with observed vs estimated cost.
+
+        ``collector`` defaults to the installed stats collector (an
+        ``obs.observe(stats=True)`` run must precede this call).
+        Estimates are priced in seconds through ``calibration`` (the
+        uncalibrated seed profile when omitted); stages whose prediction
+        is off by more than ``flag_ratio`` in either direction are
+        flagged.
+        """
+        from ..query.calibration import CalibrationProfile
+
+        collector = collector if collector is not None else current_collector()
+        if collector is None:
+            raise ServerError(
+                "explain_analyze needs observed stage statistics; run under "
+                "obs.observe(stats=True) first"
+            )
+        if calibration is None:
+            calibration = CalibrationProfile.uncalibrated()
+        if flag_ratio <= 1.0:
+            raise ServerError("flag_ratio must be > 1")
+        profiles = self.catalog.profiles()
+        own = self._stage_own_work(profiles)
+
+        def ms(v: float | None) -> str:
+            return f"{v * 1e3:.3f} ms" if v is not None else "n/a"
+
+        lines = [
+            f"EXPLAIN ANALYZE — shared plan DAG: {self.plan_dag.stages_total} stages "
+            f"({self.plan_dag.stages_shared} shared), "
+            f"{len(self._registrations)} queries, "
+            f"sources: {', '.join(self.plan_dag.source_ids) or '-'}"
+        ]
+        for sid in self.plan_dag.source_ids:
+            lines.append(
+                f"  source {sid}: {collector.scans.get(sid, 0)} chunks, "
+                f"{collector.frames_scanned.get(sid, 0)} frames scanned"
+            )
+        flagged = 0
+        errors: list[float] = []
+        for i, stage in enumerate(self.plan_dag.order):
+            node = stage.node
+            fp = node.fingerprint
+            subs = ",".join(str(r) for r in sorted(stage.subscribers))
+            lines.append(f"  s{i}: {node.describe()}  #{fp}  subscribers=[{subs}]")
+            st = collector.get(fp)
+            if st is None or st.calls == 0:
+                lines.append("      observed: (stage never executed)")
+                continue
+            sel = st.selectivity
+            sel_text = f" | selectivity {sel:.3f}" if sel is not None else ""
+            lines.append(
+                f"      observed: {st.chunks_in} -> {st.chunks_out} chunks | "
+                f"{st.points_in} -> {st.points_out} rows | "
+                f"{st.bytes_in} -> {st.bytes_out} bytes{sel_text}"
+            )
+            lines.append(
+                f"                wall {ms(st.wall_s)} | per-chunk p50 {ms(st.p50)} "
+                f"p95 {ms(st.p95)} p99 {ms(st.p99)}"
+            )
+            work = own.get(fp)
+            frames = self._stage_frames(node, collector)
+            if work is None or frames <= 0:
+                lines.append("      estimated: n/a (no stream profile)")
+                continue
+            units = work * frames
+            pred_s = calibration.seconds(kind_of(node), units)
+            coef = calibration.coefficient(kind_of(node))
+            lines.append(
+                f"      estimated: {work:.0f} work units/frame x {frames} frames "
+                f"= {units:.0f} units -> {ms(pred_s)} "
+                f"(coef {coef:.3e} s/unit)"
+            )
+            if pred_s > 0 and st.wall_s > 0:
+                ratio = max(pred_s / st.wall_s, st.wall_s / pred_s)
+                errors.append(abs(pred_s - st.wall_s) / st.wall_s)
+                flag = ratio > flag_ratio
+                flagged += flag
+                lines.append(
+                    f"      est/obs ratio: {pred_s / st.wall_s:.2f}x"
+                    + (f"  ** off by more than {flag_ratio:g}x **" if flag else "")
+                )
+        if errors:
+            mean_err = sum(errors) / len(errors)
+            lines.append(
+                f"summary: mean relative cost-estimation error {mean_err:.2f} "
+                f"across {len(errors)} stages; {flagged} stage(s) flagged "
+                f"(> {flag_ratio:g}x off)"
+            )
+        return "\n".join(lines)
+
     def operator_reports(self):
         """OperatorReports for every physical stage of the shared DAG.
 
@@ -417,6 +647,11 @@ class DSMSServer:
             registry = get_registry()
             registry.gauge("dsms_registered_networks").set(len(self._registrations))
             registry.gauge("dsms_active_sessions").set(len(self.active_sessions()))
+            # Pre-register per-session instruments so sessions that never
+            # deliver still export zero-valued gauges/histograms (lag
+            # dashboards would otherwise show gaps for pruned queries).
+            for session in self.active_sessions():
+                session._obs_handles()
             registry.gauge("repro_plan_stages_total").set(self.plan_dag.stages_total)
             registry.gauge("repro_plan_stages_shared").set(self.plan_dag.stages_shared)
             for sid, router in self._routers.items():
@@ -436,13 +671,26 @@ class DSMSServer:
                 per_query,
             )
         ctx = self._recovery_ctx()
+        # Stage statistics / provenance are opt-in: one None check per run
+        # plus one per chunk when a collector is installed.
+        collector = current_collector()
+        monitor = self.slo_monitor
+        slo_seen: dict[int, int] = {}
+        slo_clock: dict[int, float] = {}
         # Stall detection: the fault clock advances only when a source
         # sleeps, so a large jump between consecutive chunks is a stalled
         # downlink. Under sustained stall the ingest shedder escalates.
         clock_last = ctx.clock.now() if ctx is not None else 0.0
+        if monitor is not None:
+            for rid, reg in self._registrations.items():
+                slo_seen[rid] = sum(
+                    len(s.frames) + len(s.records) for s in reg.sessions
+                )
+                slo_clock[rid] = clock_last
         healthy_streak = 0
         escalated = False
         count = 0
+        clock_now = clock_last
         for stream_id, chunk in merge_sources(sources):
             if max_chunks is not None and count >= max_chunks:
                 break
@@ -471,6 +719,15 @@ class DSMSServer:
                 (chunk,) = kept
             self.router_stats.chunks_scanned += 1
             self._now = chunk_time(chunk)
+            if collector is not None:
+                ordinal = collector.note_scan(
+                    stream_id,
+                    chunk.last_in_frame if isinstance(chunk, GridChunk) else True,
+                )
+                if collector.provenance:
+                    chunk = dc_replace(
+                        chunk, provenance=Provenance.scan(stream_id, ordinal)
+                    )
             router = self._routers.get(stream_id)
             always = self._always.get(stream_id, set())
             matched: set[int] = set(always)
@@ -505,6 +762,13 @@ class DSMSServer:
                         chunk, reason="network-error",
                         stage=f"network:{stream_id}", error=exc,
                     )
+            if monitor is not None:
+                self._observe_slo(
+                    monitor,
+                    slo_seen,
+                    slo_clock,
+                    clock_now if ctx is not None else None,
+                )
             self.router_stats.pairs_routed += routed
             self.router_stats.pairs_skipped += skipped
             if obs is not None:

@@ -78,6 +78,9 @@ class ClientSession:
         # the frame completed. Buffering operators (compositions under
         # sequential band scans, stretches, warps) show up here directly.
         self.latencies: list[float] = []
+        # Event-time watermark: newest frame/record time delivered so far.
+        # SLO monitoring compares it against the server's stream clock.
+        self.watermark = float("-inf")
         self._clock = None
         self._obs = None  # lazily-fetched registry handles (see _obs_handles)
         # Checkpoint/restore: everything at or before these stream times was
@@ -141,6 +144,8 @@ class ClientSession:
                         sector=chunk.sector,
                     )
                 )
+            if chunk.n_points:
+                self.watermark = max(self.watermark, float(np.max(chunk.t)))
             return
         # Delivery passes chunks through; we only want its PNG side effect.
         before = len(self.frames)
@@ -149,6 +154,8 @@ class ClientSession:
         self._note_latencies(before)
 
     def _note_latencies(self, before: int) -> None:
+        for frame in self.frames[before:]:
+            self.watermark = max(self.watermark, frame.image.t)
         if self._clock is None:
             return
         now = self._clock()

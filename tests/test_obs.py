@@ -384,3 +384,120 @@ class TestCLISnapshots:
     def test_metrics_self_test(self, capsys):
         assert main(["metrics", "--self-test"]) == 0
         assert "self-test: ok" in capsys.readouterr().out
+
+
+class TestHistogramQuantiles:
+    def test_interpolated_within_observed_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 6.0, 7.0):
+            h.observe(v)
+        for q in (0.1, 0.5, 0.95, 0.99):
+            est = h.quantile(q)
+            assert est is not None and 0.5 <= est <= 7.0
+
+    def test_quantiles_are_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0, 100.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0, 500.0, 42.0, 0.2):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+    def test_overflow_bucket_resolves_to_observed_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        for v in (0.5, 30.0, 99.0):
+            h.observe(v)
+        assert h.quantile(0.99) == 99.0
+
+    def test_extremes_and_empty(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+        h.observe(0.25)
+        h.observe(1.75)
+        assert h.quantile(0.0) == 0.25
+        assert h.quantile(1.0) == 1.75
+        with pytest.raises(ObservabilityError):
+            h.quantile(-0.1)
+
+    def test_snapshot_and_prometheus_render_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lag_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        snap = h.snapshot()
+        assert {"p50", "p95", "p99"} <= set(snap)
+        text = obs.to_prometheus(reg)
+        assert 'lag_seconds{quantile="0.5"}' in text
+        assert 'lag_seconds{quantile="0.95"}' in text
+        assert 'lag_seconds{quantile="0.99"}' in text
+        # Companion series come after the canonical histogram lines.
+        assert text.index("lag_seconds_count") < text.index('quantile="0.5"')
+
+    def test_format_report_appends_quantile_section(self, small_imager):
+        from repro.engine import format_report
+
+        with obs.observe(trace=True) as ob:
+            small_imager.stream("vis").pipe(Rescale(2.0)).count_points()
+            ob.registry.histogram("lag_seconds", buckets=(1.0,)).observe(0.5)
+            reports = []
+        plain = format_report(reports)
+        assert "histogram quantiles" not in plain
+        rich = format_report(reports, ob.registry)
+        assert "histogram quantiles" in rich
+        assert "lag_seconds" in rich and "p95" in rich
+
+
+class TestExporterEdgeCases:
+    def test_label_escaping_all_specials_and_multiple_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", a="x\\", b='"', c="line1\nline2").inc()
+        text = obs.to_prometheus(reg)
+        assert r'a="x\\"' in text
+        assert r'b="\""' in text
+        assert r'c="line1\nline2"' in text
+        # No raw newline may survive inside a label value.
+        for line in text.splitlines():
+            assert "line2" not in line or r"\n" in line
+
+    def test_label_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", **{"weird-key.name": "v"}).inc()
+        assert 'weird_key_name="v"' in obs.to_prometheus(reg)
+
+    def test_cumulative_bucket_counts_are_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 0.5, 1.0, 5.0, 10.0))
+        for i in range(200):
+            h.observe((i % 23) * 0.6)
+        cumulative = h.cumulative()
+        counts = [c for _, c in cumulative]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        assert counts[-1] == h.count
+        # The rendered exposition preserves the same monotone ladder.
+        text = obs.to_prometheus(reg)
+        rendered = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_bucket")
+        ]
+        assert rendered == counts
+
+
+class TestSelfTestExitCodes:
+    def test_success_exit_zero(self, capsys):
+        assert main(["metrics", "--self-test"]) == 0
+        assert "self-test: ok" in capsys.readouterr().out
+
+    def test_failure_exit_one(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def broken() -> None:
+            raise AssertionError("forced invariant failure")
+
+        monkeypatch.setattr(cli, "_metrics_self_test_body", broken)
+        assert main(["metrics", "--self-test"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "forced invariant failure" in err
