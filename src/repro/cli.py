@@ -363,6 +363,73 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced demo scan and render frame waterfalls.
+
+    Registers ``query`` on the DSMS with a frame tracer + flight recorder
+    installed, runs the scan, and prints the ASCII waterfall of the most
+    recent (or pinned) frame traces. ``--export-chrome`` /
+    ``--export-otlp`` additionally write the rendered traces as Chrome
+    trace-event JSON / OTLP-shaped JSON.
+    """
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    catalog, fctx, finj = _maybe_harden(catalog, args)
+    with obs.observe(stats=True):
+        ftracer = obs.enable_frame_tracing(
+            sample_rate=args.sample_rate, capacity=args.keep
+        )
+        try:
+            slo = obs.SLOPolicy(max_lag_s=args.slo) if args.slo is not None else None
+            server = DSMSServer(catalog, recovery=fctx, slo=slo)
+            session = server.register(args.query)
+            with _fault_scope(fctx):
+                server.run()
+            if args.pinned_only:
+                traces = list(ftracer.recorder.pinned)
+            else:
+                traces = server.recent_traces(session)[-args.last :]
+                traces += [
+                    t for t in ftracer.recorder.pinned if t not in traces
+                ]
+            if not traces:
+                print(
+                    "no frame traces recorded"
+                    + (" (no pinned traces)" if args.pinned_only else "")
+                    + f"; sample rate was {args.sample_rate:g}"
+                )
+                return 1
+            for trace in traces:
+                print(obs.render_waterfall(trace))
+                print()
+            print(
+                f"flight recorder: {ftracer.recorder.recorded} recorded, "
+                f"{ftracer.recorder.evictions} evicted, "
+                f"{len(ftracer.recorder.pinned)} pinned; "
+                f"{ftracer.chunks_traced} chunks traced, "
+                f"{ftracer.chunks_sampled_out} sampled out"
+            )
+            if args.export_chrome is not None:
+                doc = obs.traces_to_chrome(traces)
+                pathlib.Path(args.export_chrome).write_text(
+                    json.dumps(doc, indent=1), encoding="utf-8"
+                )
+                print(
+                    f"wrote {len(doc['traceEvents'])} Chrome trace events "
+                    f"to {args.export_chrome} (open in chrome://tracing)"
+                )
+            if args.export_otlp is not None:
+                doc = obs.traces_to_otlp(traces)
+                pathlib.Path(args.export_otlp).write_text(
+                    json.dumps(doc, indent=1), encoding="utf-8"
+                )
+                print(f"wrote {len(traces)} OTLP resource spans to {args.export_otlp}")
+        finally:
+            obs.disable_frame_tracing()
+    if finj is not None:
+        _print_fault_summary(finj, fctx)
+    return 0
+
+
 def _metrics_self_test() -> int:
     """Exercise the observability layer's invariants end to end.
 
@@ -374,7 +441,10 @@ def _metrics_self_test() -> int:
     except AssertionError as exc:
         print(f"metrics self-test: FAILED ({exc})", file=sys.stderr)
         return 1
-    print("metrics self-test: ok (registry, histograms, escaping, spans, zero-cost)")
+    print(
+        "metrics self-test: ok (registry, histograms, escaping, spans, "
+        "frame traces, flight recorder, zero-cost)"
+    )
     return 0
 
 
@@ -427,9 +497,45 @@ def _metrics_self_test_body() -> None:
         "prometheus quantile series"
     )
 
+    # Frame tracer + flight recorder invariants: every delivered frame of
+    # a fully-sampled run carries a complete trace (its stage hops exactly
+    # match the query's plan-DAG stages), and the recorder never grows
+    # past its bound (a capacity-1 ring must evict, not accumulate).
+    _, catalog = build_demo_catalog(n_frames=2, width=32, height=16)
+    ftracer = obs.enable_frame_tracing(capacity=1)
+    try:
+        server = DSMSServer(catalog)
+        session = server.register("reflectance(goes.vis)")
+        server.run()
+        traces = session.frame_traces()
+        assert traces and all(t is not None for t in traces), "frames missing traces"
+        rid = server._session_to_reg[session.session_id]
+        dag_fps = set(server.plan_dag.stage_fingerprints(rid))
+        for trace in traces:
+            assert trace.stage_fingerprints() == dag_fps, "trace/DAG stage mismatch"
+            assert trace.hop_by_key("delivery") is not None, "trace missing delivery"
+        assert ftracer.recorder.within_bounds(), "flight recorder exceeded its bound"
+        assert ftracer.recorder.evictions >= 1, "capacity-1 ring never evicted"
+        assert len(server.recent_traces(session)) == 1, "ring kept more than capacity"
+    finally:
+        obs.disable_frame_tracing()
+
+    # Sampling: rate 0.0 must trace nothing (and record nothing).
+    ftracer = obs.enable_frame_tracing(sample_rate=0.0)
+    try:
+        server = DSMSServer(catalog)
+        session = server.register("reflectance(goes.vis)")
+        server.run()
+        assert all(t is None for t in session.frame_traces()), "rate-0 run traced"
+        assert ftracer.recorder.recorded == 0, "rate-0 run recorded traces"
+        assert ftracer.chunks_sampled_out > 0, "rate-0 run saw no chunks"
+    finally:
+        obs.disable_frame_tracing()
+
     obs.get_registry().reset()
     imager.stream("vis").pipe(Rescale(2.0)).count_points()
     assert len(obs.get_registry()) == 0, "disabled runs must not touch the registry"
+    assert obs.current_frame_tracer() is None, "frame tracer leaked out of self-test"
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -538,6 +644,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(p)
     _add_faults(p)
     p.set_defaults(func=cmd_serve_demo)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one query traced and render delivered-frame waterfalls "
+             "(see docs/observability.md)",
+    )
+    p.add_argument(
+        "query", nargs="?", default="reflectance(goes.vis)",
+        help="query text (default: reflectance(goes.vis))",
+    )
+    p.add_argument(
+        "--sample-rate", type=float, default=1.0, metavar="RATE",
+        help="head-sampling rate 0..1 (breached queries are always traced)",
+    )
+    p.add_argument(
+        "--last", type=int, default=1, metavar="N",
+        help="render the N most recent frame traces (default 1)",
+    )
+    p.add_argument(
+        "--keep", type=int, default=16, metavar="N",
+        help="flight recorder ring capacity per query (default 16)",
+    )
+    p.add_argument(
+        "--pinned-only", action="store_true",
+        help="render only auto-pinned traces (SLO breaches, faults, dead letters)",
+    )
+    p.add_argument(
+        "--slo", type=float, default=None, metavar="MAX_LAG_S",
+        help="install a delivery-lag SLO; breaches auto-pin the breaching frame",
+    )
+    p.add_argument(
+        "--export-chrome", default=None, metavar="PATH",
+        help="write the rendered traces as Chrome trace-event JSON",
+    )
+    p.add_argument(
+        "--export-otlp", default=None, metavar="PATH",
+        help="write the rendered traces as OTLP-shaped JSON",
+    )
+    _add_common(p)
+    _add_faults(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "metrics", help="run the demo workload observed and export its metrics"

@@ -18,7 +18,7 @@ Chunks are immutable; operators derive new chunks with ``with_values`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from ..geo.crs import CRS
 from .lattice import GridLattice
 from .metadata import FrameInfo
 from .provenance import Provenance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (core never imports obs)
+    from ..obs.trace import TraceContext
 
 __all__ = ["GridChunk", "PointChunk", "Chunk", "TimestampPolicy"]
 
@@ -58,6 +61,9 @@ class GridChunk:
     # Lineage tag (opt-in, attached only under a stats collector); excluded
     # from equality so tagged and untagged chunks still compare equal.
     provenance: Provenance | None = field(default=None, compare=False, repr=False)
+    # Per-frame trace context (opt-in, attached only under a frame tracer);
+    # same equality exclusion as provenance.
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values)
@@ -159,6 +165,7 @@ class PointChunk:
     crs: CRS
     sector: int | None = None
     provenance: Provenance | None = field(default=None, compare=False, repr=False)
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         x = np.asarray(self.x, dtype=float)

@@ -27,6 +27,7 @@ from ..core.stream import GeoStream
 from ..errors import StreamError
 from ..faults.recovery import current_recovery
 from ..obs.stats import StatsCollector, current_collector
+from ..obs.trace import FrameTracer, current_frame_tracer
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 
@@ -66,11 +67,71 @@ def chunk_time(chunk: Chunk) -> float:
     return float(chunk.t[0]) if chunk.t.size else math.inf
 
 
+class _FrameHopper:
+    """Per-operator frame-trace hop recorder for the pull executor.
+
+    Pull operators reuse the stats ledger key (``plan_fingerprint`` when
+    the lowering stamped one, else ``pull:<name>``) so a hop in a frame
+    trace cross-references the same per-subplan exemplar.
+    """
+
+    __slots__ = ("ftr", "key", "label", "kind", "pending")
+
+    def __init__(self, ftr: FrameTracer, op: "Operator | BinaryOperator") -> None:
+        fp = getattr(op, "plan_fingerprint", None)
+        self.ftr = ftr
+        self.key = fp or f"pull:{op.name}"
+        self.kind = "stage" if fp else "pull"
+        self.label = getattr(op, "plan_label", "") or op.name
+        self.pending: list = []
+
+    def observe(
+        self, chunk: Chunk | None, outs: list[Chunk], t0: float, t1: float
+    ) -> list[Chunk]:
+        tctx = chunk.trace if chunk is not None else None
+        if tctx is not None:
+            self.ftr.record_hop(
+                tctx,
+                key=self.key,
+                label=self.label,
+                kind=self.kind,
+                t0=t0,
+                t1=t1,
+                points_in=chunk.n_points,
+                points_out=sum(c.n_points for c in outs),
+                chunks_out=len(outs),
+            )
+        elif chunk is None and self.pending:
+            # Flush of a buffering operator: account it against the
+            # oldest buffered context (queue wait = time spent held).
+            self.ftr.record_hop(
+                self.pending[0],
+                key=self.key,
+                label=self.label,
+                kind=self.kind,
+                t0=t0,
+                t1=t1,
+                points_in=0,
+                points_out=sum(c.n_points for c in outs),
+                chunks_out=len(outs),
+            )
+        if outs:
+            ctxs = self.pending + ([tctx] if tctx is not None else [])
+            if ctxs:
+                out_ctx = self.ftr.output_ctx(ctxs, self.key)
+                outs = [dc_replace(c, trace=out_ctx) for c in outs]
+                self.pending = []
+        elif tctx is not None:
+            self.pending.append(tctx)
+        return outs
+
+
 def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
     ctx = current_recovery()
     collector = current_collector()
-    if collector is not None:
-        yield from _stats_feed(chunks, op, collector, ctx)
+    ftr = current_frame_tracer()
+    if collector is not None or ftr is not None:
+        yield from _stats_feed(chunks, op, collector, ctx, ftr)
         return
     if ctx is None:
         for chunk in chunks:
@@ -85,54 +146,73 @@ def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
 
 
 def _stats_feed(
-    chunks: Iterable[Chunk], op: Operator, collector: StatsCollector, ctx
+    chunks: Iterable[Chunk],
+    op: Operator,
+    collector: StatsCollector | None,
+    ctx,
+    ftr: FrameTracer | None = None,
 ) -> Iterator[Chunk]:
-    """Stats-collecting variant of ``_feed`` for the pull executor.
+    """Stats/trace-collecting variant of ``_feed`` for the pull executor.
 
     Pull pipelines have no shared stages, but the plan lowering stamps
     each operator with its plan node's fingerprint/kind, so observed
     statistics land in the same per-subplan ledgers the push DAG uses.
-    Provenance tags, when present on inputs, are merged and re-stamped.
+    Provenance tags, when present on inputs, are merged and re-stamped;
+    a frame tracer, when installed, gets one hop per processing call.
     """
-    entry = collector.stage(
-        getattr(op, "plan_fingerprint", None) or f"pull:{op.name}",
-        label=getattr(op, "plan_label", "") or op.name,
-        kind=getattr(op, "plan_kind", "") or type(op).__name__,
-    )
+    entry = None
+    if collector is not None:
+        entry = collector.stage(
+            getattr(op, "plan_fingerprint", None) or f"pull:{op.name}",
+            label=getattr(op, "plan_label", "") or op.name,
+            kind=getattr(op, "plan_kind", "") or type(op).__name__,
+        )
+    hopper = _FrameHopper(ftr, op) if ftr is not None else None
     prov = None
 
-    def finish(chunk: Chunk | None, outs: list[Chunk], dt: float) -> list[Chunk]:
+    def finish(
+        chunk: Chunk | None, outs: list[Chunk], t0: float, t1: float
+    ) -> list[Chunk]:
         nonlocal prov
-        entry.observe(
-            points_in=chunk.n_points if chunk is not None else 0,
-            points_out=sum(c.n_points for c in outs),
-            bytes_in=chunk.nbytes if chunk is not None else 0,
-            bytes_out=sum(c.nbytes for c in outs),
-            chunks_out=len(outs),
-            wall_s=dt,
-            chunks_in=1 if chunk is not None else 0,
-        )
-        if collector.provenance:
-            if chunk is not None and chunk.provenance is not None:
-                prov = (
-                    chunk.provenance if prov is None else prov.merge(chunk.provenance)
-                )
-            if prov is not None and outs:
-                tag = prov.with_stage(entry.fingerprint)
-                outs = [dc_replace(c, provenance=tag) for c in outs]
+        if entry is not None:
+            entry.observe(
+                points_in=chunk.n_points if chunk is not None else 0,
+                points_out=sum(c.n_points for c in outs),
+                bytes_in=chunk.nbytes if chunk is not None else 0,
+                bytes_out=sum(c.nbytes for c in outs),
+                chunks_out=len(outs),
+                wall_s=t1 - t0,
+                chunks_in=1 if chunk is not None else 0,
+            )
+            if collector.provenance:
+                if chunk is not None and chunk.provenance is not None:
+                    prov = (
+                        chunk.provenance
+                        if prov is None
+                        else prov.merge(chunk.provenance)
+                    )
+                if prov is not None and outs:
+                    tag = prov.with_stage(entry.fingerprint)
+                    outs = [dc_replace(c, provenance=tag) for c in outs]
+        if hopper is not None:
+            outs = hopper.observe(chunk, outs, t0, t1)
         return outs
 
     for chunk in chunks:
         t0 = perf_counter()
         outs = list(op.process(chunk)) if ctx is None else ctx.guard(op, chunk)
-        yield from finish(chunk, outs, perf_counter() - t0)
+        yield from finish(chunk, outs, t0, perf_counter())
     t0 = perf_counter()
     outs = list(op.flush()) if ctx is None else ctx.guard_flush(op)
-    yield from finish(None, outs, perf_counter() - t0)
+    yield from finish(None, outs, t0, perf_counter())
 
 
 def _traced_feed(
-    chunks: Iterable[Chunk], op: Operator, span: Span, tracer: Tracer
+    chunks: Iterable[Chunk],
+    op: Operator,
+    span: Span,
+    tracer: Tracer,
+    ftr: FrameTracer | None = None,
 ) -> Iterator[Chunk]:
     """Traced variant of ``_feed``: per-chunk wall clock into ``span``.
 
@@ -141,10 +221,12 @@ def _traced_feed(
     consumers pulling on the generator.
     """
     ctx = current_recovery()
+    hopper = _FrameHopper(ftr, op) if ftr is not None else None
     for chunk in chunks:
         t0 = perf_counter()
         outs = list(op.process(chunk)) if ctx is None else ctx.guard(op, chunk)
-        dt = perf_counter() - t0
+        t1 = perf_counter()
+        dt = t1 - t0
         span.record(
             points_in=chunk.n_points,
             points_out=sum(c.n_points for c in outs),
@@ -153,17 +235,22 @@ def _traced_feed(
             stream_t=chunk_time(chunk),
         )
         tracer.observe_operator(op.name, dt)
+        if hopper is not None:
+            outs = hopper.observe(chunk, outs, t0, t1)
         yield from outs
     t0 = perf_counter()
     outs = list(op.flush()) if ctx is None else ctx.guard_flush(op)
+    t1 = perf_counter()
     span.record(
         points_in=0,
         points_out=sum(c.n_points for c in outs),
         chunks_out=len(outs),
-        wall_s=perf_counter() - t0,
+        wall_s=t1 - t0,
         chunks_in=0,
     )
     span.finish()
+    if hopper is not None:
+        outs = hopper.observe(None, outs, t0, t1)
     yield from outs
 
 
@@ -194,10 +281,11 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
         else:
             # Parent spans follow dataflow: each operator's span hangs off
             # the one feeding it, rooted at the upstream stream's tail span.
+            ftr = current_frame_tracer()
             parent = tracer.span_for_stream(stream)
             for op in operators:
                 span = tracer.begin_operator(op, parent=parent)
-                it = _traced_feed(it, op, span, tracer)
+                it = _traced_feed(it, op, span, tracer, ftr)
                 parent = span
             if parent is not None:
                 tracer.bind_stream(result, parent)
@@ -244,8 +332,8 @@ def compose_streams(
         )
         tracer.bind_stream(result, span)
         return _epoch_guard(
-            _traced_merge(li, ri, operator, span, tracer), state, epoch,
-            metadata.stream_id,
+            _traced_merge(li, ri, operator, span, tracer, current_frame_tracer()),
+            state, epoch, metadata.stream_id,
         )
 
     result = GeoStream(metadata, source)
@@ -259,6 +347,7 @@ def _merge(
 ) -> Iterator[Chunk]:
     ctx = current_recovery()
     collector = current_collector()
+    ftr = current_frame_tracer()
     entry = None
     prov = None
     if collector is not None:
@@ -267,30 +356,38 @@ def _merge(
             label=getattr(operator, "plan_label", "") or operator.name,
             kind=getattr(operator, "plan_kind", "") or type(operator).__name__,
         )
+    hopper = _FrameHopper(ftr, operator) if ftr is not None else None
 
-    def observe(chunk: Chunk | None, outs: list[Chunk], dt: float) -> list[Chunk]:
+    def observe(
+        chunk: Chunk | None, outs: list[Chunk], t0: float, t1: float
+    ) -> list[Chunk]:
         nonlocal prov
-        entry.observe(
-            points_in=chunk.n_points if chunk is not None else 0,
-            points_out=sum(c.n_points for c in outs),
-            bytes_in=chunk.nbytes if chunk is not None else 0,
-            bytes_out=sum(c.nbytes for c in outs),
-            chunks_out=len(outs),
-            wall_s=dt,
-            chunks_in=1 if chunk is not None else 0,
-        )
-        if collector.provenance:
-            if chunk is not None and chunk.provenance is not None:
-                prov = (
-                    chunk.provenance if prov is None else prov.merge(chunk.provenance)
-                )
-            if prov is not None and outs:
-                tag = prov.with_stage(entry.fingerprint)
-                outs = [dc_replace(c, provenance=tag) for c in outs]
+        if entry is not None:
+            entry.observe(
+                points_in=chunk.n_points if chunk is not None else 0,
+                points_out=sum(c.n_points for c in outs),
+                bytes_in=chunk.nbytes if chunk is not None else 0,
+                bytes_out=sum(c.nbytes for c in outs),
+                chunks_out=len(outs),
+                wall_s=t1 - t0,
+                chunks_in=1 if chunk is not None else 0,
+            )
+            if collector.provenance:
+                if chunk is not None and chunk.provenance is not None:
+                    prov = (
+                        chunk.provenance
+                        if prov is None
+                        else prov.merge(chunk.provenance)
+                    )
+                if prov is not None and outs:
+                    tag = prov.with_stage(entry.fingerprint)
+                    outs = [dc_replace(c, provenance=tag) for c in outs]
+        if hopper is not None:
+            outs = hopper.observe(chunk, outs, t0, t1)
         return outs
 
     def step(side: str, chunk: Chunk) -> Iterable[Chunk]:
-        if entry is None:
+        if entry is None and hopper is None:
             if ctx is None:
                 return operator.process_side(side, chunk)
             return ctx.guard(operator, chunk, side)
@@ -300,7 +397,7 @@ def _merge(
             if ctx is None
             else ctx.guard(operator, chunk, side)
         )
-        return observe(chunk, outs, perf_counter() - t0)
+        return observe(chunk, outs, t0, perf_counter())
 
     lc = next(left, None)
     rc = next(right, None)
@@ -314,7 +411,7 @@ def _merge(
             assert rc is not None
             yield from step("right", rc)
             rc = next(right, None)
-    if entry is None:
+    if entry is None and hopper is None:
         if ctx is None:
             yield from operator.flush()
         else:
@@ -322,7 +419,7 @@ def _merge(
         return
     t0 = perf_counter()
     outs = list(operator.flush()) if ctx is None else ctx.guard_flush(operator)
-    yield from observe(None, outs, perf_counter() - t0)
+    yield from observe(None, outs, t0, perf_counter())
 
 
 def _traced_merge(
@@ -331,9 +428,11 @@ def _traced_merge(
     operator: BinaryOperator,
     span: Span,
     tracer: Tracer,
+    ftr: FrameTracer | None = None,
 ) -> Iterator[Chunk]:
     """Traced variant of ``_merge`` (same interleaving, timed sides)."""
     ctx = current_recovery()
+    hopper = _FrameHopper(ftr, operator) if ftr is not None else None
 
     def step(side: str, chunk: Chunk) -> list[Chunk]:
         t0 = perf_counter()
@@ -342,7 +441,8 @@ def _traced_merge(
             if ctx is None
             else ctx.guard(operator, chunk, side)
         )
-        dt = perf_counter() - t0
+        t1 = perf_counter()
+        dt = t1 - t0
         span.record(
             points_in=chunk.n_points,
             points_out=sum(c.n_points for c in outs),
@@ -351,6 +451,8 @@ def _traced_merge(
             stream_t=chunk_time(chunk),
         )
         tracer.observe_operator(operator.name, dt)
+        if hopper is not None:
+            outs = hopper.observe(chunk, outs, t0, t1)
         return outs
 
     lc = next(left, None)
@@ -367,14 +469,17 @@ def _traced_merge(
             rc = next(right, None)
     t0 = perf_counter()
     outs = list(operator.flush()) if ctx is None else ctx.guard_flush(operator)
+    t1 = perf_counter()
     span.record(
         points_in=0,
         points_out=sum(c.n_points for c in outs),
         chunks_out=len(outs),
-        wall_s=perf_counter() - t0,
+        wall_s=t1 - t0,
         chunks_in=0,
     )
     span.finish()
+    if hopper is not None:
+        outs = hopper.observe(None, outs, t0, t1)
     yield from outs
 
 

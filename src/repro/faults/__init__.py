@@ -62,13 +62,17 @@ def harden_catalog(catalog, spec: FaultSpec, context: RecoveryContext | None = N
     under ``recovering(context)`` so the engine and server share the same
     recovery state.
     """
+    from ..obs.trace import trace_source  # lazy: avoids an import cycle
     from ..server.catalog import StreamCatalog  # lazy: avoids an import cycle
 
     ctx = context if context is not None else RecoveryContext()
     injector = FaultInjector(spec, clock=ctx.clock)
     hardened = StreamCatalog()
     for sid, stream in catalog.items():
-        faulty = injector.wrap_stream(stream)
+        # Trace contexts are assigned *upstream* of the injector so a
+        # faulted chunk's trace already exists when the injector annotates
+        # it. With no frame tracer installed trace_source is a no-op wrap.
+        faulty = injector.wrap_stream(trace_source(stream))
         guarded = resilient_stream(faulty, context=ctx).pipe(
             FrameGuard(value_set=stream.metadata.value_set, context=ctx)
         )

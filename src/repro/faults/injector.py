@@ -43,6 +43,7 @@ from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.trace import current_frame_tracer
 from .recovery import SimClock, SystemClock, current_recovery
 from .spec import FAULT_KINDS, FaultSpec
 
@@ -84,6 +85,19 @@ class FaultInjector:
         if metrics_enabled():
             get_registry().counter("repro_faults_injected_total", kind=kind).inc()
 
+    @staticmethod
+    def _note_trace(ftr, chunk: Chunk, kind: str) -> None:
+        """Annotate (and auto-pin) the chunk's frame trace, if it has one.
+
+        Annotations never touch the injection rng, so traced and untraced
+        chaos runs stay bit-identical.
+        """
+        if ftr is None:
+            return
+        tctx = chunk.trace
+        if tctx is not None:
+            ftr.annotate(tctx, f"fault:{kind}", pin=True)
+
     def _resolve_clock(self) -> SimClock | SystemClock:
         if self.clock is not None:
             return self.clock
@@ -93,10 +107,12 @@ class FaultInjector:
         self.clock = SimClock()
         return self.clock
 
-    def _stall(self, rng: random.Random) -> None:
+    def _stall(self, rng: random.Random) -> bool:
         if self.spec.stall > 0.0 and rng.random() < self.spec.stall:
             self._count("stall")
             self._resolve_clock().sleep(self.spec.stall_seconds)
+            return True
+        return False
 
     # -- chunk-level injection ----------------------------------------------
 
@@ -122,6 +138,8 @@ class FaultInjector:
         # Same seed on every open: the faulted prefix replays identically,
         # so reconnect-and-skip recovery is exact.
         rng = random.Random(seed)
+        # Frame-trace annotation hook: fetched once per open, rng-free.
+        ftr = current_frame_tracer()
         disconnecting = open_no <= spec.disconnect
         survive = spec.disconnect_after * open_no
         yielded = 0
@@ -130,9 +148,14 @@ class FaultInjector:
 
         def emit(chunk: Chunk) -> Iterator[Chunk]:
             nonlocal yielded
+            will_disconnect = disconnecting and yielded + 1 >= survive
+            if will_disconnect:
+                # Annotate before yielding: the chunk may reach delivery
+                # (and finalize its trace) before this generator resumes.
+                self._note_trace(ftr, chunk, "disconnect")
             yield chunk
             yielded += 1
-            if disconnecting and yielded >= survive:
+            if will_disconnect:
                 self._count("disconnect")
                 raise SourceDisconnected(
                     f"source {stream.stream_id!r}: injected disconnect after "
@@ -144,35 +167,44 @@ class FaultInjector:
             if isinstance(chunk, GridChunk) and chunk.frame is not None:
                 frame_key = (chunk.frame.frame_id, chunk.band)
             if truncated is not None and frame_key == truncated:
+                self._note_trace(ftr, chunk, "truncate")
                 continue  # rest of the truncated sector never arrives
             if spec.truncate > 0.0 and frame_key is not None and (
                 rng.random() < spec.truncate
             ):
                 self._count("truncate")
+                self._note_trace(ftr, chunk, "truncate")
                 truncated = frame_key
                 continue
             if spec.drop > 0.0 and rng.random() < spec.drop:
                 self._count("drop")
+                self._note_trace(ftr, chunk, "drop")
                 continue
             if spec.bitflip > 0.0 and rng.random() < spec.bitflip:
                 self._count("bitflip")
+                self._note_trace(ftr, chunk, "bitflip")
                 chunk = dc_replace(chunk, values=_corrupt_bitflip(chunk.values, rng))
             if spec.outrange > 0.0 and rng.random() < spec.outrange:
                 self._count("outrange")
+                self._note_trace(ftr, chunk, "outrange")
                 chunk = dc_replace(chunk, values=_corrupt_outrange(chunk.values))
-            self._stall(rng)
+            if self._stall(rng):
+                self._note_trace(ftr, chunk, "stall")
             if spec.dup > 0.0 and rng.random() < spec.dup:
                 self._count("dup")
+                self._note_trace(ftr, chunk, "dup")
                 yield from emit(chunk)
                 yield from emit(chunk)
                 continue
             if held is not None:
+                self._note_trace(ftr, chunk, "reorder")
                 yield from emit(chunk)
                 yield from emit(held)
                 held = None
                 continue
             if spec.reorder > 0.0 and rng.random() < spec.reorder:
                 self._count("reorder")
+                self._note_trace(ftr, chunk, "reorder")
                 held = chunk
                 continue
             yield from emit(chunk)

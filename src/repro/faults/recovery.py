@@ -52,6 +52,7 @@ from ..core.stream import GeoStream
 from ..core.valueset import ValueSet
 from ..errors import GeoStreamsError, RecoveryExhausted, SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.trace import current_frame_tracer
 from ..operators.base import Operator
 
 __all__ = [
@@ -231,6 +232,14 @@ class RecoveryContext:
         self, item: object, reason: str, stage: str = "", error: Exception | None = None
     ) -> None:
         self.dead_letter.add(item, reason, stage, str(error) if error else "")
+        ftr = current_frame_tracer()
+        if ftr is not None:
+            tctx = getattr(item, "trace", None)
+            if tctx is not None:
+                # Dead-lettered data auto-pins its frame trace: the flight
+                # recorder keeps the hop history of exactly the frames that
+                # lost chunks to quarantine.
+                ftr.annotate(tctx, f"recovery:quarantined:{reason}", pin=True)
 
     # -- pipeline guard -----------------------------------------------------
 
@@ -390,6 +399,13 @@ def _resilient_iter(stream, policy, clock, ctx) -> Iterator[Chunk]:
                 ctx.note_retry(sid, delay)
             elif metrics_enabled():
                 get_registry().counter("repro_faults_retries_total", stream=sid).inc()
+            ftr = current_frame_tracer()
+            if ftr is not None:
+                # The next chunks admitted from this stream carry the
+                # reconnect in their trace annotations.
+                ftr.note_stream_event(
+                    sid, f"recovery:reconnect:attempt={attempt} backoff={delay:g}s"
+                )
             clock.sleep(delay)
 
 

@@ -21,7 +21,15 @@ import contextlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from .export import collect_run, snapshot_lines, to_prometheus, write_jsonl
+from .export import (
+    collect_run,
+    normalize_spans,
+    snapshot_lines,
+    to_prometheus,
+    traces_to_chrome,
+    traces_to_otlp,
+    write_jsonl,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS,
@@ -47,6 +55,19 @@ from .stats import (
     format_lineage,
     lineage,
 )
+from .trace import (
+    FlightRecorder,
+    FrameHop,
+    FrameTrace,
+    FrameTracer,
+    TraceContext,
+    current_frame_tracer,
+    disable_frame_tracing,
+    enable_frame_tracing,
+    hop_tree,
+    render_waterfall,
+    trace_source,
+)
 from .tracing import Span, Tracer, current_tracer, disable_tracing, enable_tracing
 
 __all__ = [
@@ -71,6 +92,20 @@ __all__ = [
     "snapshot_lines",
     "to_prometheus",
     "write_jsonl",
+    "normalize_spans",
+    "traces_to_chrome",
+    "traces_to_otlp",
+    "TraceContext",
+    "FrameHop",
+    "FrameTrace",
+    "FrameTracer",
+    "FlightRecorder",
+    "current_frame_tracer",
+    "enable_frame_tracing",
+    "disable_frame_tracing",
+    "trace_source",
+    "hop_tree",
+    "render_waterfall",
     "Reservoir",
     "StageStats",
     "StatsCollector",
@@ -94,11 +129,15 @@ class Observation:
     registry: MetricsRegistry
     tracer: Optional[Tracer]
     stats: Optional[StatsCollector] = None
+    frame_tracer: Optional[FrameTracer] = None
 
 
 @contextlib.contextmanager
 def observe(
-    trace: bool = False, reset: bool = True, stats: bool = False
+    trace: bool = False,
+    reset: bool = True,
+    stats: bool = False,
+    frame_trace: bool | float = False,
 ) -> Iterator[Observation]:
     """Enable metrics (and optionally tracing/stage stats) for a block.
 
@@ -106,19 +145,30 @@ def observe(
     starts from clean counters, and restores the previous enabled/tracer/
     collector state on exit — nesting and test isolation both work. With
     ``stats=True`` a :class:`StatsCollector` is installed, so DAG stages
-    accumulate :class:`StageStats` and chunks carry provenance tags.
+    accumulate :class:`StageStats` and chunks carry provenance tags. With
+    ``frame_trace=True`` (or a 0..1 head-sampling rate) a
+    :class:`FrameTracer` with a :class:`FlightRecorder` is installed, so
+    delivered frames carry end-to-end :class:`FrameTrace` waterfalls.
     """
     registry = get_registry()
     was_enabled = metrics_enabled()
     previous_tracer = current_tracer()
     previous_collector = current_collector()
+    previous_ftracer = current_frame_tracer()
     if reset:
         registry.reset()
     enable_metrics()
     tracer = enable_tracing(Tracer(registry)) if trace else previous_tracer
     collector = enable_stats() if stats else previous_collector
+    if frame_trace is not False:
+        rate = 1.0 if frame_trace is True else float(frame_trace)
+        ftracer = enable_frame_tracing(sample_rate=rate)
+    else:
+        ftracer = previous_ftracer
     try:
-        yield Observation(registry=registry, tracer=tracer, stats=collector)
+        yield Observation(
+            registry=registry, tracer=tracer, stats=collector, frame_tracer=ftracer
+        )
     finally:
         if not was_enabled:
             disable_metrics()
@@ -132,3 +182,8 @@ def observe(
                 disable_stats()
             else:
                 enable_stats(previous_collector)
+        if frame_trace is not False:
+            if previous_ftracer is None:
+                disable_frame_tracing()
+            else:
+                enable_frame_tracing(previous_ftracer)

@@ -1,4 +1,4 @@
-"""Exporters: JSON-lines snapshots and Prometheus text format.
+"""Exporters: JSON-lines snapshots, Prometheus text, and trace formats.
 
 Two consumers, two formats. Benchmarks and tests want a machine-readable
 record of a whole run — :func:`collect_run` merges operator reports,
@@ -7,6 +7,17 @@ tracer spans, and registry state into one serializable record, and
 object per line (``type`` discriminates: meta / operator / span / counter
 / gauge / histogram). Scrapers want the Prometheus exposition format —
 :func:`to_prometheus` renders the registry with proper label escaping.
+
+Span trees are *normalized* on export: push-network spans record their
+parent in consumer order (see ``Span.direction``), and
+:func:`normalize_spans` re-parents those edges into dataflow order so
+exported trees read source-to-sink regardless of execution mode. The raw
+``Tracer.to_dicts()`` output is left untouched.
+
+Frame traces (:mod:`repro.obs.trace`) export two ways:
+:func:`traces_to_chrome` emits Chrome trace-event JSON (load it in
+``chrome://tracing`` / Perfetto) and :func:`traces_to_otlp` emits an
+OTLP-shaped ``resourceSpans`` document.
 
 This module deliberately knows nothing about the engine: operator reports
 arrive as dataclasses (or dicts) and are serialized generically, so the
@@ -25,6 +36,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Iterable, Optional, Sequence
 
 from .registry import MetricsRegistry, get_registry
+from .trace import FrameTrace, hop_tree, span_id_for
 from .tracing import Tracer, current_tracer
 
 __all__ = [
@@ -32,6 +44,9 @@ __all__ = [
     "snapshot_lines",
     "write_jsonl",
     "to_prometheus",
+    "normalize_spans",
+    "traces_to_chrome",
+    "traces_to_otlp",
 ]
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -50,6 +65,42 @@ def _report_dict(report: object) -> dict:
     return out
 
 
+def normalize_spans(spans: Sequence[dict]) -> list[dict]:
+    """Re-parent consumer-direction spans into dataflow order.
+
+    Pull-pipeline spans already parent producer-to-consumer
+    (``direction == "dataflow"``) and pass through unchanged. Compiled
+    push networks open stage spans parented on their *consumer*
+    (``direction == "consumer"``); here each such edge is reversed so the
+    consumer's exported parent is one of its producers. On fan-in the
+    lowest-id producer wins and the rest land in
+    ``attrs["extra_parents"]`` — the tree stays a tree but no lineage is
+    lost. Input dicts are not mutated.
+    """
+    out = [dict(span) for span in spans]
+    by_id = {span["span_id"]: span for span in out}
+    producers: dict[int, list[int]] = {}
+    for span in out:
+        if span.get("direction") != "consumer":
+            continue
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            producers.setdefault(parent, []).append(span["span_id"])
+        # The producer becomes a dataflow root unless some edge below
+        # re-parents it onto its own producer.
+        span["parent_id"] = None
+        span["direction"] = "dataflow"
+    for consumer_id, prods in producers.items():
+        consumer = by_id[consumer_id]
+        prods.sort()
+        consumer["parent_id"] = prods[0]
+        if len(prods) > 1:
+            attrs = dict(consumer.get("attrs") or {})
+            attrs["extra_parents"] = prods[1:]
+            consumer["attrs"] = attrs
+    return out
+
+
 def collect_run(
     reports: Sequence[object] = (),
     tracer: Optional[Tracer] = None,
@@ -59,7 +110,9 @@ def collect_run(
     """Merge one run's operator reports, spans, and metrics into a record.
 
     ``tracer`` defaults to the active tracer (if any); ``registry``
-    defaults to the process registry. The result round-trips through JSON.
+    defaults to the process registry. Spans are normalized to dataflow
+    order (see :func:`normalize_spans`). The result round-trips through
+    JSON.
     """
     if tracer is None:
         tracer = current_tracer()
@@ -70,7 +123,7 @@ def collect_run(
         "label": label,
         "time_unix": time.time(),
         "operators": [_report_dict(r) for r in reports],
-        "spans": tracer.to_dicts() if tracer is not None else [],
+        "spans": normalize_spans(tracer.to_dicts()) if tracer is not None else [],
         "metrics": registry.snapshot(),
     }
 
@@ -185,3 +238,180 @@ def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
                 ql = _format_labels(labels, {"quantile": q})
                 out.write(f"{name}{ql} {_format_value(value)}\n")
     return out.getvalue()
+
+
+# -- frame-trace exporters -----------------------------------------------------
+
+
+def _trace_base_s(trace: FrameTrace) -> float:
+    """Timeline origin: earliest queue-entry instant across the hops."""
+    starts = [
+        hop.first_s - hop.queue_s for hop in trace.hops if hop.first_s != float("inf")
+    ]
+    return min(starts) if starts else 0.0
+
+
+def _hop_parent_key(trace: FrameTrace, hop) -> str | None:
+    keys = {h.key for h in trace.hops}
+    in_trace = sorted(parent for parent in hop.parents if parent in keys)
+    return in_trace[0] if in_trace else None
+
+
+def traces_to_chrome(traces: Sequence[FrameTrace]) -> dict:
+    """Render frame traces as Chrome trace-event JSON (Perfetto-loadable).
+
+    One *process* per frame trace, one *thread* per hop; every hop emits a
+    queue-wait slice followed by a compute slice, so the waterfall shows
+    where each frame's latency went. Serialize with ``json.dumps`` and
+    load in ``chrome://tracing``.
+    """
+    events: list[dict] = []
+    for pid, trace in enumerate(traces, start=1):
+        title = trace.query if trace.query is not None else "frame"
+        name = f"q{title} t={trace.frame_t:g}" if trace.frame_t is not None else str(title)
+        if trace.pinned:
+            name += " [pinned]"
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+        base = _trace_base_s(trace)
+        for tid, (depth, hop) in enumerate(hop_tree(trace), start=1):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": ("  " * depth) + hop.label},
+                }
+            )
+            start = hop.first_s - hop.queue_s
+            ts = max(0.0, (start - base) * 1e6)
+            args = {
+                "key": hop.key,
+                "kind": hop.kind,
+                "chunks": hop.chunks,
+                "points_in": hop.points_in,
+                "points_out": hop.points_out,
+            }
+            if hop.queue_s > 0.0:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": tid,
+                        "cat": "queue",
+                        "name": f"{hop.label} (wait)",
+                        "ts": ts,
+                        "dur": hop.queue_s * 1e6,
+                        "args": args,
+                    }
+                )
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": hop.kind,
+                    "name": hop.label,
+                    "ts": ts + hop.queue_s * 1e6,
+                    "dur": hop.wall_s * 1e6,
+                    "args": args,
+                }
+            )
+        for note in trace.annotations:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": 0,
+                    "s": "p",
+                    "name": note,
+                    "ts": 0.0,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def traces_to_otlp(traces: Sequence[FrameTrace]) -> dict:
+    """Render frame traces as an OTLP-shaped ``resourceSpans`` document.
+
+    Hop ids come from :func:`repro.obs.trace.span_id_for`, so a hop's
+    span id is stable across exports of the same trace. Timestamps are
+    relative nanoseconds on the trace's own timeline (the recorder stores
+    monotonic-clock offsets, not wall-clock epochs).
+    """
+
+    def attr(key: str, value) -> dict:
+        if isinstance(value, bool):
+            return {"key": key, "value": {"boolValue": value}}
+        if isinstance(value, int):
+            return {"key": key, "value": {"intValue": str(value)}}
+        if isinstance(value, float):
+            return {"key": key, "value": {"doubleValue": value}}
+        return {"key": key, "value": {"stringValue": str(value)}}
+
+    scope_spans = []
+    for trace in traces:
+        base = _trace_base_s(trace)
+        trace_hex = f"{trace.trace_id & (2**128 - 1):032x}"
+        spans = []
+        for _depth, hop in hop_tree(trace):
+            parent_key = _hop_parent_key(trace, hop)
+            start = hop.first_s - hop.queue_s
+            start_ns = max(0, int((start - base) * 1e9))
+            end_ns = start_ns + int((hop.queue_s + hop.wall_s) * 1e9)
+            span = {
+                "traceId": trace_hex,
+                "spanId": span_id_for(trace.trace_id, hop.key),
+                "name": hop.label,
+                "kind": "SPAN_KIND_INTERNAL",
+                "startTimeUnixNano": str(start_ns),
+                "endTimeUnixNano": str(end_ns),
+                "attributes": [
+                    attr("repro.hop.key", hop.key),
+                    attr("repro.hop.kind", hop.kind),
+                    attr("repro.hop.chunks", hop.chunks),
+                    attr("repro.hop.points_in", hop.points_in),
+                    attr("repro.hop.points_out", hop.points_out),
+                    attr("repro.hop.queue_s", hop.queue_s),
+                    attr("repro.hop.wall_s", hop.wall_s),
+                ],
+            }
+            if parent_key is not None:
+                span["parentSpanId"] = span_id_for(trace.trace_id, parent_key)
+            if hop.kind == "delivery" and trace.annotations:
+                span["events"] = [
+                    {"timeUnixNano": str(end_ns), "name": note}
+                    for note in trace.annotations
+                ]
+            spans.append(span)
+        resource_attrs = [
+            attr("service.name", "repro.dsms"),
+            attr("repro.trace.pinned", trace.pinned),
+            attr("repro.trace.partial", trace.partial),
+        ]
+        if trace.query is not None:
+            resource_attrs.append(attr("repro.query", trace.query))
+        if trace.stream_id is not None:
+            resource_attrs.append(attr("repro.stream", trace.stream_id))
+        if trace.pin_reason:
+            resource_attrs.append(attr("repro.trace.pin_reason", trace.pin_reason))
+        scope_spans.append(
+            {
+                "resource": {"attributes": resource_attrs},
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs.trace", "version": "1"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        )
+    return {"resourceSpans": scope_spans}

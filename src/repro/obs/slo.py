@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from .registry import get_registry, metrics_enabled
+from .trace import current_frame_tracer
 
 __all__ = ["SLOPolicy", "SLOBreach", "SLOMonitor"]
 
@@ -128,6 +129,9 @@ class SLOMonitor:
                     state.breached = False
                     state.healthy_streak = 0
                     self._publish(query, lag, state)
+                    ftracer = current_frame_tracer()
+                    if ftracer is not None:
+                        ftracer.on_recover(query)
             return None
         state.healthy_streak = 0
         if state.breached:
@@ -145,6 +149,13 @@ class SLOMonitor:
         self._publish(query, lag, state)
         if metrics_enabled():
             get_registry().counter("repro_slo_breaches_total", query=query).inc()
+        ftracer = current_frame_tracer()
+        if ftracer is not None:
+            # Auto-pin the breaching query's latest frame trace and force
+            # sampling on until the monitor declares it healthy again.
+            ftracer.on_breach(
+                query, reason=f"slo-breach:{kind}-lag:{lag:.3f}s>{self.policy.max_lag_s:g}s"
+            )
         if self.policy.callback is not None:
             self.policy.callback(breach)
         return breach

@@ -7,7 +7,12 @@ wall-time lag falls out per operator, not just per run. Spans carry
 ``parent_id`` links mirroring the operator DAG: in pull pipelines a span's
 parent is its *upstream* operator (data flows root-to-leaf), in compiled
 push networks a stage's parent is its *consumer* (the span tree mirrors
-the query tree). Either way the tree reconstructs the dataflow.
+the query tree). Each span declares which convention it used via its
+``direction`` attribute (``"dataflow"`` for pull, ``"consumer"`` for
+push); :func:`repro.obs.export.normalize_spans` re-parents consumer
+trees into dataflow order so exporters and waterfalls render pull and
+push runs identically.  Raw ``to_dicts()`` output keeps the original
+links.
 
 Tracing follows the same zero-cost rule as the registry: the engine calls
 :func:`current_tracer` once per pipeline open (not per chunk) and takes
@@ -42,6 +47,7 @@ class Span:
         "parent_id",
         "name",
         "kind",
+        "direction",
         "attrs",
         "started_unix",
         "wall_time_s",
@@ -62,11 +68,13 @@ class Span:
         kind: str = "operator",
         parent_id: int | None = None,
         attrs: dict | None = None,
+        direction: str = "dataflow",
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
         self.kind = kind
+        self.direction = direction
         self.attrs = attrs or {}
         self.started_unix = time.time()
         self.wall_time_s = 0.0
@@ -127,6 +135,7 @@ class Span:
             "parent_id": self.parent_id,
             "name": self.name,
             "kind": self.kind,
+            "direction": self.direction,
             "attrs": dict(self.attrs),
             "started_unix": self.started_unix,
             "wall_time_s": self.wall_time_s,
@@ -170,6 +179,7 @@ class Tracer:
         name: str,
         kind: str = "operator",
         parent: Span | None = None,
+        direction: str = "dataflow",
         **attrs: object,
     ) -> Span:
         with self._lock:
@@ -179,6 +189,7 @@ class Tracer:
                 kind=kind,
                 parent_id=parent.span_id if parent is not None else None,
                 attrs=dict(attrs),
+                direction=direction,
             )
             self._next_id += 1
             self.spans.append(span)
@@ -189,9 +200,12 @@ class Tracer:
         op: "Operator | BinaryOperator",
         parent: Span | None = None,
         kind: str = "operator",
+        direction: str = "dataflow",
         **attrs: object,
     ) -> Span:
-        return self.begin_span(op.name, kind=kind, parent=parent, op=repr(op), **attrs)
+        return self.begin_span(
+            op.name, kind=kind, parent=parent, direction=direction, op=repr(op), **attrs
+        )
 
     def observe_operator(self, name: str, wall_s: float) -> None:
         """Publish one processing duration into the shared registry."""

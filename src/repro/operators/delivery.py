@@ -10,14 +10,19 @@ sit anywhere in a pipeline without breaking closure.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.chunk import Chunk, PointChunk
 from ..core.image import RasterImage
 from ..core.provenance import Provenance
 from ..errors import OperatorError
+from ..obs.trace import current_frame_tracer
 from .aggregate import _FrameCollector
 from .base import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.trace import FrameTrace, TraceContext
 
 __all__ = ["Delivery", "DeliveredFrame", "CollectingSink"]
 
@@ -27,20 +32,24 @@ class DeliveredFrame:
 
     ``provenance`` (when the run recorded lineage) is the merged tag of
     every chunk that contributed to the frame: which raw scans and which
-    plan stages produced these pixels.
+    plan stages produced these pixels.  ``trace`` (when the run had a
+    frame tracer installed and the frame's chunks were sampled) is the
+    frame's end-to-end :class:`~repro.obs.trace.FrameTrace`.
     """
 
-    __slots__ = ("png", "image", "provenance")
+    __slots__ = ("png", "image", "provenance", "trace")
 
     def __init__(
         self,
         png: bytes,
         image: RasterImage,
         provenance: Provenance | None = None,
+        trace: "FrameTrace | None" = None,
     ) -> None:
         self.png = png
         self.image = image
         self.provenance = provenance
+        self.trace = trace
 
     def __repr__(self) -> str:
         return (
@@ -77,15 +86,42 @@ class Delivery(Operator):
         self.encode = encode
         self._collector = _FrameCollector(self)
         self._pending_prov: Provenance | None = None
+        # Trace contexts of the chunks assembling the current frame; the
+        # server session sets trace_query (its registration id) so frame
+        # traces land in the right flight-recorder ring.
+        self._pending_trace: "list[TraceContext]" = []
+        self.trace_query: object | None = None
 
     def _reset_state(self) -> None:
         self._collector = _FrameCollector(self)
         self._pending_prov = None
+        self._pending_trace = []
 
     def _ship(self, image: RasterImage) -> None:
+        ftracer = current_frame_tracer() if self._pending_trace else None
+        if ftracer is None:
+            png = image.to_png_bytes() if self.encode else b""
+            self.sink(DeliveredFrame(png, image, provenance=self._pending_prov))
+            self._pending_prov = None
+            self._pending_trace = []
+            return
+        t0 = perf_counter()
         png = image.to_png_bytes() if self.encode else b""
-        self.sink(DeliveredFrame(png, image, provenance=self._pending_prov))
+        t1 = perf_counter()
+        trace = ftracer.finalize_frame(
+            self.trace_query,
+            self._pending_trace,
+            frame_t=float(image.t),
+            band=image.band,
+            shape=image.shape,
+            t0=t0,
+            t1=t1,
+        )
+        self.sink(
+            DeliveredFrame(png, image, provenance=self._pending_prov, trace=trace)
+        )
         self._pending_prov = None
+        self._pending_trace = []
 
     def _process(self, chunk: Chunk) -> Iterable[Chunk]:
         if isinstance(chunk, PointChunk):
@@ -99,6 +135,8 @@ class Delivery(Operator):
                 if self._pending_prov is None
                 else self._pending_prov.merge(chunk.provenance)
             )
+        if chunk.trace is not None:
+            self._pending_trace.append(chunk.trace)
         image = self._collector.add(chunk)
         if image is not None:
             self._ship(image)

@@ -27,6 +27,7 @@ from ..errors import PlanError
 from ..faults.recovery import current_recovery
 from ..obs.registry import get_registry, metrics_enabled
 from ..obs.stats import StageStats, StatsCollector, current_collector
+from ..obs.trace import FrameTracer, TraceContext, current_frame_tracer
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
 from .nodes import Compose, EmptyPlan, PlanNode, SourceScan
@@ -92,6 +93,8 @@ class Stage:
         "_stats",
         "_collector",
         "_prov",
+        "_ftracer",
+        "_tctx",
     )
 
     def __init__(self, node: PlanNode, op: Operator | BinaryOperator, dag: "PlanDAG") -> None:
@@ -108,6 +111,10 @@ class Stage:
         # sound for buffering operators (outputs tagged with at-least the
         # scans that could have contributed).
         self._prov: Provenance | None = None
+        self._ftracer: FrameTracer | None = None
+        # Trace contexts consumed since the last emission (buffering
+        # operators hold inputs; their eventual outputs merge these).
+        self._tctx: list[TraceContext] = []
 
     def _ensure_span(self, tracer: Tracer) -> Span:
         """Lazily open this stage's span, parented on a consumer stage.
@@ -123,7 +130,11 @@ class Stage:
                     parent = edge.stage._ensure_span(tracer)
                     break
             self._span = tracer.begin_operator(
-                self.op, parent=parent, path="push", shared=len(self.subscribers) > 1
+                self.op,
+                parent=parent,
+                direction="consumer",
+                path="push",
+                shared=len(self.subscribers) > 1,
             )
             self._tracer = tracer
         return self._span
@@ -171,13 +182,19 @@ class Stage:
                 dag.stats.chunks_saved += overlap - 1
         tracer = current_tracer()
         collector = current_collector()
-        if tracer is None and collector is None:
+        ftracer = current_frame_tracer()
+        # Untraced chunks stay on the zero-cost path even while a frame
+        # tracer is installed: sampling happened at the source, and a
+        # chunk without a context must never trigger perf_counter.
+        frame_traced = ftracer is not None and chunk.trace is not None
+        if tracer is None and collector is None and not frame_traced:
             for out in self._step(chunk, side):
                 self._emit(out)
             return
         t0 = perf_counter()
         materialized = self._step(chunk, side)
-        dt = perf_counter() - t0
+        t1 = perf_counter()
+        dt = t1 - t0
         points_out = sum(c.n_points for c in materialized)
         if tracer is not None:
             span = self._ensure_span(tracer)
@@ -200,8 +217,49 @@ class Stage:
             )
             if collector.provenance:
                 materialized = self._tag_outputs(chunk, materialized)
+        if frame_traced:
+            materialized = self._frame_hop(ftracer, chunk.trace, materialized, t0, t1, chunk.n_points, points_out)
         for out in materialized:
             self._emit(out)
+
+    def _frame_hop(
+        self,
+        ftracer: FrameTracer,
+        ctx: TraceContext,
+        materialized: list[Chunk],
+        t0: float,
+        t1: float,
+        points_in: int,
+        points_out: int,
+    ) -> list[Chunk]:
+        """Record one frame-trace hop at this stage and re-stamp outputs.
+
+        The hop key is the subplan fingerprint — the same key as this
+        stage's ``StageStats`` entry, so a waterfall bar links straight
+        to its aggregate exemplar.
+        """
+        fp = self.node.fingerprint
+        ftracer.record_hop(
+            ctx,
+            key=fp,
+            label=self.node.describe(),
+            kind="stage",
+            t0=t0,
+            t1=t1,
+            points_in=points_in,
+            points_out=points_out,
+            chunks_out=len(materialized),
+        )
+        if self._ftracer is not ftracer:
+            self._ftracer = ftracer
+            self._tctx = []
+        if not materialized:
+            self._tctx.append(ctx)
+            return materialized
+        ctxs = self._tctx + [ctx] if self._tctx else [ctx]
+        out_ctx = ftracer.output_ctx(ctxs, fp)
+        self._tctx = []
+        return [dc_replace(c, trace=out_ctx) for c in materialized]
 
     def _emit(self, chunk: Chunk) -> None:
         active = self._dag._active
@@ -218,13 +276,18 @@ class Stage:
     def flush(self) -> None:
         tracer = current_tracer()
         collector = current_collector()
-        if tracer is None and collector is None:
+        ftracer = current_frame_tracer()
+        frame_traced = (
+            ftracer is not None and self._ftracer is ftracer and bool(self._tctx)
+        )
+        if tracer is None and collector is None and not frame_traced:
             for out in self._drain():
                 self._emit(out)
             return
         t0 = perf_counter()
         materialized = self._drain()
-        dt = perf_counter() - t0
+        t1 = perf_counter()
+        dt = t1 - t0
         points_out = sum(c.n_points for c in materialized)
         if tracer is not None:
             span = self._ensure_span(tracer)
@@ -248,6 +311,10 @@ class Stage:
             )
             if collector.provenance:
                 materialized = self._tag_outputs(None, materialized)
+        if frame_traced:
+            materialized = self._frame_hop(
+                ftracer, self._tctx[0], materialized, t0, t1, 0, points_out
+            )
         for out in materialized:
             self._emit(out)
 

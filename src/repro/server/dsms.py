@@ -27,6 +27,8 @@ from ..index.naive import NaiveRegionIndex
 from ..obs.registry import get_registry, metrics_enabled
 from ..obs.slo import SLOMonitor, SLOPolicy
 from ..obs.stats import StatsCollector, current_collector
+from ..obs.trace import FrameTrace, current_frame_tracer
+from ..operators.delivery import DeliveredFrame
 from ..operators.base import Operator
 from ..plan import PlanDAG, PlanNode, Stage, canonicalize, estimate_plan
 from ..plan import source_ids as plan_source_ids
@@ -231,9 +233,11 @@ class DSMSServer:
         shared = self._find_shared(plan)
         if shared is not None:
             shared.fanout.sessions.append(session)
-            self._session_to_reg[session.session_id] = next(
+            shared_rid = next(
                 rid for rid, reg in self._registrations.items() if reg is shared
             )
+            self._session_to_reg[session.session_id] = shared_rid
+            session.bind_trace(shared_rid)
             return session
 
         fanout = _Fanout()
@@ -247,6 +251,7 @@ class DSMSServer:
         )
         self._registrations[reg_id] = registration
         self._session_to_reg[session.session_id] = reg_id
+        session.bind_trace(reg_id)
         self._route(reg_id, boxes)
         return session
 
@@ -428,6 +433,43 @@ class DSMSServer:
                 shedder.escalate()
             elif was_breached and not now_breached and hasattr(shedder, "relax"):
                 shedder.relax()
+
+    # -- frame traces -----------------------------------------------------------
+
+    def frame_trace(self, frame: DeliveredFrame) -> FrameTrace:
+        """The end-to-end trace of one delivered frame.
+
+        Requires a frame tracer to have been installed (see
+        :func:`repro.obs.trace.enable_frame_tracing` or
+        ``obs.observe(frame_trace=True)``) before the run, and the
+        frame's chunks to have been sampled in.
+        """
+        trace = getattr(frame, "trace", None)
+        if trace is None:
+            raise ServerError(
+                "frame carries no trace; run under an installed frame tracer "
+                "(obs.observe(frame_trace=True) or enable_frame_tracing()) "
+                "and a sample rate that admits its chunks"
+            )
+        return trace
+
+    def recent_traces(self, query: ClientSession | int) -> list[FrameTrace]:
+        """Flight-recorder ring for one query (newest-last).
+
+        ``query`` may be a :class:`ClientSession`, a session id, or a
+        registration id; sessions sharing a canonical plan share a ring.
+        """
+        ftracer = current_frame_tracer()
+        if ftracer is None:
+            raise ServerError(
+                "no frame tracer installed; recent_traces needs "
+                "obs.observe(frame_trace=True) or enable_frame_tracing()"
+            )
+        key = query.session_id if isinstance(query, ClientSession) else query
+        rid = self._session_to_reg.get(key, key)
+        if rid not in self._registrations:
+            raise ServerError(f"unknown query/session id {query!r}")
+        return ftracer.recorder.recent(rid)
 
     # -- EXPLAIN ANALYZE --------------------------------------------------------
 
@@ -674,6 +716,9 @@ class DSMSServer:
         # Stage statistics / provenance are opt-in: one None check per run
         # plus one per chunk when a collector is installed.
         collector = current_collector()
+        # Frame tracing follows the same rule: tracer fetched once per run;
+        # with none installed the per-chunk cost is this one None check.
+        ftracer = current_frame_tracer()
         monitor = self.slo_monitor
         slo_seen: dict[int, int] = {}
         slo_clock: dict[int, float] = {}
@@ -711,10 +756,18 @@ class DSMSServer:
                         self.ingest_shedder.relax()
                         escalated = False
                 clock_last = clock_now
+            if ftracer is not None:
+                # Assign (or keep, for hardened catalogs that traced the
+                # raw source) the chunk's trace context at admission.
+                chunk = ftracer.admit(stream_id, chunk)
             if self.ingest_shedder is not None:
                 kept = list(self.ingest_shedder.process(chunk))
                 if not kept:
                     self.router_stats.chunks_shed += 1
+                    if ftracer is not None and chunk.trace is not None:
+                        ftracer.annotate(
+                            chunk.trace, "shed:ingest-dropped", pin=True
+                        )
                     continue
                 (chunk,) = kept
             self.router_stats.chunks_scanned += 1
@@ -782,6 +835,10 @@ class DSMSServer:
             for registration in self._registrations.values():
                 for session in registration.sessions:
                     session.close()
+            if ftracer is not None:
+                # Capture pinned traces that never reached delivery
+                # (dropped / quarantined frames) as partial captures.
+                ftracer.flush_pinned()
         if obs is not None:
             registry = get_registry()
             stats = self.plan_dag.stats

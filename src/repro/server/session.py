@@ -93,6 +93,19 @@ class ClientSession:
         """Install the server's stream-time clock (for latency metrics)."""
         self._clock = clock
 
+    def bind_trace(self, query_key: object) -> None:
+        """Key this session's frame traces in the flight recorder.
+
+        The DSMS passes its registration id, so sessions sharing one
+        canonical plan, the SLO monitor's breach callbacks, and
+        ``DSMSServer.recent_traces`` all agree on the ring key.
+        """
+        self._delivery.trace_query = query_key
+
+    def frame_traces(self):
+        """Traces of this session's delivered frames (None when untraced)."""
+        return [frame.trace for frame in self.frames]
+
     def _obs_handles(self):
         """Registry instruments for this session, fetched on first use."""
         if self._obs is None:

@@ -37,6 +37,7 @@ def _clean_obs_state():
     obs.disable_metrics()
     obs.disable_tracing()
     obs.disable_stats()
+    obs.disable_frame_tracing()
     obs.get_registry().reset()
     yield
     obs.disable_metrics()
@@ -348,6 +349,8 @@ class TestFastPathOverhead:
 
         monkeypatch.setattr("repro.plan.stages.perf_counter", forbidden)
         monkeypatch.setattr("repro.engine.pipeline.perf_counter", forbidden)
+        monkeypatch.setattr("repro.obs.trace.perf_counter", forbidden)
+        monkeypatch.setattr("repro.operators.delivery.perf_counter", forbidden)
         server = DSMSServer(catalog)
         session = server.register(Q_VRANGE, encode_png=False)
         server.run()
