@@ -10,9 +10,7 @@ complexity analysis is the right planning signal.
 import pytest
 
 from repro.engine import pipeline_report
-from repro.geo import BoundingBox
-from repro.query import ast as q
-from repro.query import estimate_query, plan_query
+from repro.query import ast as q, estimate_query, plan_query
 from repro.query.cost import StreamProfile
 
 from conftest import make_imager

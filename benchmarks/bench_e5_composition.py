@@ -10,7 +10,6 @@ sequential-band-scan ablation where even row organization degrades to
 frame-sized buffers.
 """
 
-import pytest
 
 from repro.core import Organization
 from repro.engine import compose_streams

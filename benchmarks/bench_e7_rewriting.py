@@ -11,8 +11,7 @@ import pytest
 
 from repro.engine import pipeline_report
 from repro.geo import BoundingBox, utm
-from repro.query import ast as q
-from repro.query import optimize, plan_query
+from repro.query import ast as q, optimize, plan_query
 
 from conftest import make_imager
 

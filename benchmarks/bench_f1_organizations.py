@@ -7,12 +7,11 @@ camera (the paper's "only close temporal proximity" case).
 """
 
 import numpy as np
-import pytest
 
 from repro.geo import haversine_m
-from repro.ingest import AirborneCamera, GOESImager, LidarScanner
+from repro.ingest import AirborneCamera, LidarScanner
 
-from conftest import DAY_T0, make_imager
+from conftest import make_imager
 
 
 def _drain(stream):

@@ -8,7 +8,6 @@ the shared-restriction prune fraction.
 
 import pytest
 
-from repro.geo import BoundingBox
 from repro.server import DSMSServer, StreamCatalog, format_query_request
 
 from conftest import make_imager

@@ -21,7 +21,7 @@ from repro import GOESImager
 from repro.core import GridLattice
 from repro.engine import compose_streams
 from repro.geo import BoundingBox, plate_carree
-from repro.ingest import SyntheticEarth, western_us_sector
+from repro.ingest import SyntheticEarth
 from repro.operators import Reproject, StreamComposition, reflectance
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"

@@ -24,11 +24,12 @@ Quickstart::
     print(session.frames[0].png[:8])  # PNG magic
 """
 
+from .analysis import Diagnostic, DiagnosticReport, analyze
 from .core import (
     FLOAT32,
-    GRAY8,
     GRAY10,
     GRAY16,
+    GRAY8,
     NDVI_VALUES,
     REFLECTANCE,
     RGB8,
@@ -46,6 +47,18 @@ from .core import (
 )
 from .engine import compose_streams, format_report, pipeline_report
 from .errors import GeoStreamsError
+from .faults import (
+    BackoffPolicy,
+    DeadLetterSink,
+    FaultInjector,
+    FaultSpec,
+    FrameGuard,
+    RecoveryContext,
+    SimClock,
+    harden_catalog,
+    recovering,
+    resilient_stream,
+)
 from .geo import (
     CRS,
     LATLON,
@@ -60,10 +73,13 @@ from .geo import (
 )
 from .index import CascadeTree, GridRegionIndex, NaiveRegionIndex
 from .ingest import AirborneCamera, GOESImager, LidarScanner, SyntheticEarth
+from .io import read_archive, write_archive
 from .operators import (
+    AdaptiveLoadShedder,
     Coarsen,
     Delivery,
     FrameStretch,
+    FrameSubsampler,
     Magnify,
     RegionAggregate,
     Reproject,
@@ -76,20 +92,7 @@ from .operators import (
     evi2,
     ndvi,
     reflectance,
-)
-from .io import read_archive, write_archive
-from .operators import AdaptiveLoadShedder, FrameSubsampler, spatio_temporal_aggregate
-from .faults import (
-    BackoffPolicy,
-    DeadLetterSink,
-    FaultInjector,
-    FaultSpec,
-    FrameGuard,
-    RecoveryContext,
-    SimClock,
-    harden_catalog,
-    recovering,
-    resilient_stream,
+    spatio_temporal_aggregate,
 )
 from .plan import PlanDAG, PlanNode, build_composition, build_value_map, canonicalize
 from .query import Q, optimize, parse_query, plan_query
@@ -192,6 +195,10 @@ __all__ = [
     "FrameSubsampler",
     "AdaptiveLoadShedder",
     "spatio_temporal_aggregate",
+    # static analysis
+    "analyze",
+    "Diagnostic",
+    "DiagnosticReport",
     # errors
     "GeoStreamsError",
 ]

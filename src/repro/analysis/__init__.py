@@ -1,0 +1,37 @@
+"""Static semantic analysis for GeoStreams queries and plans.
+
+Three entry points:
+
+* :func:`analyze` — walk a query's AST and canonical plan and report
+  every statically provable problem (CRS mismatches, empty
+  restrictions, band-arity violations, SLO-budget conflicts) as
+  :class:`Diagnostic` values with stable codes.
+* :func:`check_dag` / :func:`check_server` — audit a live shared plan
+  DAG against the fingerprint/refcount invariants sharing depends on.
+* The :data:`CODES` registry — the documented catalogue every
+  diagnostic code is drawn from (see docs/static-analysis.md).
+"""
+
+from .checker import StaticContext, analyze
+from .diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    SourceSpan,
+)
+from .selfcheck import check_dag, check_server
+
+__all__ = [
+    "analyze",
+    "StaticContext",
+    "check_dag",
+    "check_server",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "SourceSpan",
+]

@@ -1,0 +1,203 @@
+"""Invariant checks over a live server's shared plan DAG.
+
+The sharing layer (:mod:`repro.plan.stages`) keys everything on
+structural fingerprints and per-stage subscriber refcounts. Those
+invariants are cheap to state and catastrophic to violate silently —
+a dangling edge delivers frames to a freed query; a refcount leak keeps
+dead stages burning CPU forever. :func:`check_dag` re-derives them from
+first principles so operators (and tests) can audit a running DSMS:
+
+* **GS-DAG001** — two structurally different nodes sharing a fingerprint,
+  or the fingerprint index pointing at the wrong stage.
+* **GS-DAG002** — a fan-out edge (stage output or source tap) targeting a
+  stage that is no longer part of the DAG.
+* **GS-DAG003** — stage subscriber sets inconsistent with the server's
+  registrations (unknown ids, or a registration whose stages dropped it).
+* **GS-DAG004** — a terminal delivery edge with an empty roots set:
+  results would be computed and delivered to nobody.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..plan.stages import Edge, PlanDAG, Stage
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..server.dsms import DSMSServer
+
+__all__ = ["check_dag", "check_server"]
+
+
+def _edge_diags(
+    edge: Edge,
+    where: str,
+    members: set[int],
+) -> Iterable[Diagnostic]:
+    if edge.stage is None and edge.sink is None:
+        yield Diagnostic(
+            code="GS-DAG002",
+            severity=Severity.ERROR,
+            message=f"{where}: edge has neither a target stage nor a sink",
+        )
+        return
+    if edge.stage is not None and id(edge.stage) not in members:
+        yield Diagnostic(
+            code="GS-DAG002",
+            severity=Severity.ERROR,
+            message=(
+                f"{where}: dangling fan-out edge targets stage "
+                f"{edge.stage.node.describe()!r} which is not in the DAG"
+            ),
+        )
+    if edge.stage is None and edge.sink is not None and not edge.roots:
+        yield Diagnostic(
+            code="GS-DAG004",
+            severity=Severity.ERROR,
+            message=(
+                f"{where}: terminal delivery edge has no delivery roots — "
+                "results would be computed for nobody"
+            ),
+        )
+
+
+def check_dag(
+    dag: PlanDAG,
+    registrations: Mapping[int, Iterable[Stage]] | None = None,
+) -> DiagnosticReport:
+    """Audit one :class:`~repro.plan.stages.PlanDAG` against its invariants.
+
+    ``registrations`` optionally maps registration id -> the stages that
+    registration believes it owns (the server passes its own table);
+    with it, subscriber refcounts are cross-checked both ways.
+    """
+    diagnostics: list[Diagnostic] = []
+    members = {id(stage) for stage in dag.order}
+
+    # Fingerprint uniqueness and index consistency.
+    by_fp: dict[str, Stage] = {}
+    for stage in dag.order:
+        fp = stage.node.fingerprint
+        other = by_fp.get(fp)
+        if other is not None and other.node != stage.node:
+            diagnostics.append(
+                Diagnostic(
+                    code="GS-DAG001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"fingerprint collision: stages {other.node.describe()!r} "
+                        f"and {stage.node.describe()!r} both fingerprint to {fp}"
+                    ),
+                )
+            )
+        by_fp[fp] = stage
+    for fp, stage in dag._by_fingerprint.items():
+        if stage.node.fingerprint != fp:
+            diagnostics.append(
+                Diagnostic(
+                    code="GS-DAG001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"fingerprint index is stale: slot {fp} holds stage "
+                        f"{stage.node.describe()!r} whose fingerprint is "
+                        f"{stage.node.fingerprint}"
+                    ),
+                )
+            )
+
+    # Edge targets (stage outputs and source taps) must stay in the DAG.
+    for stage in dag.order:
+        where = f"stage {stage.node.describe()!r}"
+        for edge in stage.outputs:
+            diagnostics.extend(_edge_diags(edge, where, members))
+    for stream_id, edges in dag.taps.items():
+        for edge in edges:
+            diagnostics.extend(_edge_diags(edge, f"tap {stream_id!r}", members))
+
+    # Subscriber refcounts versus the server's registration table.
+    if registrations is not None:
+        live = set(registrations)
+        for stage in dag.order:
+            unknown = stage.subscribers - live
+            if unknown:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG003",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"stage {stage.node.describe()!r} is subscribed to "
+                            f"unregistered query id(s) {sorted(unknown)}"
+                        ),
+                    )
+                )
+            if not stage.subscribers:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG003",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"stage {stage.node.describe()!r} has no subscribers "
+                            "but is still wired into the DAG"
+                        ),
+                    )
+                )
+        for reg_id, stages in registrations.items():
+            for stage in stages:
+                if id(stage) not in members:
+                    diagnostics.append(
+                        Diagnostic(
+                            code="GS-DAG003",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"registration {reg_id} owns stage "
+                                f"{stage.node.describe()!r} which left the DAG"
+                            ),
+                        )
+                    )
+                elif reg_id not in stage.subscribers:
+                    diagnostics.append(
+                        Diagnostic(
+                            code="GS-DAG003",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"registration {reg_id} owns stage "
+                                f"{stage.node.describe()!r} but is not in its "
+                                "subscriber set"
+                            ),
+                        )
+                    )
+    return DiagnosticReport(tuple(diagnostics))
+
+
+def check_server(server: "DSMSServer") -> DiagnosticReport:
+    """Audit a live :class:`~repro.server.dsms.DSMSServer`'s shared DAG.
+
+    Cross-checks the DAG against the server's registration table and
+    adds the SLO/shed-policy conflict check (GS-SLO002).
+    """
+    registrations = {
+        reg_id: list(reg.stages) for reg_id, reg in server._registrations.items()
+    }
+    report = check_dag(server.plan_dag, registrations)
+    monitor = server.slo_monitor
+    if (
+        monitor is not None
+        and monitor.policy.escalate_shedding
+        and server.ingest_shedder is None
+    ):
+        report = report.extend(
+            DiagnosticReport(
+                (
+                    Diagnostic(
+                        code="GS-SLO002",
+                        severity=Severity.WARNING,
+                        message=(
+                            "SLO policy escalates shedding on breach, but the "
+                            "server has no ingest shedder to escalate"
+                        ),
+                    ),
+                )
+            )
+        )
+    return report

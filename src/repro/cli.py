@@ -25,15 +25,20 @@ import json
 import pathlib
 import sys
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from . import obs
 from .engine import format_report, pipeline_report
 from .errors import GeoStreamsError
 from .ingest import GOESImager, SyntheticEarth
-from .query import estimate_query, optimize, parse_query, plan_query
 from .plan import canonicalize
+from .query import estimate_query, optimize, parse_query, plan_query
 from .server import DSMSServer, StreamCatalog, format_query_request
+
+if TYPE_CHECKING:
+    from .faults import FaultInjector, RecoveryContext
+    from .obs import StatsCollector
+    from .query import CalibrationProfile
 
 __all__ = ["main", "build_demo_catalog"]
 
@@ -99,7 +104,7 @@ def _add_analyze(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_calibration(args: argparse.Namespace):
+def _load_calibration(args: argparse.Namespace) -> "CalibrationProfile | None":
     path = getattr(args, "calibration", None)
     if not path:
         return None
@@ -113,7 +118,9 @@ def _load_calibration(args: argparse.Namespace):
     return profile
 
 
-def _maybe_fit_calibration(server: DSMSServer, collector, args: argparse.Namespace) -> None:
+def _maybe_fit_calibration(
+    server: DSMSServer, collector: "StatsCollector | None", args: argparse.Namespace
+) -> None:
     path = getattr(args, "fit_calibration", None)
     if not path:
         return
@@ -137,7 +144,9 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _maybe_harden(catalog, args: argparse.Namespace):
+def _maybe_harden(
+    catalog: StreamCatalog, args: argparse.Namespace
+) -> "tuple[StreamCatalog, RecoveryContext | None, FaultInjector | None]":
     """Apply ``--inject-faults``: (catalog', recovery ctx | None, injector | None)."""
     spec_text = getattr(args, "inject_faults", None)
     if not spec_text:
@@ -148,7 +157,7 @@ def _maybe_harden(catalog, args: argparse.Namespace):
     return hardened, ctx, injector
 
 
-def _fault_scope(ctx):
+def _fault_scope(ctx: "RecoveryContext | None") -> "contextlib.AbstractContextManager[object]":
     """Install the recovery context for the run (no-op without faults)."""
     if ctx is None:
         return contextlib.nullcontext()
@@ -157,7 +166,7 @@ def _fault_scope(ctx):
     return recovering(ctx)
 
 
-def _print_fault_summary(injector, ctx) -> None:
+def _print_fault_summary(injector: "FaultInjector", ctx: "RecoveryContext") -> None:
     injected = {k: v for k, v in injector.counts.items() if v}
     dl = ctx.dead_letter
     print(f"\nfaults injected: {injected or 'none'}")
@@ -254,7 +263,35 @@ def cmd_explain(args: argparse.Namespace) -> int:
             print("\nEXPLAIN ANALYZE (one observed demo scan):")
             print(server.explain_analyze(collector=ob.stats, calibration=calibration))
             _maybe_fit_calibration(server, ob.stats, args)
+    if args.check:
+        from .analysis import analyze
+
+        report = analyze(args.query, catalog)
+        print("\nstatic analysis:")
+        print(report.render())
+        return report.exit_code()
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: static analysis as a pre-commit/CI gate.
+
+    Exit code 0 when the query analyzes clean, 1 on error-level
+    diagnostics (with ``--strict``: warnings too), 2 on internal errors
+    — mirroring the conventions of compilers and linters.
+    """
+    from .analysis import analyze
+
+    _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    calibration = _load_calibration(args)
+    report = analyze(
+        args.query, catalog, slo=args.slo, calibration=calibration
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -619,9 +656,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explain", help="parse, optimize, and cost a query")
     p.add_argument("query", help="query text (see repro.query.parser)")
+    p.add_argument(
+        "--check", action="store_true",
+        help="also run the static analyzer and print its diagnostics "
+             "(exit 1 on error-level findings)",
+    )
     _add_common(p)
     _add_analyze(p)
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "check",
+        help="statically analyze a query against the demo catalog "
+             "(see docs/static-analysis.md)",
+    )
+    p.add_argument("query", help="query text to analyze")
+    p.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit non-zero on any finding)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the diagnostics as JSON"
+    )
+    p.add_argument(
+        "--slo", type=float, default=None, metavar="MAX_LAG_S",
+        help="also check the cost estimate against this SLO lag budget",
+    )
+    p.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="price the SLO-budget check with a fitted calibration profile",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("query", help="execute a query and optionally write PNGs")
     p.add_argument("query", help="query text")

@@ -13,9 +13,9 @@ from .timeset import (
     AllTime,
     RecurringInterval,
     TimeInstants,
+    TimeIntersection,
     TimeInterval,
     TimeIntervalSet,
-    TimeIntersection,
     TimeSet,
     TimeUnion,
     intersect_timesets,
@@ -23,9 +23,9 @@ from .timeset import (
 from .valueset import (
     FLOAT32,
     FLOAT64,
-    GRAY8,
     GRAY10,
     GRAY16,
+    GRAY8,
     NDVI_VALUES,
     REFLECTANCE,
     RGB8,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import replace as dc_replace
 from time import perf_counter
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
@@ -30,6 +30,9 @@ from ..obs.stats import StatsCollector, current_collector
 from ..obs.trace import FrameTracer, current_frame_tracer
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
+
+if TYPE_CHECKING:
+    from ..faults.recovery import RecoveryContext
 
 __all__ = ["apply_operators", "compose_streams", "chunk_time", "iter_pipeline_operators"]
 
@@ -149,7 +152,7 @@ def _stats_feed(
     chunks: Iterable[Chunk],
     op: Operator,
     collector: StatsCollector | None,
-    ctx,
+    ctx: "RecoveryContext | None",
     ftr: FrameTracer | None = None,
 ) -> Iterator[Chunk]:
     """Stats/trace-collecting variant of ``_feed`` for the pull executor.

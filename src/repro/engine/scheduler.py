@@ -23,7 +23,7 @@ from .pipeline import chunk_time
 __all__ = ["merge_sources"]
 
 
-def _advance(it, stream_id: str) -> Chunk | None:
+def _advance(it: Iterator[Chunk], stream_id: str) -> Chunk | None:
     """Next chunk of one source, dropping the source on terminal failure.
 
     With a recovery context installed, a source whose reconnect budget is

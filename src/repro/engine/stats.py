@@ -7,11 +7,14 @@ helpers; the report format is what EXPERIMENTS.md rows are generated from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.stream import GeoStream
 from ..operators.base import BinaryOperator, Operator, OperatorStats
 from .pipeline import iter_pipeline_operators
+
+if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["OperatorReport", "pipeline_report", "format_report"]
 
@@ -60,7 +63,9 @@ def pipeline_report(stream: GeoStream) -> list[OperatorReport]:
     return [OperatorReport.from_operator(op) for op in iter_pipeline_operators(stream)]
 
 
-def format_report(reports: Sequence[OperatorReport], registry=None) -> str:
+def format_report(
+    reports: Sequence[OperatorReport], registry: "MetricsRegistry | None" = None
+) -> str:
     """Human-readable table of operator counters.
 
     Columns mirror the :class:`OperatorReport` fields: point and chunk
@@ -97,7 +102,7 @@ def format_report(reports: Sequence[OperatorReport], registry=None) -> str:
             label_text = ",".join(f"{k}={v}" for k, v in sorted(snap["labels"].items()))
             name = snap["name"] + (f"{{{label_text}}}" if label_text else "")
 
-            def fmt(v):
+            def fmt(v: float | None) -> str:
                 return f"{v:.4g}" if v is not None else "-"
 
             quantile_lines.append(

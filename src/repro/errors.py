@@ -24,6 +24,7 @@ __all__ = [
     "QueryError",
     "QuerySyntaxError",
     "PlanError",
+    "QueryAnalysisError",
     "IndexError_",
     "ServerError",
     "ProtocolError",
@@ -110,6 +111,18 @@ class QuerySyntaxError(QueryError):
 
 class PlanError(QueryError):
     """A logical query could not be planned into a physical pipeline."""
+
+
+class QueryAnalysisError(QueryError):
+    """Static analysis rejected a query at strict registration.
+
+    Carries the full :class:`~repro.analysis.diagnostics.DiagnosticReport`
+    as ``report`` so callers can render spans, codes, and fix hints.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class IndexError_(GeoStreamsError):

@@ -10,6 +10,8 @@ queries correct and live through it. See ``docs/faults.md``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .injector import FaultInjector
 from .recovery import (
     BackoffPolicy,
@@ -26,6 +28,9 @@ from .recovery import (
     resilient_stream,
 )
 from .spec import DEFAULT_INTENSITY, FAULT_KINDS, FaultSpec
+
+if TYPE_CHECKING:
+    from ..server.catalog import StreamCatalog
 
 __all__ = [
     "FaultSpec",
@@ -48,7 +53,9 @@ __all__ = [
 ]
 
 
-def harden_catalog(catalog, spec: FaultSpec, context: RecoveryContext | None = None):
+def harden_catalog(
+    catalog: "StreamCatalog", spec: FaultSpec, context: RecoveryContext | None = None
+) -> "tuple[StreamCatalog, FaultInjector, RecoveryContext]":
     """Fault-inject *and* harden every stream of a catalog.
 
     For each registered source this builds the full drill pipeline::

@@ -43,7 +43,7 @@ from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
-from ..obs.trace import current_frame_tracer
+from ..obs.trace import FrameTracer, current_frame_tracer
 from .recovery import SimClock, SystemClock, current_recovery
 from .spec import FAULT_KINDS, FaultSpec
 
@@ -73,7 +73,7 @@ def _corrupt_outrange(values: np.ndarray) -> np.ndarray:
 class FaultInjector:
     """Applies one :class:`FaultSpec` to any number of streams, with shared counts."""
 
-    def __init__(self, spec: FaultSpec, clock: SimClock | SystemClock | None = None):
+    def __init__(self, spec: FaultSpec, clock: SimClock | SystemClock | None = None) -> None:
         self.spec = spec
         self.clock = clock
         self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
@@ -86,7 +86,7 @@ class FaultInjector:
             get_registry().counter("repro_faults_injected_total", kind=kind).inc()
 
     @staticmethod
-    def _note_trace(ftr, chunk: Chunk, kind: str) -> None:
+    def _note_trace(ftr: "FrameTracer | None", chunk: Chunk, kind: str) -> None:
         """Annotate (and auto-pin) the chunk's frame trace, if it has one.
 
         Annotations never touch the injection rng, so traced and untraced

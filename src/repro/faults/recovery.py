@@ -53,7 +53,7 @@ from ..core.valueset import ValueSet
 from ..errors import GeoStreamsError, RecoveryExhausted, SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
 from ..obs.trace import current_frame_tracer
-from ..operators.base import Operator
+from ..operators.base import BinaryOperator, Operator
 
 __all__ = [
     "SimClock",
@@ -243,7 +243,9 @@ class RecoveryContext:
 
     # -- pipeline guard -----------------------------------------------------
 
-    def guard(self, op, chunk: Chunk, side: str | None = None) -> list[Chunk]:
+    def guard(
+        self, op: "Operator | BinaryOperator", chunk: Chunk, side: str | None = None
+    ) -> list[Chunk]:
         """Run one operator step, quarantining the chunk on library errors.
 
         The poison chunk goes to the dead-letter sink and the pipeline
@@ -264,7 +266,7 @@ class RecoveryContext:
             self.note_timeout(op.name)
         return outs
 
-    def guard_flush(self, op) -> list[Chunk]:
+    def guard_flush(self, op: "Operator | BinaryOperator") -> list[Chunk]:
         try:
             return list(op.flush())
         except GeoStreamsError as exc:
@@ -362,7 +364,12 @@ def resilient_stream(
     return GeoStream(stream.metadata, source)
 
 
-def _resilient_iter(stream, policy, clock, ctx) -> Iterator[Chunk]:
+def _resilient_iter(
+    stream: GeoStream,
+    policy: BackoffPolicy,
+    clock: SimClock | SystemClock,
+    ctx: RecoveryContext | None,
+) -> Iterator[Chunk]:
     sid = stream.stream_id
     delays = policy.schedule()
     delivered = 0
@@ -482,7 +489,7 @@ class FrameGuard(Operator):
 
     # -- frame assembly -----------------------------------------------------
 
-    def _process(self, chunk: Chunk):
+    def _process(self, chunk: Chunk) -> Iterator[Chunk]:
         reason = self._invalid_reason(chunk)
         if reason is not None:
             self._quarantine(chunk, reason)
@@ -509,7 +516,7 @@ class FrameGuard(Operator):
         if covered >= chunk.frame.lattice.height:
             yield from self._release(key)
 
-    def _release(self, key: object):
+    def _release(self, key: object) -> Iterator[Chunk]:
         bucket = self._frames.pop(key)
         self._order.remove(key)
         self.frames_released += 1
@@ -529,7 +536,7 @@ class FrameGuard(Operator):
             self.stats.buffer_remove_chunk(bucket[row0])
             self._quarantine(bucket[row0], "incomplete-frame")
 
-    def _flush(self):
+    def _flush(self) -> tuple[Chunk, ...]:
         for key in list(self._order):
             self._evict(key)
         return ()

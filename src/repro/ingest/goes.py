@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from ..core.stream import GeoStream, Organization, StreamMetadata
-from ..core.valueset import GRAY8, GRAY10, GRAY16, ValueSet
 from ..core.lattice import GridLattice
+from ..core.stream import GeoStream, Organization, StreamMetadata
+from ..core.valueset import GRAY10, GRAY16, GRAY8, ValueSet
 from ..errors import StreamError
 from ..geo.crs import CRS, LATLON, goes_geostationary
 from ..geo.region import BoundingBox

@@ -36,7 +36,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Iterable, Optional, Sequence
 
 from .registry import MetricsRegistry, get_registry
-from .trace import FrameTrace, hop_tree, span_id_for
+from .trace import FrameHop, FrameTrace, hop_tree, span_id_for
 from .tracing import Tracer, current_tracer
 
 __all__ = [
@@ -251,7 +251,7 @@ def _trace_base_s(trace: FrameTrace) -> float:
     return min(starts) if starts else 0.0
 
 
-def _hop_parent_key(trace: FrameTrace, hop) -> str | None:
+def _hop_parent_key(trace: FrameTrace, hop: FrameHop) -> str | None:
     keys = {h.key for h in trace.hops}
     in_trace = sorted(parent for parent in hop.parents if parent in keys)
     return in_trace[0] if in_trace else None
@@ -348,7 +348,7 @@ def traces_to_otlp(traces: Sequence[FrameTrace]) -> dict:
     monotonic-clock offsets, not wall-clock epochs).
     """
 
-    def attr(key: str, value) -> dict:
+    def attr(key: str, value: object) -> dict:
         if isinstance(value, bool):
             return {"key": key, "value": {"boolValue": value}}
         if isinstance(value, int):

@@ -277,7 +277,9 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, str, _LabelKey], _Instrument] = {}
 
-    def _get_or_create(self, cls, name: str, labels: Mapping[str, object], **kw):
+    def _get_or_create(
+        self, cls: type[_Instrument], name: str, labels: Mapping[str, object], **kw: object
+    ) -> _Instrument:
         key = (cls.kind, name, _label_key(labels))
         with self._lock:
             existing = self._metrics.get(key)

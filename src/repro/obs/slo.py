@@ -19,7 +19,7 @@ published under ``repro_slo_*`` when the registry is enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .registry import get_registry, metrics_enabled

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..core.provenance import Provenance
 from .registry import ObservabilityError
+
+if TYPE_CHECKING:
+    from ..plan.stages import PlanDAG
 
 __all__ = [
     "Reservoir",
@@ -269,7 +272,7 @@ def disable_stats() -> None:
 # -- lineage queries ------------------------------------------------------------
 
 
-def lineage(obj) -> Provenance | None:
+def lineage(obj: object) -> Provenance | None:
     """The provenance tag of a chunk or delivered frame, if any.
 
     Accepts anything with a ``provenance`` attribute (chunks,
@@ -278,7 +281,7 @@ def lineage(obj) -> Provenance | None:
     return getattr(obj, "provenance", None)
 
 
-def format_lineage(obj, dag=None) -> str:
+def format_lineage(obj: object, dag: "PlanDAG | None" = None) -> str:
     """Human-readable answer to "which stages and scans produced you?".
 
     With a ``PlanDAG`` the stage fingerprints are resolved to operator

@@ -44,11 +44,12 @@ import zlib
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Iterable, Iterator, TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .registry import get_registry, metrics_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.chunk import Chunk
     from ..core.stream import GeoStream
 
 __all__ = [
@@ -420,7 +421,7 @@ class FrameTracer:
             return False
         return self._rng.random() < rate
 
-    def admit(self, stream_id: str, chunk):
+    def admit(self, stream_id: str, chunk: "Chunk") -> "Chunk":
         """Assign a trace context to a source scan chunk (or keep one
         assigned upstream, e.g. by a hardened catalog's traced source)."""
         from dataclasses import replace as dc_replace

@@ -20,6 +20,7 @@ two aggregate shapes that work describes:
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace as dc_replace
 from typing import Deque, Iterable, Mapping
 
 import numpy as np
@@ -27,12 +28,11 @@ import numpy as np
 from ..core.chunk import Chunk, GridChunk, PointChunk
 from ..core.image import RasterImage, assemble_frames
 from ..core.metadata import FrameInfo
-from ..core.stream import StreamMetadata, Organization
+from ..core.stream import Organization, StreamMetadata
 from ..core.valueset import FLOAT32
 from ..errors import OperatorError
 from ..geo.region import Region
 from .base import Operator
-from dataclasses import replace as dc_replace
 
 __all__ = ["TemporalAggregate", "RegionAggregate", "AGGREGATE_FUNCS"]
 

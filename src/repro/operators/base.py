@@ -105,6 +105,12 @@ class Operator:
 
     name = "operator"
 
+    # Plan identity stamped by the lowering layer so obs ledgers can key
+    # pull-path work by subplan fingerprint (see repro.plan.lower._stamp).
+    plan_fingerprint: str | None = None
+    plan_label: str | None = None
+    plan_kind: str | None = None
+
     def __init__(self) -> None:
         self.stats = OperatorStats()
 
@@ -155,6 +161,10 @@ class BinaryOperator:
 
     name = "binary-operator"
     SIDES = ("left", "right")
+
+    plan_fingerprint: str | None = None
+    plan_label: str | None = None
+    plan_kind: str | None = None
 
     def __init__(self) -> None:
         self.stats = OperatorStats()

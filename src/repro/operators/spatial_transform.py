@@ -18,8 +18,7 @@ Costs mirror the paper's analysis:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from dataclasses import replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from typing import Callable, Iterable
 
 import numpy as np

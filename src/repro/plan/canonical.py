@@ -27,6 +27,8 @@ from ..errors import PlanError
 from ..geo.crs import CRS
 from ..geo.region import intersect_regions
 from ..query import ast as q
+from ..query.calibration import CalibrationProfile
+from ..query.cost import Estimate, NodeCost, StreamProfile
 from . import nodes as p
 from .nodes import COMMUTATIVE_GAMMAS
 from .ops import VALUE_MAP_DEFAULTS
@@ -155,7 +157,11 @@ def canonicalize(
     return visit(node)
 
 
-def estimate_plan(plan: p.PlanNode, profiles, calibration=None):
+def estimate_plan(
+    plan: p.PlanNode,
+    profiles: Mapping[str, StreamProfile],
+    calibration: CalibrationProfile | None = None,
+) -> tuple[Estimate, list[NodeCost]]:
     """Cost-estimate a canonical plan (delegates to the logical model).
 
     Estimates are defined over canonicalized plans so that two queries

@@ -7,13 +7,16 @@ operator-construction table on the plan nodes.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, TypeVar
 
 from ..core.stream import GeoStream
 from ..engine.pipeline import compose_streams
+from ..operators.base import BinaryOperator, Operator
 from . import nodes as p
 
 __all__ = ["plan_to_stream", "empty_stream"]
+
+_OpT = TypeVar("_OpT", bound="Operator | BinaryOperator")
 
 
 def empty_stream(reason: str = "") -> GeoStream:
@@ -33,7 +36,7 @@ def empty_stream(reason: str = "") -> GeoStream:
     return GeoStream(metadata, lambda: iter(()))
 
 
-def _stamp(op, plan: p.PlanNode):
+def _stamp(op: _OpT, plan: p.PlanNode) -> _OpT:
     """Tag a fresh operator with its plan node's identity.
 
     The pull executor has no shared stages, but stamping the subplan
@@ -63,4 +66,6 @@ def plan_to_stream(
         right = plan_to_stream(plan.right, resolve)
         return compose_streams(left, right, _stamp(plan.make_operator(), plan))
     child = plan_to_stream(plan.children[0], resolve)
-    return child.pipe(_stamp(plan.make_operator(), plan))
+    op = _stamp(plan.make_operator(), plan)
+    assert isinstance(op, Operator), f"unary plan node built a binary operator: {plan.describe()}"
+    return child.pipe(op)

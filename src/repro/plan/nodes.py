@@ -14,13 +14,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple
 
 from ..core.timeset import TimeSet
 from ..errors import PlanError
 from ..geo.crs import CRS
 from ..geo.region import BoundingBox, Region
 from ..query import ast as q
+
+if TYPE_CHECKING:
+    from ..operators.base import BinaryOperator, Operator
 
 __all__ = [
     "PlanNode",
@@ -112,7 +115,7 @@ class PlanNode:
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
-    def make_operator(self):
+    def make_operator(self) -> Operator | BinaryOperator:
         """Fresh physical operator for this node (leaves have none)."""
         raise PlanError(f"{type(self).__name__} has no physical operator")
 
@@ -167,7 +170,7 @@ class SpatialRestrict(PlanNode):
     child: PlanNode
     region: Region
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.restriction import SpatialRestriction
 
         return SpatialRestriction(self.region)
@@ -191,7 +194,7 @@ class TemporalRestrict(PlanNode):
     timeset: TimeSet
     on_sector: bool = False
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.restriction import TemporalRestriction
 
         return TemporalRestriction(self.timeset, on_sector=self.on_sector)
@@ -212,7 +215,7 @@ class ValueRestrict(PlanNode):
     lo: float | None = None
     hi: float | None = None
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.restriction import ValueRestriction
 
         return ValueRestriction(lo=self.lo, hi=self.hi)
@@ -232,7 +235,7 @@ class ValueMap(PlanNode):
     kind: str
     params: tuple[tuple[str, float], ...] = ()
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from .ops import build_value_map
 
         return build_value_map(self.kind, self.params)
@@ -252,7 +255,7 @@ class Stretch(PlanNode):
     child: PlanNode
     kind: str = "linear"
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.value_transform import FrameStretch
 
         return FrameStretch(self.kind)
@@ -269,7 +272,7 @@ class Magnify(PlanNode):
     child: PlanNode
     k: int = 2
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.spatial_transform import Magnify as MagnifyOp
 
         return MagnifyOp(self.k)
@@ -286,7 +289,7 @@ class Coarsen(PlanNode):
     child: PlanNode
     k: int = 2
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.spatial_transform import Coarsen as CoarsenOp
 
         return CoarsenOp(self.k)
@@ -303,7 +306,7 @@ class Rotate(PlanNode):
     child: PlanNode
     angle_deg: float = 0.0
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.spatial_transform import Rotate as RotateOp
 
         return RotateOp(self.angle_deg)
@@ -321,7 +324,7 @@ class Reproject(PlanNode):
     dst_crs: CRS
     method: str = "bilinear"
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.reprojection import Reproject as ReprojectOp
 
         return ReprojectOp(self.dst_crs, method=self.method)
@@ -347,7 +350,7 @@ class Compose(PlanNode):
     gamma: str = "+"
     timestamp_policy: str = "sector"
 
-    def make_operator(self):
+    def make_operator(self) -> BinaryOperator:
         from .ops import build_composition
 
         return build_composition(self.gamma, self.timestamp_policy)
@@ -366,7 +369,7 @@ class TemporalAgg(PlanNode):
     window: int = 2
     mode: str = "sliding"
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.aggregate import TemporalAggregate as TemporalAggregateOp
 
         return TemporalAggregateOp(self.window, self.func, self.mode)
@@ -384,7 +387,7 @@ class RegionAgg(PlanNode):
     regions: tuple[tuple[str, Region], ...] = ()
     func: str = "mean"
 
-    def make_operator(self):
+    def make_operator(self) -> Operator:
         from ..operators.aggregate import RegionAggregate as RegionAggregateOp
 
         return RegionAggregateOp(dict(self.regions), self.func)

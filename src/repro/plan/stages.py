@@ -15,8 +15,7 @@ stages nobody else needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from dataclasses import replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from time import perf_counter
 from typing import Callable, Iterable
 

@@ -44,7 +44,7 @@ DEFAULT_SECONDS_PER_UNIT = 1e-6
 _KIND_ALIASES = {"StreamRef": "SourceScan", "Empty": "EmptyPlan"}
 
 
-def kind_of(node) -> str:
+def kind_of(node: object) -> str:
     """Calibration kind of an AST or plan node: its class name, unified."""
     name = type(node).__name__
     return _KIND_ALIASES.get(name, name)

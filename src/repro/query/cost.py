@@ -25,6 +25,7 @@ from ..errors import PlanError, RegionError
 from ..geo.crs import CRS
 from ..geo.region import BoundingBox
 from . import ast as q
+from .calibration import CalibrationProfile
 
 __all__ = ["StreamProfile", "Estimate", "NodeCost", "estimate_query", "REPROJECT_BAND_FRACTION"]
 
@@ -118,7 +119,7 @@ def _spatial_selectivity(bbox: BoundingBox | None, region_bbox: BoundingBox, crs
 def estimate_query(
     node: q.QueryNode,
     profiles: Mapping[str, StreamProfile],
-    calibration=None,
+    calibration: CalibrationProfile | None = None,
 ) -> tuple[Estimate, list[NodeCost]]:
     """Estimate per-frame cost of a query tree bottom-up.
 

@@ -43,7 +43,7 @@ from typing import Mapping
 from ..core.timeset import intersect_timesets
 from ..errors import RegionError
 from ..geo.crs import CRS
-from ..geo.region import intersect_regions
+from ..geo.region import BoundingBox, intersect_regions
 from . import ast as q
 
 __all__ = ["optimize", "OptimizeResult", "infer_crs"]
@@ -118,7 +118,7 @@ class _Rewriter:
         return q.TemporalRestrict(inner.child, merged, node.on_sector)
 
     @staticmethod
-    def _pruned_below(subtree: q.QueryNode, box) -> bool:
+    def _pruned_below(subtree: q.QueryNode, box: BoundingBox) -> bool:
         """True when the subtree already contains a spatial restriction at
         least as tight as ``box`` (same CRS), so inserting another one
         would only loop: the inserted restriction sinks toward the leaves

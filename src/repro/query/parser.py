@@ -36,7 +36,7 @@ from ..geo.crs import CRS
 from ..geo.region import BoundingBox, ConstraintRegion, PolygonRegion, Region
 from . import ast as q
 
-__all__ = ["parse_query", "resolve_crs"]
+__all__ = ["parse_query", "parse_query_spanned", "resolve_crs"]
 
 _TOKEN_RE = re.compile(
     r"\s*(?:"
@@ -105,6 +105,10 @@ class _Parser:
         self.text = text
         self.tokens = _tokenize(text)
         self.index = 0
+        # id(node) -> (start, end) character span. Nodes are frozen and
+        # equality-comparable, so identity is the only safe key; the map
+        # is meaningful only while the parsed tree is alive.
+        self.spans: dict[int, tuple[int, int]] = {}
 
     # -- token helpers ----------------------------------------------------------
 
@@ -132,6 +136,23 @@ class _Parser:
             return True
         return False
 
+    # -- span bookkeeping ---------------------------------------------------------
+
+    def _mark(self) -> int:
+        tok = self._peek()
+        return tok.pos if tok is not None else len(self.text)
+
+    def _note(self, value: Any, start: int) -> Any:
+        """Record the source span of a freshly produced AST node."""
+        if isinstance(value, q.QueryNode) and id(value) not in self.spans:
+            if self.index > 0:
+                last = self.tokens[self.index - 1]
+                end = last.pos + len(last.value)
+            else:  # pragma: no cover - a node needs at least one token
+                end = start
+            self.spans[id(value)] = (start, end)
+        return value
+
     # -- grammar ------------------------------------------------------------------
 
     def parse(self) -> Any:
@@ -147,32 +168,36 @@ class _Parser:
         return self.add()
 
     def add(self) -> Any:
+        start = self._mark()
         left = self.mul()
         while True:
             if self._accept("+"):
-                left = _combine(left, self.mul(), "+")
+                left = self._note(_combine(left, self.mul(), "+"), start)
             elif self._accept("-"):
-                left = _combine(left, self.mul(), "-")
+                left = self._note(_combine(left, self.mul(), "-"), start)
             else:
                 return left
 
     def mul(self) -> Any:
+        start = self._mark()
         left = self.unary()
         while True:
             if self._accept("*"):
-                left = _combine(left, self.unary(), "*")
+                left = self._note(_combine(left, self.unary(), "*"), start)
             elif self._accept("/"):
-                left = _combine(left, self.unary(), "/")
+                left = self._note(_combine(left, self.unary(), "/"), start)
             else:
                 return left
 
     def unary(self) -> Any:
+        start = self._mark()
         if self._accept("-"):
             operand = self.unary()
             if isinstance(operand, (int, float)):
                 return -operand
             if isinstance(operand, q.QueryNode):
-                return q.ValueMap(operand, "rescale", (("gain", -1.0), ("offset", 0.0)))
+                negated = q.ValueMap(operand, "rescale", (("gain", -1.0), ("offset", 0.0)))
+                return self._note(negated, start)
             raise QuerySyntaxError("unary minus applies to numbers or stream expressions")
         return self.primary()
 
@@ -192,8 +217,8 @@ class _Parser:
             if nxt is not None and nxt.kind == "punct" and nxt.value == "(":
                 self._next()
                 args, kwargs = self.arguments()
-                return _call_function(tok.value, args, kwargs, tok.pos)
-            return q.StreamRef(tok.value)
+                return self._note(_call_function(tok.value, args, kwargs, tok.pos), tok.pos)
+            return self._note(q.StreamRef(tok.value), tok.pos)
         raise QuerySyntaxError(f"unexpected token {tok.value!r} at position {tok.pos}")
 
     def arguments(self) -> tuple[list[Any], dict[str, Any]]:
@@ -496,9 +521,22 @@ def _call_function(name: str, args: list[Any], kwargs: dict[str, Any], pos: int)
 
 def parse_query(text: str) -> q.QueryNode:
     """Parse query text into an algebra tree."""
-    result = _Parser(text).parse()
+    return parse_query_spanned(text)[0]
+
+
+def parse_query_spanned(text: str) -> tuple[q.QueryNode, dict[int, tuple[int, int]]]:
+    """Parse query text, also returning each node's source span.
+
+    The second element maps ``id(node)`` to ``(start, end)`` character
+    offsets into ``text`` — by identity because algebra nodes compare
+    structurally. The static analyzer uses it to point diagnostics at
+    the offending sub-expression. Spans are only valid while the
+    returned tree is referenced.
+    """
+    parser = _Parser(text)
+    result = parser.parse()
     if not isinstance(result, q.QueryNode):
         raise QuerySyntaxError(
             f"query text denotes a {type(result).__name__}, not a stream expression"
         )
-    return result
+    return result, parser.spans

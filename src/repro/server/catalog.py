@@ -7,13 +7,18 @@ planner's cost model and the router need.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from ..core.stream import GeoStream
 from ..errors import ServerError
 from ..geo.crs import CRS
 from ..geo.region import BoundingBox
 from ..query.cost import StreamProfile
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from ..ingest.instrument import Instrument
 
 __all__ = ["StreamCatalog"]
 
@@ -33,13 +38,13 @@ class StreamCatalog:
         self._streams[sid] = stream
         self._extents[sid] = frame_bbox
 
-    def register_imager(self, imager) -> None:
+    def register_imager(self, imager: "Instrument") -> None:
         """Register every band stream of a GOES-like imager."""
         bbox = imager.sector_lattice.bbox
         for stream in imager.streams().values():
             self.register(stream, bbox)
 
-    def register_archive(self, path) -> GeoStream:
+    def register_archive(self, path: "str | Path") -> GeoStream:
         """Register a ``.gsar`` archive (see :mod:`repro.io.archive`).
 
         The frame extent is reconstructed from the first archived chunk's

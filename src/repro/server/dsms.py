@@ -11,14 +11,14 @@ contribute to — the architecture of Section 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from dataclasses import replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
+from typing import TYPE_CHECKING
 
 from ..core.chunk import Chunk, GridChunk
 from ..core.provenance import Provenance
 from ..engine.pipeline import chunk_time
 from ..engine.scheduler import merge_sources
-from ..errors import GeoStreamsError, RegionError, ServerError
+from ..errors import GeoStreamsError, QueryAnalysisError, RegionError, ServerError
 from ..faults.recovery import RecoveryContext, current_recovery
 from ..geo.region import BoundingBox
 from ..index.base import RegionIndex
@@ -28,10 +28,16 @@ from ..obs.registry import get_registry, metrics_enabled
 from ..obs.slo import SLOMonitor, SLOPolicy
 from ..obs.stats import StatsCollector, current_collector
 from ..obs.trace import FrameTrace, current_frame_tracer
-from ..operators.delivery import DeliveredFrame
 from ..operators.base import Operator
-from ..plan import PlanDAG, PlanNode, Stage, canonicalize, estimate_plan
-from ..plan import source_ids as plan_source_ids
+from ..operators.delivery import DeliveredFrame
+from ..plan import (
+    PlanDAG,
+    PlanNode,
+    Stage,
+    canonicalize,
+    estimate_plan,
+    source_ids as plan_source_ids,
+)
 from ..query import ast as q
 from ..query.calibration import CalibrationSample, kind_of
 from ..query.optimizer import optimize
@@ -39,6 +45,15 @@ from ..query.parser import parse_query
 from .catalog import StreamCatalog
 from .protocol import Request, parse_request
 from .session import ClientSession, SessionCheckpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Mapping
+
+    from ..analysis.diagnostics import DiagnosticReport
+    from ..engine.stats import OperatorReport
+    from ..plan.stages import PlanStats
+    from ..query.calibration import CalibrationProfile
+    from ..query.cost import StreamProfile
 
 __all__ = ["DSMSServer", "source_prune_boxes", "RouterStats"]
 
@@ -196,8 +211,26 @@ class DSMSServer:
 
     # -- registration ------------------------------------------------------------
 
-    def register(self, query: str | q.QueryNode, encode_png: bool = True) -> ClientSession:
-        """Parse, optimize, compile, and route one continuous query."""
+    def register(
+        self,
+        query: str | q.QueryNode,
+        encode_png: bool = True,
+        strict: bool = False,
+    ) -> ClientSession:
+        """Parse, optimize, compile, and route one continuous query.
+
+        With ``strict``, the static analyzer runs first and any
+        error-level diagnostic rejects the registration with a
+        :class:`~repro.errors.QueryAnalysisError` carrying the full
+        report — nothing is wired into the DAG.
+        """
+        if strict:
+            report = self.analyze_query(query)
+            if not report.ok:
+                raise QueryAnalysisError(
+                    "static analysis rejected the query:\n" + report.render(),
+                    report=report,
+                )
         if isinstance(query, str):
             text = query
             tree = parse_query(query)
@@ -254,6 +287,50 @@ class DSMSServer:
         session.bind_trace(reg_id)
         self._route(reg_id, boxes)
         return session
+
+    def register_query(
+        self,
+        query: str | q.QueryNode,
+        encode_png: bool = True,
+        *,
+        strict: bool = True,
+    ) -> ClientSession:
+        """Register with static analysis gating on by default.
+
+        Identical to :meth:`register` but strict unless told otherwise:
+        error-level diagnostics reject the query before it touches the
+        shared DAG.
+        """
+        return self.register(query, encode_png=encode_png, strict=strict)
+
+    def analyze_query(self, query: str | q.QueryNode) -> "DiagnosticReport":
+        """Statically analyze one query against this server's catalog.
+
+        Runs every check :func:`repro.analysis.analyze` knows — CRS,
+        value-domain, satisfiability, and (when an SLO is installed)
+        budget conflicts — without registering anything.
+        """
+        from ..analysis import analyze
+
+        monitor = self.slo_monitor
+        return analyze(
+            query,
+            self.catalog,
+            slo=monitor.policy if monitor is not None else None,
+            has_ingest_shedder=self.ingest_shedder is not None,
+        )
+
+    def selfcheck(self) -> "DiagnosticReport":
+        """Audit the live shared DAG against its structural invariants.
+
+        Delegates to :func:`repro.analysis.selfcheck.check_server`:
+        fingerprint collisions, dangling fan-out edges, refcount
+        inconsistencies, rootless terminal edges, and SLO/shed-policy
+        conflicts all surface as diagnostics.
+        """
+        from ..analysis import check_server
+
+        return check_server(self)
 
     def _find_shared(self, plan: PlanNode) -> _Registration | None:
         for registration in self._registrations.values():
@@ -384,7 +461,7 @@ class DSMSServer:
         return len(self._registrations)
 
     @property
-    def plan_stats(self):
+    def plan_stats(self) -> "PlanStats":
         """Sharing statistics of the server-wide plan DAG."""
         return self.plan_dag.stats
 
@@ -473,7 +550,9 @@ class DSMSServer:
 
     # -- EXPLAIN ANALYZE --------------------------------------------------------
 
-    def _stage_own_work(self, profiles) -> dict[str, float | None]:
+    def _stage_own_work(
+        self, profiles: "Mapping[str, StreamProfile]"
+    ) -> dict[str, float | None]:
         """Per-frame estimated work of each stage's *own* operator.
 
         ``estimate_plan`` prices whole subplans; subtracting the direct
@@ -551,7 +630,7 @@ class DSMSServer:
     def explain_analyze(
         self,
         collector: StatsCollector | None = None,
-        calibration=None,
+        calibration: "CalibrationProfile | None" = None,
         flag_ratio: float = 3.0,
     ) -> str:
         """Render the DAG annotated with observed vs estimated cost.
@@ -645,7 +724,7 @@ class DSMSServer:
             )
         return "\n".join(lines)
 
-    def operator_reports(self):
+    def operator_reports(self) -> "list[OperatorReport]":
         """OperatorReports for every physical stage of the shared DAG.
 
         The push-network analogue of ``engine.pipeline_report``: call after

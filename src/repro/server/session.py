@@ -8,6 +8,7 @@ records. Sessions are the terminal sinks of compiled push networks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -16,6 +17,10 @@ from ..engine.pipeline import chunk_time
 from ..obs.registry import LATENCY_BUCKETS, get_registry, metrics_enabled
 from ..operators.delivery import CollectingSink, DeliveredFrame, Delivery
 from ..query import ast as q
+
+if TYPE_CHECKING:
+    from ..obs.registry import Counter, Histogram
+    from ..obs.trace import FrameTrace
 
 __all__ = ["AggregateRecord", "ClientSession", "SessionCheckpoint"]
 
@@ -89,7 +94,7 @@ class ClientSession:
         self._resume_record_t = float("-inf")
         self.resumed_skips = 0
 
-    def set_clock(self, clock) -> None:
+    def set_clock(self, clock: "Callable[[], float]") -> None:
         """Install the server's stream-time clock (for latency metrics)."""
         self._clock = clock
 
@@ -102,11 +107,11 @@ class ClientSession:
         """
         self._delivery.trace_query = query_key
 
-    def frame_traces(self):
+    def frame_traces(self) -> "list[FrameTrace | None]":
         """Traces of this session's delivered frames (None when untraced)."""
         return [frame.trace for frame in self.frames]
 
-    def _obs_handles(self):
+    def _obs_handles(self) -> "tuple[Counter, Counter, Histogram] | tuple[Counter, ...]":
         """Registry instruments for this session, fetched on first use."""
         if self._obs is None:
             registry = get_registry()

@@ -1,0 +1,155 @@
+"""Docs and examples stay honest against the static analyzer.
+
+Two sync contracts:
+
+* docs/static-analysis.md documents exactly the codes in
+  ``repro.analysis.diagnostics.CODES`` (heading, severity, example,
+  fix hint) — the registry docstring promises this file.
+* every query shipped in docs/query-language.md and examples/ analyzes
+  clean against the demo catalog, so copy-pasting documentation never
+  greets a new user with diagnostics.
+
+When ``REPRO_DIAG_SUMMARY`` is set, the clean-queries test also writes
+a JSON summary of every analyzed query (CI uploads it as an artifact).
+"""
+
+import ast
+import importlib.util
+import json
+import os
+import pathlib
+import re
+import sys
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.diagnostics import CODES
+from repro.cli import build_demo_catalog
+from repro.geo import utm
+
+REPO = pathlib.Path(__file__).parent.parent
+DOCS = REPO / "docs"
+EXAMPLES = REPO / "examples"
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return build_demo_catalog(seed=7, n_frames=2, width=96, height=48)
+
+
+# -- docs/static-analysis.md <-> CODES sync ---------------------------------------
+
+
+def test_static_analysis_doc_covers_every_code():
+    text = (DOCS / "static-analysis.md").read_text()
+    for code, info in CODES.items():
+        heading = f"### {code} — {info.title} ({info.severity.value})"
+        assert heading in text, f"{code}: heading missing or stale in docs"
+        assert info.example in text, f"{code}: documented example drifted"
+        assert info.hint in text, f"{code}: documented fix hint drifted"
+
+
+def test_static_analysis_doc_has_no_phantom_codes():
+    text = (DOCS / "static-analysis.md").read_text()
+    documented = set(re.findall(r"^### (GS-[A-Z]+\d+)", text, flags=re.M))
+    assert documented == set(CODES)
+
+
+def test_doc_is_linked_from_readme_and_query_language():
+    assert "static-analysis.md" in (REPO / "README.md").read_text()
+    assert "static-analysis.md" in (DOCS / "query-language.md").read_text()
+
+
+# -- every documented/shipped query analyzes clean --------------------------------
+
+
+def _doc_queries():
+    """Fenced query blocks from docs/query-language.md (by stream refs)."""
+    text = (DOCS / "query-language.md").read_text()
+    for block in re.findall(r"```\n(.*?)```", text, flags=re.S):
+        if "goes." in block and "$" not in block:
+            yield "query-language.md", " ".join(block.split())
+
+
+def _example_constant_queries():
+    """QUERY/QUERIES string constants from every example script."""
+    for path in sorted(EXAMPLES.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            names = {t.id for t in node.targets if isinstance(t, ast.Name)}
+            if not names & {"QUERY", "QUERIES"}:
+                continue
+            value = ast.literal_eval(node.value)
+            texts = [value] if isinstance(value, str) else list(value)
+            for text in texts:
+                yield path.name, text
+
+
+def _example_runtime_queries(imager):
+    """Queries the examples assemble at runtime, rebuilt the same way."""
+    # ndvi_monitoring.py: the paper's worked query with a UTM-10 ROI.
+    utm10 = utm(10)
+    x0, y0 = (float(v) for v in utm10.from_lonlat(-122.5, 37.5))
+    x1, y1 = (float(v) for v in utm10.from_lonlat(-120.0, 40.0))
+    yield "ndvi_monitoring.py", (
+        "within(reproject(stretch(ndvi(reflectance(goes.nir), reflectance(goes.vis)),"
+        f" 'linear'), 'utm:10'), bbox({min(x0, x1):.0f}, {min(y0, y1):.0f},"
+        f" {max(x0, x1):.0f}, {max(y0, y1):.0f}, crs='utm:10'))"
+    )
+    # dsms_server_demo.py: its three clients, via the module's own helper.
+    spec = importlib.util.spec_from_file_location(
+        "example_dsms_server_demo", EXAMPLES / "dsms_server_demo.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    box = module.geos_bbox
+    yield "dsms_server_demo.py", (
+        "within(stretch(ndvi(reflectance(goes.nir), reflectance(goes.vis)), "
+        f"'linear'), {box(imager, -122.5, 38.0, -120.5, 40.0)})"
+    )
+    yield "dsms_server_demo.py", (
+        f"within(stretch(reflectance(goes.vis), 'equalize'), "
+        f"{box(imager, -120.0, 32.5, -114.5, 35.5)})"
+    )
+    yield "dsms_server_demo.py", (
+        f"ragg(reflectance(goes.vis), 'mean', 'nevada', "
+        f"{box(imager, -120.0, 37.0, -114.0, 42.0)})"
+    )
+
+
+def test_documented_queries_analyze_clean(demo):
+    imager, catalog = demo
+    cases = [
+        *_doc_queries(),
+        *_example_constant_queries(),
+        *_example_runtime_queries(imager),
+    ]
+    assert len(cases) >= 8  # the worked example plus the shipped examples
+    summary = []
+    failures = []
+    for origin, text in cases:
+        report = analyze(text, catalog, slo=1e9)
+        summary.append(
+            {
+                "origin": origin,
+                "query": text,
+                "ok": report.ok,
+                "codes": sorted(report.codes()),
+            }
+        )
+        if len(report) > 0:  # no errors *or* warnings in shipped queries
+            failures.append(f"{origin}: {text}\n{report.render()}")
+    artifact = os.environ.get("REPRO_DIAG_SUMMARY")
+    if artifact:
+        payload = {
+            "queries_analyzed": len(summary),
+            "clean": not failures,
+            "documented_codes": sorted(CODES),
+            "results": summary,
+        }
+        pathlib.Path(artifact).write_text(json.dumps(payload, indent=2))
+    assert not failures, "\n\n".join(failures)

@@ -1,6 +1,5 @@
 """CLI front-end tests (run in-process via repro.cli.main)."""
 
-import pathlib
 
 import pytest
 

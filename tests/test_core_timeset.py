@@ -4,16 +4,15 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     AllTime,
     RecurringInterval,
     TimeInstants,
+    TimeIntersection,
     TimeInterval,
     TimeIntervalSet,
-    TimeIntersection,
     TimeUnion,
     intersect_timesets,
 )

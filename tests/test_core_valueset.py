@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.core import FLOAT32, GRAY8, GRAY10, GRAY16, NDVI_VALUES, REFLECTANCE, RGB8, ValueSet, promote
+from repro.core import (
+    FLOAT32,
+    GRAY10,
+    GRAY16,
+    GRAY8,
+    NDVI_VALUES,
+    REFLECTANCE,
+    RGB8,
+    ValueSet,
+    promote,
+)
 from repro.errors import ValueSetError
 
 

@@ -1,6 +1,5 @@
 """Error hierarchy, stats formatting, archive-backed catalogs."""
 
-import numpy as np
 import pytest
 
 from repro import errors

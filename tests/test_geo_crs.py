@@ -7,8 +7,8 @@ from repro.errors import CRSMismatchError
 from repro.geo import (
     LATLON,
     goes_geostationary,
-    latlon,
     lambert_conic,
+    latlon,
     mercator,
     plate_carree,
     sinusoidal,

@@ -4,10 +4,17 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.geo import GRS80, SPHERE, WGS84, Ellipsoid, ecef_to_geodetic, geodetic_to_ecef, haversine_m
+from repro.geo import (
+    GRS80,
+    SPHERE,
+    WGS84,
+    Ellipsoid,
+    ecef_to_geodetic,
+    geodetic_to_ecef,
+    haversine_m,
+)
 
 
 class TestEllipsoid:

@@ -4,8 +4,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ProjectionDomainError, ProjectionError
 from repro.geo import (

@@ -4,9 +4,9 @@ import pytest
 
 from repro.errors import CRSError
 from repro.geo import (
+    CRS,
     GRS80,
     SPHERE,
-    CRS,
     Geostationary,
     from_spec,
     goes_geostationary,

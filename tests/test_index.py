@@ -3,8 +3,7 @@ with the naive scan is the correctness oracle (property-based)."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import IndexError_
 from repro.geo import BoundingBox

@@ -6,7 +6,7 @@ import pytest
 from repro.core import Organization, PointChunk
 from repro.errors import StreamError
 from repro.geo import haversine_m
-from repro.ingest import AirborneCamera, GOESImager, LidarScanner, SyntheticEarth, western_us_sector
+from repro.ingest import AirborneCamera, GOESImager, LidarScanner, western_us_sector
 
 DAY_T0 = 72_000.0
 

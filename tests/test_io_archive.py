@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import CodecError
-from repro.io import read_archive, write_archive
 from repro.ingest import LidarScanner
+from repro.io import read_archive, write_archive
 from repro.operators import SpatialRestriction, ndvi, reflectance
 
 

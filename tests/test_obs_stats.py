@@ -20,7 +20,7 @@ from repro.geo import goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 from repro.obs.registry import ObservabilityError
 from repro.obs.slo import SLOMonitor, SLOPolicy
-from repro.obs.stats import Reservoir, StatsCollector, format_lineage, lineage
+from repro.obs.stats import Reservoir, format_lineage, lineage
 from repro.operators import AdaptiveLoadShedder
 from repro.plan import canonicalize, estimate_plan
 from repro.query import CalibrationProfile, CalibrationSample, optimize, parse_query

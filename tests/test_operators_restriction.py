@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import TimeInterval, TimeInstants
+from repro.core import TimeInstants, TimeInterval
 from repro.errors import CRSMismatchError, OperatorError
-from repro.geo import LATLON, BoundingBox, PolygonRegion, utm
+from repro.geo import LATLON, BoundingBox, PolygonRegion
 from repro.ingest import LidarScanner
 from repro.operators import SpatialRestriction, TemporalRestriction, ValueRestriction
 

@@ -23,8 +23,7 @@ from repro.operators import (
     TemporalRestriction,
     ValueRestriction,
 )
-from repro.query import ast as q
-from repro.query import optimize
+from repro.query import ast as q, optimize
 from repro.server import DSMSServer, StreamCatalog
 
 DAY_T0 = 72_000.0

@@ -8,8 +8,7 @@ randomly generated query trees.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import Organization, TimeInterval
 from repro.geo import BoundingBox, goes_geostationary

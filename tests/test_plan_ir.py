@@ -16,11 +16,10 @@ from repro.plan import (
     build_value_map,
     canonicalize,
     estimate_plan,
+    nodes as p,
     plan_to_stream,
 )
-from repro.plan import nodes as p
-from repro.query import ast as q
-from repro.query import plan_query
+from repro.query import ast as q, plan_query
 from repro.server import compile_push_network
 
 from .conftest import sector_subbox

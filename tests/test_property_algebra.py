@@ -11,15 +11,12 @@ Hypothesis generates random query trees; we check the global invariants:
 """
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import GridChunk, TimeInterval
-from repro.geo import BoundingBox, goes_geostationary, plate_carree
+from repro.geo import BoundingBox, goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
-from repro.query import ast as q
-from repro.query import optimize, plan_query
+from repro.query import ast as q, optimize, plan_query
 
 # A tiny, session-cached source environment so each hypothesis example is fast.
 _GEOS = goes_geostationary(-135.0)

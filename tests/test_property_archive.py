@@ -1,9 +1,7 @@
 """Property-based archive round-trips over generated chunk streams."""
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core import (

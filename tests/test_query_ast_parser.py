@@ -5,8 +5,7 @@ import pytest
 from repro.core import RecurringInterval, TimeInterval
 from repro.errors import QueryError, QuerySyntaxError
 from repro.geo import BoundingBox, ConstraintRegion, PolygonRegion, utm
-from repro.query import ast as q
-from repro.query import parse_query, resolve_crs
+from repro.query import ast as q, parse_query, resolve_crs
 
 
 class TestASTBasics:

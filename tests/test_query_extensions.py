@@ -7,8 +7,7 @@ import pytest
 from repro.core import TimeInterval
 from repro.geo import BoundingBox
 from repro.operators import spatio_temporal_aggregate
-from repro.query import ast as q
-from repro.query import optimize, parse_query, plan_query
+from repro.query import ast as q, optimize, parse_query, plan_query
 
 
 @pytest.fixture()

@@ -5,8 +5,7 @@ import pytest
 
 from repro.core import TimeInterval
 from repro.geo import BoundingBox, utm
-from repro.query import ast as q
-from repro.query import optimize, plan_query
+from repro.query import ast as q, optimize, plan_query
 from repro.query.optimizer import infer_crs
 
 

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import PlanError
-from repro.geo import BoundingBox, plate_carree, utm
-from repro.query import Q, estimate_query, parse_query, plan_query
-from repro.query import ast as q
-from repro.query.cost import StreamProfile
+from repro.geo import BoundingBox, utm
+from repro.query import Q, ast as q, estimate_query, parse_query, plan_query
 
 
 def subbox(imager, fx0, fy0, fx1, fy1):

@@ -6,7 +6,6 @@ import zlib
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.errors import CodecError

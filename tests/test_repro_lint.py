@@ -1,0 +1,202 @@
+"""The custom repo lint (tools/repro_lint.py): every rule, both ways.
+
+Each rule gets a positive case (a synthetic file that must trip it) and
+a negative case (the idiomatic form that must not), written into a tmp
+tree shaped like the real repo so the path-scoped rules see the paths
+they key on. The final test pins the real tree clean — the same
+assertion CI makes by running ``python -m tools.repro_lint``.
+"""
+
+import pathlib
+
+from tools.repro_lint import Violation, lint_file, lint_paths, main
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def lint_source(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path, tmp_path)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# -- RL001: no timing on the untraced fast path -----------------------------------
+
+
+def test_rl001_flags_perf_counter_on_fast_path(tmp_path):
+    src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    assert codes(lint_source(tmp_path, "src/repro/core/chunk.py", src)) == ["RL001"]
+
+
+def test_rl001_flags_from_import(tmp_path):
+    src = "from time import perf_counter\n"
+    assert codes(lint_source(tmp_path, "src/repro/geo/crs.py", src)) == ["RL001"]
+
+
+def test_rl001_allows_timing_in_obs_and_server(tmp_path):
+    src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    for rel in (
+        "src/repro/obs/trace.py",
+        "src/repro/server/dsms.py",
+        "src/repro/engine/scheduler.py",
+        "src/repro/cli.py",
+        "src/repro/plan/stages.py",
+        "src/repro/operators/delivery.py",
+    ):
+        assert lint_source(tmp_path, rel, src) == []
+
+
+def test_rl001_ignores_files_outside_the_library(tmp_path):
+    src = "import time\nt = time.time()\n"
+    assert lint_source(tmp_path, "benchmarks/bench_x.py", src) == []
+
+
+# -- RL002: no cross-package underscore imports -----------------------------------
+
+
+def test_rl002_flags_relative_private_import(tmp_path):
+    src = "from ..plan import _private_helper\n"
+    assert codes(lint_source(tmp_path, "src/repro/query/opt.py", src)) == ["RL002"]
+
+
+def test_rl002_flags_absolute_private_import(tmp_path):
+    src = "from repro.obs.registry import _hidden\n"
+    assert codes(lint_source(tmp_path, "src/repro/core/x.py", src)) == ["RL002"]
+
+
+def test_rl002_allows_same_package_and_public_names(tmp_path):
+    src = "from .nodes import _fold\nfrom ..query import ast\nfrom repro.geo import CRS\n"
+    assert lint_source(tmp_path, "src/repro/plan/canonical.py", src) == []
+
+
+def test_rl002_allows_dunder_names(tmp_path):
+    src = "from ..plan import __version__\n"
+    assert lint_source(tmp_path, "src/repro/query/opt.py", src) == []
+
+
+# -- RL003: fingerprinted nodes stay frozen ---------------------------------------
+
+
+def test_rl003_flags_bare_dataclass_in_nodes(tmp_path):
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\nclass SourceScan:\n    stream_id: str\n"
+    )
+    assert codes(lint_source(tmp_path, "src/repro/plan/nodes.py", src)) == ["RL003"]
+
+
+def test_rl003_flags_frozen_false_in_ast(tmp_path):
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(frozen=False)\nclass StreamRef:\n    stream_id: str\n"
+    )
+    assert codes(lint_source(tmp_path, "src/repro/query/ast.py", src)) == ["RL003"]
+
+
+def test_rl003_accepts_frozen_and_ignores_other_files(tmp_path):
+    frozen = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(frozen=True)\nclass SourceScan:\n    stream_id: str\n"
+    )
+    assert lint_source(tmp_path, "src/repro/plan/nodes.py", frozen) == []
+    mutable = "from dataclasses import dataclass\n\n@dataclass\nclass State:\n    n: int\n"
+    assert lint_source(tmp_path, "src/repro/engine/state.py", mutable) == []
+
+
+# -- RL004: registry mutations only under the lock --------------------------------
+
+
+def test_rl004_flags_unlocked_mutations(tmp_path):
+    src = (
+        "class MetricsRegistry:\n"
+        "    def put(self, k, v):\n"
+        "        self._metrics[k] = v\n"
+        "    def reset(self):\n"
+        "        self._metrics.clear()\n"
+    )
+    assert codes(lint_source(tmp_path, "src/repro/obs/registry.py", src)) == [
+        "RL004",
+        "RL004",
+    ]
+
+
+def test_rl004_allows_locked_mutations_and_reads(tmp_path):
+    src = (
+        "class MetricsRegistry:\n"
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._metrics[k] = v\n"
+        "    def get(self, k):\n"
+        "        return self._metrics.get(k)\n"
+    )
+    assert lint_source(tmp_path, "src/repro/obs/registry.py", src) == []
+
+
+def test_rl004_scoped_to_the_registry_file(tmp_path):
+    src = "class X:\n    def put(self, k, v):\n        self._metrics[k] = v\n"
+    assert lint_source(tmp_path, "src/repro/obs/export.py", src) == []
+
+
+# -- RL005: no unseeded random in repro.faults ------------------------------------
+
+
+def test_rl005_flags_module_level_random(tmp_path):
+    src = "import random\n\ndef roll():\n    return random.random()\n"
+    assert codes(lint_source(tmp_path, "src/repro/faults/injector.py", src)) == ["RL005"]
+
+
+def test_rl005_flags_from_import_and_numpy_global(tmp_path):
+    src = "from random import choice\n"
+    assert codes(lint_source(tmp_path, "src/repro/faults/spec.py", src)) == ["RL005"]
+    src = "import numpy as np\n\ndef roll():\n    return np.random.rand()\n"
+    assert codes(lint_source(tmp_path, "src/repro/faults/chaos.py", src)) == ["RL005"]
+
+
+def test_rl005_allows_seeded_random_instances(tmp_path):
+    src = (
+        "from random import Random\nimport random\n\n"
+        "def make(seed):\n    return random.Random(seed)\n"
+    )
+    assert lint_source(tmp_path, "src/repro/faults/injector.py", src) == []
+
+
+def test_rl005_scoped_to_faults(tmp_path):
+    src = "import random\nx = random.random()\n"
+    assert lint_source(tmp_path, "src/repro/ingest/scene.py", src) == []
+
+
+# -- framework --------------------------------------------------------------------
+
+
+def test_rl000_syntax_error(tmp_path):
+    assert codes(lint_source(tmp_path, "src/repro/core/bad.py", "def f(:\n")) == ["RL000"]
+
+
+def test_violation_render_is_grep_friendly():
+    v = Violation("src/repro/x.py", 3, 4, "RL001", "boom")
+    assert v.render() == "src/repro/x.py:3:4: RL001 boom"
+
+
+def test_main_exit_codes(tmp_path, capsys, monkeypatch):
+    # Paths are resolved against the working directory, like CI runs it.
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "src/repro/faults"
+    bad.mkdir(parents=True)
+    (bad / "dice.py").write_text("import random\nx = random.random()\n")
+    assert main(["src/repro/faults/dice.py"]) == 1
+    assert "RL005" in capsys.readouterr().out
+    good = tmp_path / "src/repro/core/ok.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("x = 1\n")
+    assert main(["src/repro/core/ok.py"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_real_tree_is_clean():
+    violations = lint_paths(["src/repro"], root=REPO)
+    assert violations == [], "\n".join(v.render() for v in violations)

@@ -7,7 +7,6 @@ from repro.errors import PlanError, ProtocolError, ServerError
 from repro.geo import BoundingBox
 from repro.index import GridRegionIndex, NaiveRegionIndex
 from repro.query import ast as q
-from repro.query import parse_query
 from repro.server import (
     DSMSServer,
     StreamCatalog,

@@ -10,9 +10,7 @@ simulated seconds, not test-suite seconds.
 import math
 
 import numpy as np
-import pytest
 
-from repro.core import Organization
 from repro.faults import FaultSpec, SimClock, harden_catalog, recovering
 from repro.ingest import GOESImager, western_us_sector
 from repro.server import DSMSServer, StreamCatalog

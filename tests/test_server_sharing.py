@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.geo import BoundingBox
 from repro.server import DSMSServer
 
 

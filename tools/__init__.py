@@ -1,0 +1,1 @@
+"""Repository tooling (custom lint passes); not part of the library."""
