@@ -10,7 +10,13 @@ import pytest
 
 from repro.operators import Coarsen, Magnify, Rotate
 
-from conftest import make_imager
+from conftest import BENCH_SMOKE, columnar_speedup, make_imager, write_bench_snapshot
+
+# Columnar-speedup workload (see bench_e2): many small row chunks.
+SPEEDUP_SECTOR = (48, 64) if BENCH_SMOKE else (64, 256)
+SPEEDUP_FRAMES = 2 if BENCH_SMOKE else 6
+SPEEDUP_REPEATS = 3 if BENCH_SMOKE else 5
+SPEEDUP_GATE = 1.0 if BENCH_SMOKE else 5.0
 
 
 def _drain(stream):
@@ -69,4 +75,32 @@ def test_rotation_buffers_full_frame(benchmark, claims, scene, geos_crs):
         op.stats.max_buffered_points,
         f"{64 * 32} (whole frame)",
         op.stats.max_buffered_points == 64 * 32,
+    )
+
+
+def test_columnar_coarsen_speedup(claims, scene, geos_crs):
+    """Columnar band-batched reduction vs the per-point oracle on a
+    row-chunked 1/4-resolution decrease."""
+    imager = make_imager(scene, geos_crs, *SPEEDUP_SECTOR, n_frames=SPEEDUP_FRAMES)
+    coarsen = columnar_speedup(imager, "vis", lambda: [Coarsen(4)], SPEEDUP_REPEATS)
+    magnify = columnar_speedup(imager, "vis", lambda: [Magnify(2)], SPEEDUP_REPEATS)
+    claims.record(
+        "E3",
+        "columnar coarsen k=4 speedup",
+        f"{coarsen['speedup']:.2f}x",
+        f">= {SPEEDUP_GATE:g}x (vectorized kernels)",
+        coarsen["speedup"] >= SPEEDUP_GATE,
+    )
+    write_bench_snapshot(
+        "e3_spatial_transforms",
+        {
+            "sector": list(SPEEDUP_SECTOR),
+            "n_frames": SPEEDUP_FRAMES,
+            "repeats": SPEEDUP_REPEATS,
+            "speedup_gate": SPEEDUP_GATE,
+            "pipelines": {
+                "coarsen_4": coarsen,
+                "magnify_2": magnify,
+            },
+        },
     )

@@ -12,7 +12,13 @@ from repro.errors import BlockingHazardError
 from repro.geo import plate_carree, utm
 from repro.operators import Reproject
 
-from conftest import make_imager
+from conftest import BENCH_SMOKE, columnar_speedup, make_imager, write_bench_snapshot
+
+# Columnar-speedup workload (see bench_e2): many small row chunks.
+SPEEDUP_SECTOR = (48, 64) if BENCH_SMOKE else (64, 256)
+SPEEDUP_FRAMES = 2 if BENCH_SMOKE else 6
+SPEEDUP_REPEATS = 3 if BENCH_SMOKE else 5
+SPEEDUP_GATE = 1.0 if BENCH_SMOKE else 5.0
 
 
 def _drain(stream):
@@ -75,4 +81,38 @@ def test_blocking_hazard_without_metadata(benchmark, claims, scene, geos_crs):
         raised,
         "True ('could block forever')",
         raised,
+    )
+
+
+def test_columnar_reprojection_speedup(claims, scene, geos_crs):
+    """Columnar deferred batched sampling vs the per-row oracle on a
+    row-chunked geostationary -> UTM re-projection. The frame navigation
+    (inverse-projected coordinates) is cached across identical frames in
+    columnar mode, so multi-frame streams amortize it away."""
+    imager = make_imager(scene, geos_crs, *SPEEDUP_SECTOR, n_frames=SPEEDUP_FRAMES)
+    to_utm = columnar_speedup(
+        imager, "vis", lambda: [Reproject(utm(10))], SPEEDUP_REPEATS
+    )
+    to_pc = columnar_speedup(
+        imager, "vis", lambda: [Reproject(plate_carree())], SPEEDUP_REPEATS
+    )
+    claims.record(
+        "E4",
+        "columnar geos->utm10 reprojection speedup",
+        f"{to_utm['speedup']:.2f}x",
+        f">= {SPEEDUP_GATE:g}x (vectorized kernels)",
+        to_utm["speedup"] >= SPEEDUP_GATE,
+    )
+    write_bench_snapshot(
+        "e4_reprojection",
+        {
+            "sector": list(SPEEDUP_SECTOR),
+            "n_frames": SPEEDUP_FRAMES,
+            "repeats": SPEEDUP_REPEATS,
+            "speedup_gate": SPEEDUP_GATE,
+            "pipelines": {
+                "reproject_utm10": to_utm,
+                "reproject_plate_carree": to_pc,
+            },
+        },
     )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import pytest
 
+from repro.core import GeoStream
 from repro.geo import goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 
@@ -117,6 +118,40 @@ def make_imager(scene, geos_crs, width=96, height=48, n_frames=2, **kw) -> GOESI
 @pytest.fixture(scope="session")
 def bench_imager(scene, geos_crs) -> GOESImager:
     return make_imager(scene, geos_crs)
+
+
+# Columnar-vs-oracle speedup harness (experiments E2-E4). The stream is
+# materialized once so both execution modes time *operator* cost, not the
+# synthetic imager; best-of-N wall time is the noise floor, as in F6.
+# Differential tests (tests/test_columnar_differential.py) already pin the
+# two modes to bit-identical outputs and stats, so the benchmark only has
+# to sanity-check the chunk count.
+def columnar_speedup(imager, band: str, make_ops, repeats: int) -> dict:
+    base = imager.stream(band)
+    chunks = base.collect_chunks()
+    meta = base.metadata
+    seconds = {}
+    chunks_out = {}
+    for columnar in (False, True):
+        best = float("inf")
+        count = 0
+        for _ in range(repeats):
+            stream = GeoStream.from_chunks(meta, chunks).pipe(
+                *make_ops(), columnar=columnar
+            )
+            t0 = time.perf_counter()
+            count = len(stream.collect_chunks())
+            best = min(best, time.perf_counter() - t0)
+        seconds[columnar] = best
+        chunks_out[columnar] = count
+    assert chunks_out[False] == chunks_out[True]
+    return {
+        "chunks_in": len(chunks),
+        "chunks_out": chunks_out[True],
+        "oracle_s": seconds[False],
+        "columnar_s": seconds[True],
+        "speedup": seconds[False] / seconds[True],
+    }
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:

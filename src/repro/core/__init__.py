@@ -4,7 +4,26 @@ Implements Definitions 1-5 of the paper (point set, value set, stream,
 image, GeoStream) plus the temporal restriction domains of Definition 7.
 """
 
-from .chunk import Chunk, GridChunk, PointChunk, TimestampPolicy
+from .chunk import (
+    Chunk,
+    GridChunk,
+    PointChunk,
+    TimestampPolicy,
+    fast_grid_chunk,
+    fast_grid_replace,
+    fast_replace_values,
+)
+from .columnar import (
+    BandAccumulator,
+    ColumnBuffer,
+    FrameAccumulator,
+    MaskBuffer,
+    RollingCanvas,
+    columnar_default,
+    coordinate_columns,
+    numpy_backend,
+    resolve_columnar,
+)
 from .image import RasterImage, assemble_frames
 from .lattice import GridLattice
 from .metadata import FrameInfo
@@ -38,6 +57,18 @@ __all__ = [
     "GridChunk",
     "PointChunk",
     "TimestampPolicy",
+    "fast_grid_chunk",
+    "fast_grid_replace",
+    "fast_replace_values",
+    "ColumnBuffer",
+    "MaskBuffer",
+    "FrameAccumulator",
+    "BandAccumulator",
+    "RollingCanvas",
+    "columnar_default",
+    "coordinate_columns",
+    "numpy_backend",
+    "resolve_columnar",
     "RasterImage",
     "assemble_frames",
     "GridLattice",

@@ -31,7 +31,15 @@ from .provenance import Provenance
 if TYPE_CHECKING:  # pragma: no cover - typing only (core never imports obs)
     from ..obs.trace import TraceContext
 
-__all__ = ["GridChunk", "PointChunk", "Chunk", "TimestampPolicy"]
+__all__ = [
+    "GridChunk",
+    "PointChunk",
+    "Chunk",
+    "TimestampPolicy",
+    "fast_grid_chunk",
+    "fast_replace_values",
+    "fast_grid_replace",
+]
 
 # How composition (Def. 10) matches timestamps across streams: by the
 # measured time of each point, or by scan-sector identifier (Section 3.3).
@@ -151,6 +159,82 @@ class GridChunk:
             row0=self.row0 + row0,
             col0=self.col0 + col0,
         )
+
+
+# -- fast (unchecked) constructors -------------------------------------------
+#
+# The columnar kernels derive thousands of chunks per frame whose shapes
+# are known correct by construction (slices of already-validated chunks,
+# or batch outputs sized from the target lattice). ``dataclasses.replace``
+# re-runs ``__post_init__`` — an ``asarray`` plus two shape checks — on
+# every one of them, which dominates the per-row cost. These constructors
+# copy the instance ``__dict__`` directly, preserving replace() semantics
+# (provenance/trace carried over) without the re-validation. Only kernels
+# that have already established the shape invariant may use them; the one
+# guard kept in ``fast_replace_values`` is the cheap lattice-shape compare
+# so corrupted (fault-injected) values still fail exactly like the oracle.
+
+
+def fast_grid_chunk(
+    values: np.ndarray,
+    lattice: GridLattice,
+    band: str,
+    t: float,
+    sector: int | None = None,
+    frame: FrameInfo | None = None,
+    row0: int = 0,
+    col0: int = 0,
+    last_in_frame: bool = True,
+    provenance: Provenance | None = None,
+    trace: "TraceContext | None" = None,
+) -> GridChunk:
+    """Build a :class:`GridChunk` without ``__post_init__`` validation.
+
+    ``values`` must already be an ndarray whose leading shape matches
+    ``lattice.shape``; callers are responsible for that invariant.
+    """
+    out = object.__new__(GridChunk)
+    out.__dict__.update(
+        values=values,
+        lattice=lattice,
+        band=band,
+        t=t,
+        sector=sector,
+        frame=frame,
+        row0=row0,
+        col0=col0,
+        last_in_frame=last_in_frame,
+        provenance=provenance,
+        trace=trace,
+    )
+    return out
+
+
+def fast_replace_values(chunk: GridChunk, values: np.ndarray, band: str | None = None) -> GridChunk:
+    """``chunk.with_values`` minus the asarray round-trip.
+
+    Keeps the lattice-shape guard (one tuple compare) so shape-corrupting
+    faults raise :class:`StreamError` exactly as the per-point path does.
+    """
+    if values.shape[:2] != chunk.lattice.shape:
+        raise StreamError(
+            f"replacement values shape {values.shape[:2]} does not match "
+            f"lattice shape {chunk.lattice.shape}"
+        )
+    out = object.__new__(GridChunk)
+    out.__dict__.update(chunk.__dict__)
+    out.__dict__["values"] = values
+    if band is not None:
+        out.__dict__["band"] = band
+    return out
+
+
+def fast_grid_replace(chunk: GridChunk, **fields: object) -> GridChunk:
+    """Unvalidated ``dataclasses.replace`` for shape-preserving derivations."""
+    out = object.__new__(GridChunk)
+    out.__dict__.update(chunk.__dict__)
+    out.__dict__.update(fields)
+    return out
 
 
 @dataclass(frozen=True)

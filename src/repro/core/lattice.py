@@ -39,6 +39,34 @@ class GridLattice:
         if self.dx == 0.0 or self.dy == 0.0:
             raise LatticeError("lattice resolution must be non-zero in both axes")
 
+    # Lattices key the columnar kernels' caches (masks, derived lattices,
+    # navigation grids), where equal-but-not-identical row lattices recur
+    # once per frame. Hand-written comparison short-circuits on the cheap
+    # integer fields and the hash is memoized per instance.
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if other.__class__ is not GridLattice:
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.height == other.height
+            and self.x0 == other.x0
+            and self.y0 == other.y0
+            and self.dx == other.dx
+            and self.dy == other.dy
+            and self.crs == other.crs
+        )
+
+    def __hash__(self) -> int:
+        d = self.__dict__
+        h = d.get("_hash")
+        if h is None:
+            h = hash((self.crs, self.x0, self.y0, self.dx, self.dy, self.width, self.height))
+            d["_hash"] = h
+        return h
+
     # -- basic geometry -----------------------------------------------------
 
     @property

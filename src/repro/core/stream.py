@@ -102,16 +102,17 @@ class GeoStream:
 
     # -- composition with operators -----------------------------------------------
 
-    def pipe(self, *operators: "Operator") -> "GeoStream":
+    def pipe(self, *operators: "Operator", columnar: bool | None = None) -> "GeoStream":
         """Apply operators in sequence, yielding a new GeoStream (closure).
 
         The query algebra is closed — "the result of applying an operator
         to one or two GeoStreams is again a GeoStream" — so ``pipe``
-        returns a stream that can itself be piped further.
+        returns a stream that can itself be piped further. ``columnar``
+        selects the execution mode (None: the ``REPRO_COLUMNAR`` default).
         """
         from ..engine.pipeline import apply_operators
 
-        return apply_operators(self, list(operators))
+        return apply_operators(self, list(operators), columnar=columnar)
 
     # -- materialization ----------------------------------------------------------
 

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace as dc_replace
+from itertools import islice
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..core.chunk import Chunk, GridChunk
+from ..core.columnar import resolve_columnar
 from ..core.stream import GeoStream
 from ..errors import StreamError
 from ..faults.recovery import current_recovery
@@ -129,6 +131,32 @@ class _FrameHopper:
         return outs
 
 
+# Block size for the columnar pull executor. Large enough to amortize
+# per-block overhead and expose cross-chunk batching to process_many
+# overrides, small enough to keep the pipeline streaming (a 256-row block
+# of 1-row chunks is a few frames, not the whole scan).
+_BLOCK_CHUNKS = 256
+
+
+def _block_feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
+    """Bare-path columnar executor: drive ``process_many`` over blocks.
+
+    Per-chunk generator setup dominates the bare pull path once kernels
+    are vectorized, so in columnar mode fixed-size blocks of chunks go
+    through one ``process_many`` call each. Output chunks, order, and
+    stats are identical to the per-chunk loop; only call granularity
+    changes. Stats/trace/recovery paths keep per-chunk feeding — their
+    accounting is defined per processing call.
+    """
+    it = iter(chunks)
+    while True:
+        block = list(islice(it, _BLOCK_CHUNKS))
+        if not block:
+            break
+        yield from op.process_many(block)
+    yield from op.flush()
+
+
 def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
     ctx = current_recovery()
     collector = current_collector()
@@ -137,6 +165,9 @@ def _feed(chunks: Iterable[Chunk], op: Operator) -> Iterator[Chunk]:
         yield from _stats_feed(chunks, op, collector, ctx, ftr)
         return
     if ctx is None:
+        if op.columnar:
+            yield from _block_feed(chunks, op)
+            return
         for chunk in chunks:
             yield from op.process(chunk)
         yield from op.flush()
@@ -257,8 +288,17 @@ def _traced_feed(
     yield from outs
 
 
-def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStream:
-    """Pipe a stream through unary operators; the result is again a GeoStream."""
+def apply_operators(
+    stream: GeoStream,
+    operators: Sequence[Operator],
+    columnar: bool | None = None,
+) -> GeoStream:
+    """Pipe a stream through unary operators; the result is again a GeoStream.
+
+    ``columnar`` selects the execution mode for every operator in the
+    pipeline: True for the vectorized batch kernels, False for the
+    per-point oracle, None for the ``REPRO_COLUMNAR`` process default.
+    """
     operators = list(operators)
     for op in operators:
         if not isinstance(op, Operator):
@@ -266,6 +306,9 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
                 f"{type(op).__name__} is not a unary Operator; use "
                 "compose_streams for binary operators"
             )
+    mode = resolve_columnar(columnar)
+    for op in operators:
+        op.set_execution_mode(mode)
     metadata = stream.metadata
     for op in operators:
         metadata = op.output_metadata(metadata)
@@ -302,17 +345,22 @@ def apply_operators(stream: GeoStream, operators: Sequence[Operator]) -> GeoStre
 
 
 def compose_streams(
-    left: GeoStream, right: GeoStream, operator: BinaryOperator
+    left: GeoStream,
+    right: GeoStream,
+    operator: BinaryOperator,
+    columnar: bool | None = None,
 ) -> GeoStream:
     """Merge two streams through a binary operator (Def. 10).
 
     Chunks are fed to the operator in measured-time order across both
     inputs, reproducing the arrival interleaving a receiving station sees;
     the operator's buffering behaviour under a given interleaving is then
-    exactly what Section 3.3 analyses.
+    exactly what Section 3.3 analyses. ``columnar`` selects the execution
+    mode as in :func:`apply_operators`.
     """
     if not isinstance(operator, BinaryOperator):
         raise StreamError(f"{type(operator).__name__} is not a BinaryOperator")
+    operator.set_execution_mode(resolve_columnar(columnar))
     metadata = operator.output_metadata(left.metadata, right.metadata)
     state = {"epoch": 0}
 

@@ -111,8 +111,19 @@ class Operator:
     plan_label: str | None = None
     plan_kind: str | None = None
 
+    # Execution mode. Per-point (False) is the reference implementation —
+    # the correctness oracle. Columnar (True) routes through the batch
+    # kernels, which must produce bit-identical chunks and stats (enforced
+    # by tests/test_columnar_differential.py). Operators without a batch
+    # kernel silently fall back to the oracle.
+    columnar: bool = False
+
     def __init__(self) -> None:
         self.stats = OperatorStats()
+
+    def set_execution_mode(self, columnar: bool) -> None:
+        """Select per-point oracle (False) or columnar batch kernels (True)."""
+        self.columnar = bool(columnar)
 
     # -- hooks for subclasses ------------------------------------------------
 
@@ -122,6 +133,13 @@ class Operator:
     def _flush(self) -> Iterable[Chunk]:
         return ()
 
+    def _process_columnar(self, chunk: Chunk) -> Iterable[Chunk]:
+        """Batch kernel; defaults to the per-point oracle."""
+        return self._process(chunk)
+
+    def _flush_columnar(self) -> Iterable[Chunk]:
+        return self._flush()
+
     def _reset_state(self) -> None:
         """Drop any internal buffers (subclasses with state override)."""
 
@@ -130,19 +148,46 @@ class Operator:
     def process(self, chunk: Chunk) -> Iterator[Chunk]:
         """Feed one chunk; yield zero or more output chunks."""
         self.stats.note_in(chunk)
-        for out in self._process(chunk):
+        step = self._process_columnar if self.columnar else self._process
+        for out in step(chunk):
             self.stats.note_out(out)
             yield out
+
+    def process_many(self, chunks: list[Chunk]) -> list[Chunk]:
+        """Feed a block of chunks; return every output chunk, in order.
+
+        Equivalent to concatenating :meth:`process` over the block — same
+        outputs, same stats — but driven as one call so the columnar
+        executor skips per-chunk generator setup. Operators may override
+        this to vectorize *across* chunk boundaries; overrides must keep
+        the equivalence bit-exact (tests/test_columnar_differential.py).
+        """
+        stats = self.stats
+        step = self._process_columnar if self.columnar else self._process
+        outs: list[Chunk] = []
+        append = outs.append
+        note_out = stats.note_out
+        for chunk in chunks:
+            stats.note_in(chunk)
+            for out in step(chunk):
+                note_out(out)
+                append(out)
+        return outs
 
     def flush(self) -> Iterator[Chunk]:
         """Signal end of stream; yield any held output."""
         self.stats.flushes += 1
-        for out in self._flush():
+        step = self._flush_columnar if self.columnar else self._flush
+        for out in step():
             self.stats.note_out(out)
             yield out
 
     def reset(self) -> None:
-        """Fresh stats and state, so the owning stream can be re-opened."""
+        """Fresh stats and state, so the owning stream can be re-opened.
+
+        The execution mode survives a reset: mode is pipeline wiring, not
+        stream state.
+        """
         self.stats = OperatorStats()
         self._reset_state()
 
@@ -166,14 +211,26 @@ class BinaryOperator:
     plan_label: str | None = None
     plan_kind: str | None = None
 
+    columnar: bool = False
+
     def __init__(self) -> None:
         self.stats = OperatorStats()
+
+    def set_execution_mode(self, columnar: bool) -> None:
+        self.columnar = bool(columnar)
 
     def _process_side(self, side: str, chunk: Chunk) -> Iterable[Chunk]:
         raise NotImplementedError
 
     def _flush(self) -> Iterable[Chunk]:
         return ()
+
+    def _process_side_columnar(self, side: str, chunk: Chunk) -> Iterable[Chunk]:
+        """Batch kernel; defaults to the per-point oracle."""
+        return self._process_side(side, chunk)
+
+    def _flush_columnar(self) -> Iterable[Chunk]:
+        return self._flush()
 
     def _reset_state(self) -> None:
         pass
@@ -182,13 +239,15 @@ class BinaryOperator:
         if side not in self.SIDES:
             raise OperatorError(f"unknown input side {side!r}; expected one of {self.SIDES}")
         self.stats.note_in(chunk)
-        for out in self._process_side(side, chunk):
+        step = self._process_side_columnar if self.columnar else self._process_side
+        for out in step(side, chunk):
             self.stats.note_out(out)
             yield out
 
     def flush(self) -> Iterator[Chunk]:
         self.stats.flushes += 1
-        for out in self._flush():
+        step = self._flush_columnar if self.columnar else self._flush
+        for out in step():
             self.stats.note_out(out)
             yield out
 

@@ -38,7 +38,8 @@ from typing import Iterable
 
 import numpy as np
 
-from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.chunk import Chunk, GridChunk, PointChunk, fast_grid_chunk
+from ..core.columnar import RollingCanvas
 from ..core.lattice import GridLattice
 from ..core.metadata import FrameInfo
 from ..core.stream import StreamMetadata
@@ -77,14 +78,18 @@ class _FrameReprojection:
             self.row_max[j] = min(
                 src_lattice.height - 1, int(math.ceil(finite.max())) + footprint
             )
+        # floor_from[j] == min(row_min[j:]) with the source height as the
+        # empty-suffix sentinel, so needed_floor is an O(1) lookup instead
+        # of a fresh suffix scan after every emitted row.
+        self.floor_from = np.empty(h_out + 1, dtype=np.int64)
+        self.floor_from[h_out] = src_lattice.height
+        if h_out:
+            self.floor_from[:h_out] = np.minimum.accumulate(self.row_min[::-1])[::-1]
         self.next_out = 0
 
     def needed_floor(self) -> int:
         """Lowest source row any not-yet-emitted output row still needs."""
-        if self.next_out >= self.dst_lattice.height:
-            return self.src_lattice.height
-        pending = self.row_min[self.next_out :]
-        return int(pending.min()) if pending.size else self.src_lattice.height
+        return int(self.floor_from[self.next_out])
 
 
 class Reproject(Operator):
@@ -118,11 +123,22 @@ class Reproject(Operator):
         self._frame_id: int | None = None
         self._src_rows: dict[int, GridChunk] = {}
         self._meta: tuple[str, float, int | None] = ("", 0.0, None)
+        # Columnar state. Navigation (inverse-projected coordinates, row
+        # bands) is a pure function of the source frame lattice and the
+        # operator config, so it is cached across frames and resets — the
+        # per-frame part is just next_out, reset in _begin_frame_columnar.
+        # Source rows live in one contiguous rolling canvas instead of a
+        # dict of row chunks; _row_sizes keeps their buffer accounting.
+        self._nav_cache: dict[GridLattice, _FrameReprojection] = {}
+        self._canvas: RollingCanvas | None = None
+        self._row_sizes: dict[int, tuple[int, int]] = {}
+        self._dst_row_cache: dict[GridLattice, dict[int, GridLattice]] = {}
 
     def _reset_state(self) -> None:
         self._nav = None
         self._frame_id = None
         self._src_rows = {}
+        self._row_sizes = {}
 
     # -- output lattice derivation --------------------------------------------
 
@@ -273,6 +289,308 @@ class Reproject(Operator):
     def _flush(self) -> Iterable[Chunk]:
         if self._nav is not None:
             yield from self._emit_ready(force=True)
+
+    # -- columnar kernel ---------------------------------------------------------
+
+    def _begin_frame_columnar(self, chunk: GridChunk) -> None:
+        if chunk.frame is not None:
+            src_lattice = chunk.frame.lattice
+            self._frame_id = chunk.frame.frame_id
+        elif chunk.last_in_frame and chunk.row0 == 0:
+            src_lattice = chunk.lattice
+            self._frame_id = None
+        else:
+            raise BlockingHazardError(
+                "re-projection needs scan-sector metadata (FrameInfo) or an "
+                "explicit output lattice; without knowing the frame extent the "
+                "operator could block forever (Section 3.2)"
+            )
+        nav = self._nav_cache.get(src_lattice)
+        if nav is None:
+            nav = _FrameReprojection(
+                src_lattice, self._derive_dst_lattice(src_lattice), self._footprint
+            )
+            self._nav_cache[src_lattice] = nav
+        nav.next_out = 0
+        self._nav = nav
+        shape = (src_lattice.height, src_lattice.width)
+        if self._canvas is None or (self._canvas.height, self._canvas.width) != shape:
+            self._canvas = RollingCanvas(*shape)
+        else:
+            self._canvas.reset()
+
+    def _dst_row_lattice(self, dst_lattice: GridLattice, j: int) -> GridLattice:
+        rows = self._dst_row_cache.setdefault(dst_lattice, {})
+        lattice = rows.get(j)
+        if lattice is None:
+            lattice = dst_lattice.row_lattice(j)
+            rows[j] = lattice
+        return lattice
+
+    def _materialize_rows(
+        self,
+        j0: int,
+        j1: int,
+        metas: "list[tuple[str, float, int | None]] | None",
+    ) -> Iterable[GridChunk]:
+        """Build output rows ``j0..j1-1``, sampling non-fill runs in batches.
+
+        ``metas`` gives each row's (band, t, sector) — None means every
+        row carries ``self._meta``. Sampling a run of rows from one canvas
+        window covering the union of their source bands is bit-identical
+        to per-row windows: window bounds are integers, so fractional
+        coordinates are unchanged, and a row's samples only leave its own
+        band where that band was clamped at a frame edge — where the
+        union window is clamped to the very same edge, making the index
+        clips and the outside-fill mask resolve identically. Evicted rows
+        are always strictly below every pending row's band, and rows the
+        run never delivered are NaN in the canvas, as in the oracle stack.
+        """
+        nav = self._nav
+        canvas = self._canvas
+        assert nav is not None and canvas is not None
+        dst = nav.dst_lattice
+        frame_id = self._frame_id if self._frame_id is not None else 0
+        frame = FrameInfo(frame_id, dst)
+        h_last = dst.height - 1
+        w_out = dst.width
+        row_min, row_max = nav.row_min, nav.row_max
+        row_cache = self._dst_row_cache.setdefault(dst, {})
+        j = j0
+        while j < j1:
+            band, t, sector = self._meta if metas is None else metas[j - j0]
+            if row_max[j] < row_min[j]:
+                # Output row entirely outside the source frame: pure fill.
+                out = np.full((1, w_out), self.fill, dtype=np.float64)
+                lattice = row_cache.get(j)
+                if lattice is None:
+                    lattice = row_cache[j] = dst.row_lattice(j)
+                yield fast_grid_chunk(
+                    out.astype(np.float32),
+                    lattice,
+                    band,
+                    t,
+                    sector=sector,
+                    frame=frame,
+                    row0=j,
+                    col0=0,
+                    last_in_frame=(j == h_last),
+                )
+                j += 1
+                continue
+            jr = j + 1
+            while jr < j1 and row_max[jr] >= row_min[jr]:
+                jr += 1
+            r_lo = int(row_min[j:jr].min())
+            r_hi = int(row_max[j:jr].max())
+            stack = canvas.rows(r_lo, r_hi + 1)
+            sampled = sample(
+                self.method,
+                stack,
+                nav.rows[j:jr] - r_lo,
+                nav.cols[j:jr],
+                fill=self.fill,
+            ).astype(np.float32)
+            for offset in range(jr - j):
+                jj = j + offset
+                band, t, sector = self._meta if metas is None else metas[jj - j0]
+                lattice = row_cache.get(jj)
+                if lattice is None:
+                    lattice = row_cache[jj] = dst.row_lattice(jj)
+                yield fast_grid_chunk(
+                    sampled[offset : offset + 1],
+                    lattice,
+                    band,
+                    t,
+                    sector=sector,
+                    frame=frame,
+                    row0=jj,
+                    col0=0,
+                    last_in_frame=(jj == h_last),
+                )
+            j = jr
+
+    def _evict_below_floor(self) -> None:
+        floor = self._nav.needed_floor() if self._nav is not None else 0
+        for r in [r for r in self._row_sizes if r < floor]:
+            points, nbytes = self._row_sizes.pop(r)
+            self.stats.buffer_remove(points, nbytes)
+
+    def _end_frame_columnar(self) -> None:
+        for r in list(self._row_sizes):
+            points, nbytes = self._row_sizes.pop(r)
+            self.stats.buffer_remove(points, nbytes)
+        self._nav = None
+        self._frame_id = None
+
+    def _emit_ready_columnar(self, force: bool) -> Iterable[GridChunk]:
+        nav = self._nav
+        assert nav is not None
+        watermark = max(self._row_sizes, default=-1)
+        h_out = nav.dst_lattice.height
+        row_max = nav.row_max
+        while nav.next_out < h_out:
+            j0 = nav.next_out
+            if not force and row_max[j0] > watermark:
+                break
+            j1 = j0 + 1
+            while j1 < h_out and (force or row_max[j1] <= watermark):
+                j1 += 1
+            yield from self._materialize_rows(j0, j1, None)
+            nav.next_out = j1
+            # Source rows only leave the buffer during emission, so one
+            # eviction sweep after the batch removes exactly the rows the
+            # oracle's per-row sweeps would, with the same counter effect.
+            self._evict_below_floor()
+        if force:
+            self._end_frame_columnar()
+
+    def _process_columnar(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            # Already a single vectorized batch; use the oracle path.
+            yield from self._process(chunk)
+            return
+        if chunk.values.ndim != 2:
+            raise OperatorError("re-projection of vector-valued streams is not supported")
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._nav is not None and frame_id != self._frame_id:
+            yield from self._emit_ready_columnar(force=True)
+        if self._nav is None:
+            self._begin_frame_columnar(chunk)
+        self._meta = (chunk.band, chunk.t, chunk.sector)
+        canvas = self._canvas
+        assert canvas is not None
+        values = chunk.values
+        width = chunk.lattice.width
+        full_width = chunk.col0 == 0 and width == canvas.width
+        for local_row in range(chunk.lattice.height):
+            abs_row = chunk.row0 + local_row
+            old = self._row_sizes.pop(abs_row, None)
+            if old is not None:
+                self.stats.buffer_remove(old[0], old[1])
+            row_values = values[local_row]
+            if 0 <= abs_row < canvas.height:
+                # Re-clear before pasting so a replacement row leaves no
+                # residue outside its own column window (partial rows). A
+                # full-width paste overwrites the row anyway — skip it.
+                if not full_width:
+                    canvas.clear_row(abs_row)
+                canvas.paste_row(abs_row, chunk.col0, row_values)
+            size = (width, int(row_values.nbytes))
+            self._row_sizes[abs_row] = size
+            self.stats.buffer_add(width, size[1])
+        yield from self._emit_ready_columnar(force=chunk.last_in_frame)
+
+    def process_many(self, chunks: list[Chunk]) -> list[Chunk]:
+        """Ingest a frame-run of chunks first, then sample all output rows.
+
+        Per-chunk emission samples one output row at a time as its source
+        band completes. Here, for a run of same-frame grid chunks with
+        strictly ascending rows, every row is pasted into the canvas and
+        the oracle's exact accounting sequence is replayed — note_in,
+        buffer adds, readiness checks and eviction sweeps per chunk, which
+        also records which chunk's (band, t, sector) each output row is
+        tagged with — before one deferred sampling pass materializes all
+        pending rows. Deferral cannot change bits: ascending rows never
+        overwrite pasted canvas rows, and each output row samples only
+        within its own completed source band. Anything irregular
+        (replacement rows, frame changes, point streams) falls back to
+        the per-chunk kernel.
+        """
+        if not self.columnar:
+            return super().process_many(chunks)
+        stats = self.stats
+        outs: list[Chunk] = []
+        i, n = 0, len(chunks)
+        while i < n:
+            chunk = chunks[i]
+            first_grid = isinstance(chunk, GridChunk) and chunk.values.ndim == 2
+            frame_id = (
+                chunk.frame.frame_id
+                if first_grid and chunk.frame is not None  # type: ignore[union-attr]
+                else None
+            )
+            runnable = (
+                first_grid
+                and (self._nav is None or frame_id == self._frame_id)
+            )
+            j = i
+            if runnable:
+                wm = max(self._row_sizes, default=-1)
+                while j < n:
+                    c = chunks[j]
+                    if not isinstance(c, GridChunk) or c.values.ndim != 2:
+                        break
+                    fid = c.frame.frame_id if c.frame is not None else None
+                    if fid != frame_id or c.row0 <= wm:
+                        break
+                    wm = c.row0 + c.lattice.height - 1
+                    j += 1
+                    if c.last_in_frame:
+                        break
+            if j == i:
+                stats.note_in(chunk)
+                for out in self._process_columnar(chunk):
+                    stats.note_out(out)
+                    outs.append(out)
+                i += 1
+                continue
+            run = chunks[i:j]
+            i = j
+            # -- ingest + replay the oracle's per-chunk accounting --------
+            pending: list[tuple[int, int, tuple[str, float, int | None]]] = []
+            for c in run:
+                stats.note_in(c)
+                if self._nav is None:
+                    self._begin_frame_columnar(c)
+                self._meta = (c.band, c.t, c.sector)
+                nav = self._nav
+                canvas = self._canvas
+                assert nav is not None and canvas is not None
+                values = c.values
+                width = c.lattice.width
+                full_width = c.col0 == 0 and width == canvas.width
+                for local_row in range(c.lattice.height):
+                    abs_row = c.row0 + local_row
+                    row_values = values[local_row]
+                    if 0 <= abs_row < canvas.height:
+                        if not full_width:
+                            canvas.clear_row(abs_row)
+                        canvas.paste_row(abs_row, c.col0, row_values)
+                    nbytes = int(row_values.nbytes)
+                    self._row_sizes[abs_row] = (width, nbytes)
+                    stats.buffer_add(width, nbytes)
+                # Rows in a run are strictly ascending (checked by the run
+                # scan), so the highest buffered row is this chunk's last.
+                watermark = c.row0 + c.lattice.height - 1
+                force = c.last_in_frame
+                h_out = nav.dst_lattice.height
+                row_max = nav.row_max
+                j0 = nav.next_out
+                j1 = j0
+                while j1 < h_out and (force or row_max[j1] <= watermark):
+                    j1 += 1
+                if j1 > j0:
+                    pending.append((j0, j1, self._meta))
+                    nav.next_out = j1
+                    self._evict_below_floor()
+            # -- one deferred sampling pass over everything that emitted --
+            if pending:
+                metas: list[tuple[str, float, int | None]] = []
+                for j0, j1, meta in pending:
+                    metas.extend([meta] * (j1 - j0))
+                for out in self._materialize_rows(
+                    pending[0][0], pending[-1][1], metas
+                ):
+                    stats.note_out(out)
+                    outs.append(out)
+            if run[-1].last_in_frame:
+                self._end_frame_columnar()
+        return outs
+
+    def _flush_columnar(self) -> Iterable[Chunk]:
+        if self._nav is not None:
+            yield from self._emit_ready_columnar(force=True)
 
     def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
         return dc_replace(

@@ -21,7 +21,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..core.chunk import Chunk, GridChunk, PointChunk
+from ..core.chunk import Chunk, GridChunk, PointChunk, fast_replace_values
+from ..core.columnar import FrameAccumulator
 from ..core.stream import StreamMetadata
 from ..core.valueset import FLOAT32, GRAY8, ValueSet
 from ..errors import OperatorError
@@ -48,12 +49,18 @@ class PointwiseTransform(Operator):
         output_value_set: ValueSet | None = None,
         band: str | None = None,
         label: str = "f_val",
+        elementwise: bool = False,
     ) -> None:
         super().__init__()
         self.fn = fn
         self.out_value_set = output_value_set
         self.band = band
         self.label = label
+        # ``elementwise=True`` declares that ``fn`` maps element i of its
+        # input to element i of its output independent of array shape
+        # (e.g. an affine rescale, but not a channel reduction). Only such
+        # transforms may be applied across chunk boundaries in one call.
+        self.elementwise = elementwise
 
     def _process(self, chunk: Chunk) -> Iterable[Chunk]:
         out = np.asarray(self.fn(chunk.values))
@@ -61,6 +68,83 @@ class PointwiseTransform(Operator):
             out = self.out_value_set.coerce(out)
         # Point-count compatibility is enforced by the chunk constructor.
         yield chunk.with_values(out, band=self.band)
+
+    def _process_columnar(self, chunk: Chunk) -> Iterable[Chunk]:
+        # Same fn and coercion as the oracle; only the chunk derivation is
+        # fast-pathed (with_values re-validates shape on every row chunk).
+        if isinstance(chunk, PointChunk):
+            yield from self._process(chunk)
+            return
+        out = np.asarray(self.fn(chunk.values))
+        if self.out_value_set is not None:
+            out = self.out_value_set.coerce(out)
+        yield fast_replace_values(chunk, out, band=self.band)
+
+    def process_many(self, chunks: list[Chunk]) -> list[Chunk]:
+        """Batch elementwise transforms across chunk boundaries.
+
+        Runs of same-dtype 2-D grid chunks are flattened into one array,
+        transformed and coerced with a single call each, then split back
+        into per-chunk views. Both ``fn`` (declared elementwise) and scalar
+        coercion (astype/clip/rint, all elementwise) are shape-independent,
+        so the split-out bits equal the per-chunk oracle's exactly.
+        """
+        out_set = self.out_value_set
+        if not (
+            self.columnar
+            and self.elementwise
+            and (out_set is None or not out_set.is_vector)
+        ):
+            return super().process_many(chunks)
+        stats = self.stats
+        band = self.band
+        outs: list[Chunk] = []
+        i, n = 0, len(chunks)
+        while i < n:
+            first = chunks[i]
+            if not isinstance(first, GridChunk) or first.values.ndim != 2:
+                stats.note_in(first)
+                for out in self._process_columnar(first):
+                    stats.note_out(out)
+                    outs.append(out)
+                i += 1
+                continue
+            # Maximal run of same-dtype 2-D chunks (mixed dtypes would
+            # promote under concatenation and change bits).
+            dtype = first.values.dtype
+            j = i + 1
+            while j < n:
+                nxt = chunks[j]
+                if (
+                    not isinstance(nxt, GridChunk)
+                    or nxt.values.ndim != 2
+                    or nxt.values.dtype != dtype
+                ):
+                    break
+                j += 1
+            run = chunks[i:j]
+            i = j
+            flat = (
+                run[0].values.ravel()
+                if len(run) == 1
+                else np.concatenate([c.values.ravel() for c in run])
+            )
+            out_flat = np.asarray(self.fn(flat))
+            if out_set is not None:
+                out_flat = out_set.coerce(out_flat)
+            offset = 0
+            for c in run:
+                size = c.values.size
+                vals = out_flat[offset : offset + size].reshape(c.values.shape)
+                offset += size
+                outs.append(fast_replace_values(c, vals, band=band))
+            # For 2-D grid chunks n_points == values.size, so bulk counter
+            # updates equal the per-chunk note_in/note_out sums.
+            stats.chunks_in += len(run)
+            stats.chunks_out += len(run)
+            stats.points_in += flat.size
+            stats.points_out += flat.size
+        return outs
 
     def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
         changes: dict[str, object] = {}
@@ -87,6 +171,7 @@ class Rescale(PointwiseTransform):
             lambda v: gain * v.astype(np.float32) + offset,
             output_value_set=output_value_set,
             label=f"{gain:g}*v+{offset:g}",
+            elementwise=True,
         )
         self.gain = gain
         self.offset = offset
@@ -158,10 +243,16 @@ class FrameStretch(Operator):
         self.out_value_set = output_value_set if output_value_set is not None else GRAY8
         self._pending: list[GridChunk] = []
         self._frame_id: int | None = None
+        # Columnar state: one contiguous float64 frame accumulator plus the
+        # (chunk, offset, size) table that splits results back into chunks.
+        self._acc = FrameAccumulator()
+        self._col_pending: list[tuple[GridChunk, int, int]] = []
 
     def _reset_state(self) -> None:
         self._pending = []
         self._frame_id = None
+        self._acc.clear()
+        self._col_pending = []
 
     # -- frame machinery ---------------------------------------------------------
 
@@ -234,6 +325,75 @@ class FrameStretch(Operator):
 
     def _flush(self) -> Iterable[Chunk]:
         yield from self._emit_frame()
+
+    # -- columnar kernel ---------------------------------------------------------
+    #
+    # The oracle casts every buffered chunk to float64 and concatenates at
+    # frame end; the columnar kernel performs that cast once per chunk *on
+    # arrival* by assignment into a contiguous float64 accumulator (bitwise
+    # the same cast), then runs one whole-frame transform. Scalar value
+    # sets are coerced once over the whole frame — coercion is purely
+    # elementwise (astype/clip/rint), so splitting before or after cannot
+    # change bits. Vector-valued sets keep per-chunk coercion for its
+    # trailing-channel shape check.
+
+    def _emit_frame_columnar(self) -> Iterable[Chunk]:
+        if not self._col_pending:
+            return
+        frame_values = self._acc.values()
+        if self.kind == "linear":
+            finite = frame_values[np.isfinite(frame_values)]
+            if finite.size == 0:
+                lo = hi = 0.0
+            else:
+                lo, hi = float(finite.min()), float(finite.max())
+            transformed = linear_stretch(frame_values, lo, hi, self.out_lo, self.out_hi)
+        elif self.kind == "equalize":
+            transformed = histogram_equalize(
+                frame_values, bins=self.bins, out_lo=self.out_lo, out_hi=self.out_hi
+            )
+        else:
+            transformed = gaussian_stretch(
+                frame_values,
+                out_lo=self.out_lo,
+                out_hi=self.out_hi,
+                clip_sigma=self.clip_sigma,
+            )
+        out_set = self.out_value_set
+        if not out_set.is_vector:
+            coerced = out_set.coerce(transformed)
+            for chunk, offset, size in self._col_pending:
+                self.stats.buffer_remove_chunk(chunk)
+                yield fast_replace_values(
+                    chunk, coerced[offset : offset + size].reshape(chunk.values.shape)
+                )
+        else:
+            for chunk, offset, size in self._col_pending:
+                self.stats.buffer_remove_chunk(chunk)
+                block = transformed[offset : offset + size].reshape(chunk.values.shape)
+                yield fast_replace_values(chunk, out_set.coerce(block))
+        self._col_pending = []
+        self._acc.clear()
+        self._frame_id = None
+
+    def _process_columnar(self, chunk: Chunk) -> Iterable[Chunk]:
+        if isinstance(chunk, PointChunk):
+            raise OperatorError(
+                "frame stretches are defined on raster streams; point streams "
+                "have no frames to scale over"
+            )
+        frame_id = chunk.frame.frame_id if chunk.frame is not None else None
+        if self._col_pending and frame_id != self._frame_id:
+            yield from self._emit_frame_columnar()
+        offset, size = self._acc.append(chunk.values)
+        self._col_pending.append((chunk, offset, size))
+        self._frame_id = frame_id
+        self.stats.buffer_add_chunk(chunk)
+        if chunk.last_in_frame:
+            yield from self._emit_frame_columnar()
+
+    def _flush_columnar(self) -> Iterable[Chunk]:
+        yield from self._emit_frame_columnar()
 
     def output_metadata(self, metadata: StreamMetadata) -> StreamMetadata:
         return dc_replace(metadata, value_set=self.out_value_set)

@@ -50,22 +50,27 @@ def _stamp(op: _OpT, plan: p.PlanNode) -> _OpT:
 
 
 def plan_to_stream(
-    plan: p.PlanNode, resolve: Callable[[str], GeoStream]
+    plan: p.PlanNode,
+    resolve: Callable[[str], GeoStream],
+    columnar: bool | None = None,
 ) -> GeoStream:
     """Build the executable GeoStream for a canonical plan.
 
     Fresh operator instances are created per call so that concurrently
-    planned queries never share mutable state.
+    planned queries never share mutable state. ``columnar`` selects the
+    execution mode for every lowered operator (None: process default).
     """
     if isinstance(plan, p.SourceScan):
         return resolve(plan.stream_id)
     if isinstance(plan, p.EmptyPlan):
         return empty_stream(plan.reason)
     if isinstance(plan, p.Compose):
-        left = plan_to_stream(plan.left, resolve)
-        right = plan_to_stream(plan.right, resolve)
-        return compose_streams(left, right, _stamp(plan.make_operator(), plan))
-    child = plan_to_stream(plan.children[0], resolve)
+        left = plan_to_stream(plan.left, resolve, columnar=columnar)
+        right = plan_to_stream(plan.right, resolve, columnar=columnar)
+        return compose_streams(
+            left, right, _stamp(plan.make_operator(), plan), columnar=columnar
+        )
+    child = plan_to_stream(plan.children[0], resolve, columnar=columnar)
     op = _stamp(plan.make_operator(), plan)
     assert isinstance(op, Operator), f"unary plan node built a binary operator: {plan.describe()}"
-    return child.pipe(op)
+    return child.pipe(op, columnar=columnar)

@@ -20,6 +20,7 @@ from time import perf_counter
 from typing import Callable, Iterable
 
 from ..core.chunk import Chunk
+from ..core.columnar import resolve_columnar
 from ..core.provenance import Provenance
 from ..engine.pipeline import chunk_time
 from ..errors import PlanError
@@ -321,8 +322,12 @@ class Stage:
 class PlanDAG:
     """All registered plans merged into one operator DAG with fan-out."""
 
-    def __init__(self, share: bool = True) -> None:
+    def __init__(self, share: bool = True, columnar: bool | None = None) -> None:
         self.share = share
+        # Execution mode for every stage operator: True = vectorized
+        # columnar kernels, False = per-point oracle, None = the
+        # REPRO_COLUMNAR process default (resolved once at construction).
+        self.columnar = resolve_columnar(columnar)
         # fingerprint -> stage, for subplan reuse (only when sharing).
         self._by_fingerprint: dict[str, Stage] = {}
         # Creation order is topological (children are built first), so
@@ -377,7 +382,9 @@ class PlanDAG:
         else:
             pairs = tuple((None, child) for child in node.children)
         built = [(side, child, self._build(child, stages)) for side, child in pairs]
-        stage = Stage(node, node.make_operator(), self)
+        op = node.make_operator()
+        op.set_execution_mode(self.columnar)
+        stage = Stage(node, op, self)
         if self.share:
             self._by_fingerprint[node.fingerprint] = stage
         self.order.append(stage)

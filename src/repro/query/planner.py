@@ -25,11 +25,14 @@ __all__ = ["plan_query", "build_value_map"]
 def plan_query(
     node: q.QueryNode,
     catalog: Mapping[str, GeoStream] | Callable[[str], GeoStream],
+    columnar: bool | None = None,
 ) -> GeoStream:
     """Build the executable GeoStream for a query tree.
 
     ``catalog`` resolves stream ids to source GeoStreams (a mapping or a
     resolver function). Fresh operator instances are created per call.
+    ``columnar`` selects the operators' execution mode (None: the
+    ``REPRO_COLUMNAR`` process default).
     """
     # Imported lazily: repro.plan itself imports the query package.
     from ..plan import canonicalize, plan_to_stream
@@ -54,7 +57,11 @@ def plan_query(
         policy_of={sid: s.metadata.timestamp_policy for sid, s in sources.items()},
         default_policy="measured",
     )
-    return plan_to_stream(plan, lambda sid: sources[sid] if sid in sources else resolve(sid))
+    return plan_to_stream(
+        plan,
+        lambda sid: sources[sid] if sid in sources else resolve(sid),
+        columnar=columnar,
+    )
 
 
 def build_value_map(node: q.ValueMap) -> Operator:

@@ -64,6 +64,7 @@ def compile_push_network(
     sink: _Sink,
     timestamp_policy: str = "sector",
     source_crs: "dict | None" = None,
+    columnar: "bool | None" = None,
 ) -> PushNetwork:
     """Compile a query tree into a push network ending at ``sink``.
 
@@ -71,8 +72,10 @@ def compile_push_network(
     planner applies: a spatial restriction whose region CRS differs from
     its input stream's CRS gets the region transformed at compile time,
     so unrewritten queries behave identically on both execution paths.
+    ``columnar`` selects the operators' execution mode (None: the
+    ``REPRO_COLUMNAR`` process default).
     """
     plan = canonicalize(node, crs_of=source_crs, default_policy=timestamp_policy)
-    dag = PlanDAG()
+    dag = PlanDAG(columnar=columnar)
     dag.add_plan(plan, sink, root_id=0)
     return PushNetwork(dag)

@@ -1,0 +1,306 @@
+"""Differential harness: columnar kernels against the per-point oracle.
+
+The columnar execution mode is *defined* by equivalence: for every
+pipeline the whole-chunk kernels must deliver bit-identical results to
+the per-point implementations they replace. Four layers of evidence:
+
+* every documented/example query, registered on a DSMS in both modes —
+  delivered frames, aggregate records, chunk provenance, and per-stage
+  :class:`~repro.obs.stats.StageStats` counts all match exactly;
+* each operator kernel on the pull path, fed the shared demo streams —
+  output chunks and the operators' own :class:`OperatorStats` match;
+* oracle equivalence as a *property* — hypothesis-generated query trees
+  and hypothesis-generated frames (arbitrary lattices and value domains
+  from :mod:`tests.strategies`) agree in both modes;
+* the chaos matrix — every fault kind, injected identically in both
+  modes, yields identical deliveries, injector counts, and dead letters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import obs
+from repro.cli import build_demo_catalog
+from repro.core import GeoStream, GridChunk, Organization, StreamMetadata, TimeInterval
+from repro.engine.pipeline import compose_streams
+from repro.faults import FAULT_KINDS, FaultSpec, harden_catalog, recovering
+from repro.geo import BoundingBox, PolygonRegion, utm
+from repro.operators import (
+    Coarsen,
+    FrameStretch,
+    Magnify,
+    Reproject,
+    Rescale,
+    Rotate,
+    SpatialRestriction,
+    StreamComposition,
+    TemporalRestriction,
+    ValueRestriction,
+)
+from repro.query import plan_query
+from repro.server import DSMSServer
+
+from tests.strategies import (
+    BOX,
+    SOURCES,
+    frame_chunks_strategy,
+    tree_strategy,
+)
+from tests.test_analysis_docs import (
+    _doc_queries,
+    _example_constant_queries,
+    _example_runtime_queries,
+)
+from tests.test_faults_chaos import make_catalog as make_chaos_catalog
+
+VIS = SOURCES["goes.vis"]
+NIR = SOURCES["goes.nir"]
+
+
+def chunk_key(chunk):
+    """Everything that defines a delivered chunk, bit-exact."""
+    assert isinstance(chunk, GridChunk), f"unexpected chunk type {type(chunk)}"
+    return (
+        chunk.values.tobytes(),
+        str(chunk.values.dtype),
+        chunk.values.shape,
+        chunk.lattice,
+        chunk.band,
+        chunk.t,
+        chunk.sector,
+        chunk.row0,
+        chunk.col0,
+        chunk.last_in_frame,
+        chunk.frame,
+    )
+
+
+def _sub_box(frac_lo: float = 0.2, frac_hi: float = 0.8) -> BoundingBox:
+    return BoundingBox(
+        BOX.xmin + BOX.width * frac_lo,
+        BOX.ymin + BOX.height * frac_lo,
+        BOX.xmin + BOX.width * frac_hi,
+        BOX.ymin + BOX.height * frac_hi,
+        BOX.crs,
+    )
+
+
+def _triangle() -> PolygonRegion:
+    """A non-box region, exercising the mask kernel."""
+    return PolygonRegion(
+        [
+            (BOX.xmin + 0.1 * BOX.width, BOX.ymin + 0.1 * BOX.height),
+            (BOX.xmax - 0.1 * BOX.width, BOX.ymin + 0.2 * BOX.height),
+            (BOX.xmin + 0.5 * BOX.width, BOX.ymax - 0.1 * BOX.height),
+        ],
+        crs=BOX.crs,
+    )
+
+
+# -- per-kernel pull-path differential --------------------------------------------
+
+_KERNELS = {
+    "rescale": lambda: [Rescale(0.5, offset=2.0)],
+    "stretch-linear": lambda: [FrameStretch("linear")],
+    "stretch-equalize": lambda: [FrameStretch("equalize")],
+    "stretch-gaussian": lambda: [FrameStretch("gaussian")],
+    "restrict-box": lambda: [SpatialRestriction(_sub_box())],
+    "restrict-polygon": lambda: [SpatialRestriction(_triangle())],
+    "restrict-value": lambda: [ValueRestriction(200.0, 900.0)],
+    "restrict-time": lambda: [TemporalRestriction(TimeInterval(72_000.0, 72_030.0))],
+    "magnify": lambda: [Magnify(2)],
+    "coarsen": lambda: [Coarsen(3)],
+    "rotate": lambda: [Rotate(30.0)],
+    "reproject": lambda: [Reproject(utm(10))],
+    "chain": lambda: [
+        Rescale(2.0, offset=-1.0),
+        FrameStretch("linear"),
+        Coarsen(2),
+        SpatialRestriction(_sub_box(0.0, 0.9)),
+    ],
+}
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("name", sorted(_KERNELS))
+    def test_kernel_bit_identical(self, name):
+        oracle_ops = _KERNELS[name]()
+        columnar_ops = _KERNELS[name]()
+        oracle = VIS.pipe(*oracle_ops, columnar=False).collect_chunks()
+        columnar = VIS.pipe(*columnar_ops, columnar=True).collect_chunks()
+        assert [chunk_key(c) for c in oracle] == [chunk_key(c) for c in columnar]
+        # Satellite fix under test: rows/bytes accounting must be identical
+        # in both execution modes, not just the delivered values.
+        assert [op.stats for op in oracle_ops] == [op.stats for op in columnar_ops]
+
+    @pytest.mark.parametrize("gamma", ["+", "-", "*", "sup", "inf"])
+    def test_compose_bit_identical(self, gamma):
+        def run(columnar):
+            op = StreamComposition(gamma, timestamp_policy="sector")
+            out = compose_streams(VIS, NIR, op, columnar=columnar).collect_chunks()
+            return [chunk_key(c) for c in out], op.stats
+
+        assert run(False) == run(True)
+
+    def test_kernels_produce_output(self):
+        """The differential above is not vacuous: kernels do emit chunks."""
+        for name, make in _KERNELS.items():
+            assert VIS.pipe(*make(), columnar=True).collect_chunks(), name
+
+
+# -- every documented/example query through the DSMS ------------------------------
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return build_demo_catalog(seed=7, n_frames=2, width=48, height=24)
+
+
+def _documented_queries(imager):
+    seen = []
+    for _, text in (
+        *_doc_queries(),
+        *_example_constant_queries(),
+        *_example_runtime_queries(imager),
+    ):
+        if text not in seen:
+            seen.append(text)
+    return seen
+
+
+def _run_all_queries(catalog, queries, columnar):
+    """One server, every query registered, full scan under stage stats."""
+    server = DSMSServer(catalog, columnar=columnar)
+    sessions = [server.register(text, encode_png=False) for text in queries]
+    with obs.observe(stats=True) as ob:
+        server.run()
+    frames = {
+        text: [
+            (f.image.t, f.image.band, str(f.image.values.dtype),
+             f.image.lattice, f.image.values.tobytes(), f.provenance)
+            for f in session.frames
+        ]
+        for text, session in zip(queries, sessions)
+    }
+    records = {text: session.records for text, session in zip(queries, sessions)}
+    stage_counts = {
+        fp: (s.calls, s.chunks_in, s.chunks_out, s.points_in, s.points_out,
+             s.bytes_in, s.bytes_out)
+        for fp, s in ob.stats.stages.items()
+    }
+    return frames, records, stage_counts, dict(ob.stats.scans)
+
+
+class TestDocumentedQueries:
+    def test_documented_queries_bit_identical(self, demo):
+        imager, catalog = demo
+        queries = _documented_queries(imager)
+        assert len(queries) >= 8
+        oracle = _run_all_queries(catalog, queries, columnar=False)
+        columnar = _run_all_queries(catalog, queries, columnar=True)
+
+        o_frames, o_records, o_stages, o_scans = oracle
+        c_frames, c_records, c_stages, c_scans = columnar
+        for text in queries:
+            assert o_frames[text] == c_frames[text], text
+            assert o_records[text] == c_records[text], text
+        # Provenance-bearing frames were actually delivered (non-vacuous).
+        delivered = [f for frames in o_frames.values() for f in frames]
+        assert delivered
+        assert all(f[-1] is not None and f[-1].stages for f in delivered)
+        # Per-stage accounting matches exactly, stage for stage.
+        assert o_stages == c_stages
+        assert o_scans == c_scans
+
+
+# -- oracle equivalence as a property ---------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tree=tree_strategy())
+def test_random_trees_oracle_equivalence(tree):
+    oracle = plan_query(tree, SOURCES, columnar=False).collect_chunks()
+    columnar = plan_query(tree, SOURCES, columnar=True).collect_chunks()
+    assert [chunk_key(c) for c in oracle] == [chunk_key(c) for c in columnar]
+
+
+def _ops_for(kind, lattice, value_set):
+    lo, hi = value_set.bounds
+    lo = float(max(lo, -1.0e4))
+    hi = float(min(hi, 1.0e4))
+    box = lattice.bbox
+    sub = BoundingBox(
+        box.xmin + 0.2 * box.width,
+        box.ymin + 0.2 * box.height,
+        box.xmax - 0.2 * box.width,
+        box.ymax - 0.2 * box.height,
+        box.crs,
+    )
+    return {
+        "rescale": lambda: [Rescale(1.5, offset=-3.0)],
+        "stretch": lambda: [FrameStretch("linear")],
+        "coarsen": lambda: [Coarsen(2)],
+        "magnify": lambda: [Magnify(2)],
+        "restrict-value": lambda: [ValueRestriction(lo + 0.25 * (hi - lo), lo + 0.75 * (hi - lo))],
+        "restrict-box": lambda: [SpatialRestriction(sub)],
+    }[kind]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    fc=frame_chunks_strategy(),
+    kind=st.sampled_from(
+        ["rescale", "stretch", "coarsen", "magnify", "restrict-value", "restrict-box"]
+    ),
+)
+def test_generated_frames_oracle_equivalence(fc, kind):
+    """Arbitrary lattices/value domains agree in both modes, stats included."""
+    chunks, value_set = fc
+    lattice = chunks[0].frame.lattice
+    metadata = StreamMetadata(
+        stream_id="hyp.src",
+        band=chunks[0].band,
+        crs=lattice.crs,
+        organization=Organization.ROW_BY_ROW,
+        value_set=value_set,
+    )
+    stream = GeoStream.from_chunks(metadata, chunks)
+    make = _ops_for(kind, lattice, value_set)
+    oracle_ops, columnar_ops = make(), make()
+    oracle = stream.pipe(*oracle_ops, columnar=False).collect_chunks()
+    columnar = stream.pipe(*columnar_ops, columnar=True).collect_chunks()
+    assert [chunk_key(c) for c in oracle] == [chunk_key(c) for c in columnar]
+    assert [op.stats for op in oracle_ops] == [op.stats for op in columnar_ops]
+
+
+# -- chaos matrix: every fault kind x columnar mode -------------------------------
+
+
+class TestChaosColumnar:
+    def test_fault_kind_registry_is_complete(self):
+        assert len(FAULT_KINDS) == 8
+
+    @pytest.mark.parametrize("seed", (101, 404))
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_chaos_bit_identical_across_modes(self, kind, seed):
+        """Same seeded faults, same deliveries, whichever kernels run."""
+
+        def run(columnar):
+            spec = FaultSpec.single(kind, seed=seed)
+            hardened, injector, ctx = harden_catalog(make_chaos_catalog(), spec)
+            server = DSMSServer(hardened, recovery=ctx, columnar=columnar)
+            session = server.register("reflectance(goes.vis)", encode_png=False)
+            with recovering(ctx):
+                server.run()
+            frames = [
+                (f.image.t, f.image.values.tobytes()) for f in session.frames
+            ]
+            return frames, dict(injector.counts), dict(ctx.dead_letter.by_reason)
+
+        oracle = run(False)
+        columnar = run(True)
+        assert oracle == columnar
+        assert oracle[1][kind] > 0, f"{kind}@{seed} injected nothing"

@@ -68,9 +68,11 @@ class TestComposeMerging:
         seen = []
 
         class Spy(StreamComposition):
-            def _process_side(self, side, chunk):
+            # Spy on the public entry point so the order check holds in
+            # both per-point and columnar execution modes.
+            def process_side(self, side, chunk):
                 seen.append((side, chunk.t))
-                return super()._process_side(side, chunk)
+                return super().process_side(side, chunk)
 
         out = compose_streams(left, right, Spy("+", timestamp_policy="measured"))
         out.collect_chunks()

@@ -369,6 +369,54 @@ class TestFastPathOverhead:
             with pytest.raises(AssertionError, match="timed"):
                 server.run()
 
+    @staticmethod
+    def _per_point_query(small_imager):
+        box = sector_subbox(small_imager, 0.1, 0.1, 0.9, 0.9)
+        return (
+            "reproject(within(coarsen(stretch(reflectance(goes.vis), 'linear'), 2), "
+            f"bbox({box.xmin!r}, {box.ymin!r}, {box.xmax!r}, {box.ymax!r}, "
+            "crs='geos:-135')), 'utm:10')"
+        )
+
+    def test_columnar_mode_makes_no_per_point_callbacks(
+        self, catalog, small_imager, monkeypatch
+    ):
+        """Columnar kernels never fall back to per-chunk Python derivation.
+
+        ``GridChunk.subwindow`` / ``with_values`` are the oracle's per-row
+        and per-chunk callbacks; the columnar fast path must construct its
+        outputs from whole-buffer operations only.
+        """
+        from repro.core import GridChunk
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("per-point callback on the columnar path")
+
+        monkeypatch.setattr(GridChunk, "subwindow", forbidden)
+        monkeypatch.setattr(GridChunk, "with_values", forbidden)
+        server = DSMSServer(catalog, columnar=True)
+        session = server.register(
+            self._per_point_query(small_imager), encode_png=False
+        )
+        server.run()
+        assert session.frames  # the run completed without the oracle hooks
+
+    def test_per_point_mode_does_use_the_callbacks(
+        self, catalog, small_imager, monkeypatch
+    ):
+        """Sanity check: the same pipeline trips the guard in oracle mode."""
+        from repro.core import GridChunk
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("per-point")
+
+        monkeypatch.setattr(GridChunk, "subwindow", forbidden)
+        monkeypatch.setattr(GridChunk, "with_values", forbidden)
+        server = DSMSServer(catalog, columnar=False)
+        server.register(self._per_point_query(small_imager), encode_png=False)
+        with pytest.raises(AssertionError, match="per-point"):
+            server.run()
+
 
 class TestGaugeSnapshotGap:
     def test_zero_delivery_session_still_exports_gauges(self, catalog, small_imager):

@@ -13,74 +13,10 @@ Hypothesis generates random query trees; we check the global invariants:
 import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import GridChunk, TimeInterval
-from repro.geo import BoundingBox, goes_geostationary
-from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
+from repro.core import GridChunk
 from repro.query import ast as q, optimize, plan_query
 
-# A tiny, session-cached source environment so each hypothesis example is fast.
-_GEOS = goes_geostationary(-135.0)
-_SECTOR = western_us_sector(_GEOS, width=24, height=12)
-_IMAGER = GOESImager(
-    scene=SyntheticEarth(seed=3),
-    sector_lattice=_SECTOR,
-    n_frames=1,
-    t0=72_000.0,
-)
-_SOURCES = {
-    "goes.vis": GOESImager.stream(_IMAGER, "vis"),
-    "goes.nir": GOESImager.stream(_IMAGER, "nir"),
-}
-_CRS_OF = {sid: s.crs for sid, s in _SOURCES.items()}
-_BOX = _SECTOR.bbox
-
-
-def region_strategy():
-    return st.tuples(
-        st.floats(0.0, 0.7), st.floats(0.0, 0.7), st.floats(0.1, 0.3), st.floats(0.1, 0.3)
-    ).map(
-        lambda t: BoundingBox(
-            _BOX.xmin + _BOX.width * t[0],
-            _BOX.ymin + _BOX.height * t[1],
-            min(_BOX.xmin + _BOX.width * (t[0] + t[2]), _BOX.xmax),
-            min(_BOX.ymin + _BOX.height * (t[1] + t[3]), _BOX.ymax),
-            _BOX.crs,
-        )
-    )
-
-
-def leaf_strategy():
-    return st.sampled_from([q.StreamRef("goes.vis"), q.StreamRef("goes.nir")])
-
-
-def tree_strategy(max_depth: int = 4):
-    def extend(children):
-        unary = st.one_of(
-            st.tuples(children, region_strategy()).map(
-                lambda t: q.SpatialRestrict(t[0], t[1])
-            ),
-            st.tuples(children, st.floats(0.0, 3_000.0), st.floats(3_000.0, 90_000.0)).map(
-                lambda t: q.TemporalRestrict(
-                    t[0], TimeInterval(72_000.0 + t[1], 72_000.0 + t[2])
-                )
-            ),
-            st.tuples(children, st.floats(0.1, 4.0), st.floats(-10.0, 10.0)).map(
-                lambda t: q.ValueMap(
-                    t[0], "rescale", (("gain", t[1]), ("offset", t[2]))
-                )
-            ),
-            st.tuples(children, st.floats(0.0, 400.0), st.floats(500.0, 1100.0)).map(
-                lambda t: q.ValueRestrict(t[0], t[1], t[2])
-            ),
-            st.tuples(children, st.integers(1, 3)).map(lambda t: q.Magnify(t[0], t[1])),
-            st.tuples(children, st.integers(1, 3)).map(lambda t: q.Coarsen(t[0], t[1])),
-        )
-        binary = st.tuples(children, children, st.sampled_from(["+", "-", "*", "sup", "inf"])).map(
-            lambda t: q.Compose(t[0], t[1], t[2])
-        )
-        return st.one_of(unary, binary)
-
-    return st.recursive(leaf_strategy(), extend, max_leaves=4)
+from tests.strategies import CRS_OF as _CRS_OF, SOURCES as _SOURCES, region_strategy, tree_strategy
 
 
 def collect(tree):
