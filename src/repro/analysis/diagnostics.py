@@ -264,6 +264,22 @@ CODES: dict[str, CodeInfo] = dict(
             "a sink edge whose roots set is empty — results go nowhere",
             "a corrupted DAG; rebuild it by re-registering the live queries",
         ),
+        _code(
+            "GS-DAG005",
+            "dag",
+            Severity.ERROR,
+            "epoch ownership drift (stage epochs disagree with subscribers)",
+            "a stage owned by no epoch, or stamped with a retired epoch",
+            "mutate stage membership only through plan.epoch.EpochTransition",
+        ),
+        _code(
+            "GS-DAG006",
+            "dag",
+            Severity.ERROR,
+            "committed epoch stage set disagrees with the live subscriptions",
+            "refcount drift across a hot swap: grafted stages lost an owner",
+            "a corrupted swap; re-register the query to rebuild its subplan",
+        ),
     )
 )
 

@@ -15,12 +15,19 @@ first principles so operators (and tests) can audit a running DSMS:
   registrations (unknown ids, or a registration whose stages dropped it).
 * **GS-DAG004** — a terminal delivery edge with an empty roots set:
   results would be computed and delivered to nobody.
+* **GS-DAG005** — epoch ownership drift: a live stage owned by zero
+  epochs, owned by a query that does not subscribe to it, or stamped
+  with an epoch other than its owner's current one.
+* **GS-DAG006** — the current epoch's committed fingerprint set (what
+  :class:`~repro.plan.epoch.EpochTransition` recorded) disagreeing with
+  the stages actually subscribed — refcount drift across a hot swap.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+from ..errors import PlanError
 from ..plan.stages import Edge, PlanDAG, Stage
 from .diagnostics import Diagnostic, DiagnosticReport, Severity
 
@@ -167,6 +174,80 @@ def check_dag(
                             ),
                         )
                     )
+
+    # Epoch bookkeeping (versioned plans / hot swap). Every live stage
+    # must be owned by at least one epoch, ownership must mirror the
+    # subscriber set, and every stamp must be its owner's *current*
+    # epoch — a swap that left a stale stamp behind would let frame
+    # provenance claim membership in a retired plan (GS-DAG005). And the
+    # committed fingerprint set the transition recorded for the current
+    # epoch must equal the stages actually subscribed: any difference is
+    # refcount drift across the swap (GS-DAG006).
+    if dag.epoch_of:
+        for stage in dag.order:
+            where = f"stage {stage.node.describe()!r}"
+            if not stage.epochs:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG005",
+                        severity=Severity.ERROR,
+                        message=f"{where} is owned by no epoch",
+                    )
+                )
+                continue
+            if set(stage.epochs) != set(stage.subscribers):
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG005",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{where}: epoch owners {sorted(stage.epochs)} "
+                            f"disagree with subscribers "
+                            f"{sorted(stage.subscribers)}"
+                        ),
+                    )
+                )
+            for root, stamped in stage.epochs.items():
+                current = dag.epoch_of.get(root)
+                if current is not None and stamped != current:
+                    diagnostics.append(
+                        Diagnostic(
+                            code="GS-DAG005",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"{where}: stamped epoch {stamped} for query "
+                                f"{root} is not its current epoch {current}"
+                            ),
+                        )
+                    )
+        for root, epoch in sorted(dag.epoch_of.items()):
+            live = dag.stage_fingerprints(root)
+            try:
+                committed = dag.stage_fingerprints(root, epoch=epoch)
+            except PlanError:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG006",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"query {root} is at epoch {epoch} but no such "
+                            "epoch was ever committed"
+                        ),
+                    )
+                )
+                continue
+            if committed != live:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GS-DAG006",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"query {root} epoch {epoch}: committed stage set "
+                            f"{sorted(committed)} != live subscribed set "
+                            f"{sorted(live)} (refcount drift across swap)"
+                        ),
+                    )
+                )
     return DiagnosticReport(tuple(diagnostics))
 
 

@@ -113,7 +113,8 @@ def _load_calibration(args: argparse.Namespace) -> "CalibrationProfile | None":
     profile = CalibrationProfile.load(path)
     print(
         f"loaded calibration profile from {path} "
-        f"({len(profile.coefficients)} operator kinds, {profile.n_samples} samples)"
+        f"({len(profile.coefficients)} operator kinds, {profile.n_samples} samples, "
+        f"kind fingerprint {profile.kind_fingerprint})"
     )
     return profile
 

@@ -404,6 +404,9 @@ class FrameTracer:
         self._stream_notes: dict[str, list[str]] = {}
         self._breached: set[object] = set()
         self._breach_reasons: dict[object, str] = {}
+        # Plan-epoch cutovers auto-pin the transition window: remaining
+        # frames to pin and the annotation, per query (see on_epoch_swap).
+        self._swap_window: dict[object, tuple[int, str]] = {}
         # Counters surfaced as repro_trace_* metrics and by `repro trace`.
         self.chunks_traced = 0
         self.chunks_sampled_out = 0
@@ -412,7 +415,7 @@ class FrameTracer:
 
     # -- sampling / admission -----------------------------------------
     def _sampled(self) -> bool:
-        if self._breached:
+        if self._breached or self._swap_window:
             return True
         rate = self.sample_rate
         if rate >= 1.0:
@@ -551,6 +554,21 @@ class FrameTracer:
     def on_recover(self, query: object) -> None:
         self._breached.discard(query)
 
+    # -- plan-epoch integration ---------------------------------------
+    def on_epoch_swap(
+        self, query: object, old_epoch: int, new_epoch: int, window: int = 2
+    ) -> None:
+        """Plan-epoch cutover: pin the transition window in the recorder.
+
+        The last frame delivered by the old epoch is pinned immediately,
+        and the next ``window`` frames the new epoch delivers are
+        force-sampled and pinned too — the flight recorder keeps both
+        sides of every hot swap without anyone asking.
+        """
+        reason = f"epoch-swap:e{old_epoch}->e{new_epoch}"
+        self.recorder.pin_latest(query, reason)
+        self._swap_window[query] = (max(1, window), reason)
+
     def is_breached(self, query: object) -> bool:
         return query in self._breached
 
@@ -657,6 +675,16 @@ class FrameTracer:
             if breach not in trace.annotations:
                 trace.annotations = tuple(trace.annotations) + (breach,)
             self.recorder.pin(trace, breach)
+        window = self._swap_window.get(query)
+        if window is not None:
+            remaining, reason = window
+            if reason not in trace.annotations:
+                trace.annotations = tuple(trace.annotations) + (reason,)
+            self.recorder.pin(trace, reason)
+            if remaining <= 1:
+                del self._swap_window[query]
+            else:
+                self._swap_window[query] = (remaining - 1, reason)
         return trace
 
     def flush_pinned(self) -> int:
@@ -689,6 +717,7 @@ class FrameTracer:
         self._builds.clear()
         self._stream_notes.clear()
         self._breached.clear()
+        self._swap_window.clear()
 
 
 # -- module-global install (same pattern as tracing.py) ----------------

@@ -35,9 +35,15 @@ class DeliveredFrame:
     plan stages produced these pixels.  ``trace`` (when the run had a
     frame tracer installed and the frame's chunks were sampled) is the
     frame's end-to-end :class:`~repro.obs.trace.FrameTrace`.
+
+    ``seq`` is the delivery sequence number, assigned contiguously per
+    delivery operator (0, 1, 2, …) — it survives plan-epoch hot swaps,
+    so a gap or repeat proves a frame was dropped or duplicated across a
+    cutover. ``epoch`` is the plan epoch whose stage set produced the
+    frame (0 outside a DSMS session).
     """
 
-    __slots__ = ("png", "image", "provenance", "trace")
+    __slots__ = ("png", "image", "provenance", "trace", "seq", "epoch")
 
     def __init__(
         self,
@@ -45,15 +51,19 @@ class DeliveredFrame:
         image: RasterImage,
         provenance: Provenance | None = None,
         trace: "FrameTrace | None" = None,
+        seq: int = 0,
+        epoch: int = 0,
     ) -> None:
         self.png = png
         self.image = image
         self.provenance = provenance
         self.trace = trace
+        self.seq = seq
+        self.epoch = epoch
 
     def __repr__(self) -> str:
         return (
-            f"DeliveredFrame({len(self.png)} bytes, {self.image.shape[0]}x"
+            f"DeliveredFrame(#{self.seq}, {len(self.png)} bytes, {self.image.shape[0]}x"
             f"{self.image.shape[1]} {self.image.band!r} @t={self.image.t:g})"
         )
 
@@ -91,23 +101,46 @@ class Delivery(Operator):
         # traces land in the right flight-recorder ring.
         self._pending_trace: "list[TraceContext]" = []
         self.trace_query: object | None = None
+        # Delivery sequence numbers are contiguous per operator and the
+        # plan epoch is stamped on each frame; both survive hot swaps
+        # (the delivery operator lives in the session, not the DAG).
+        self._seq = 0
+        self.epoch = 0
 
     def _reset_state(self) -> None:
         self._collector = _FrameCollector(self)
         self._pending_prov = None
         self._pending_trace = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
 
     def _ship(self, image: RasterImage) -> None:
         ftracer = current_frame_tracer() if self._pending_trace else None
         if ftracer is None:
             png = image.to_png_bytes() if self.encode else b""
-            self.sink(DeliveredFrame(png, image, provenance=self._pending_prov))
+            self.sink(
+                DeliveredFrame(
+                    png,
+                    image,
+                    provenance=self._pending_prov,
+                    seq=self._next_seq(),
+                    epoch=self.epoch,
+                )
+            )
             self._pending_prov = None
             self._pending_trace = []
             return
         t0 = perf_counter()
         png = image.to_png_bytes() if self.encode else b""
         t1 = perf_counter()
+        if self.epoch:
+            for ctx in self._pending_trace:
+                ftracer.annotate(ctx, f"epoch={self.epoch}")
+                break  # one annotation per frame is enough
         trace = ftracer.finalize_frame(
             self.trace_query,
             self._pending_trace,
@@ -118,7 +151,14 @@ class Delivery(Operator):
             t1=t1,
         )
         self.sink(
-            DeliveredFrame(png, image, provenance=self._pending_prov, trace=trace)
+            DeliveredFrame(
+                png,
+                image,
+                provenance=self._pending_prov,
+                trace=trace,
+                seq=self._next_seq(),
+                epoch=self.epoch,
+            )
         )
         self._pending_prov = None
         self._pending_trace = []

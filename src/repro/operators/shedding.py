@@ -134,6 +134,11 @@ class AdaptiveLoadShedder(Operator):
         # stay live) and relaxes it once the feed recovers.
         self._pressure = 1.0
         self.escalations = 0
+        # When an adaptive re-planner manages the shed rate, the blind
+        # reflexive signals (stall detector, SLO breach edges) are
+        # superseded: pressure is pinned to the value the planner derived
+        # from the current epoch's calibrated cost.
+        self.managed = False
 
     def _reset_state(self) -> None:
         self._credit = 0.0
@@ -144,6 +149,7 @@ class AdaptiveLoadShedder(Operator):
         self.points_shed = 0
         self._pressure = 1.0
         self.escalations = 0
+        self.managed = False
 
     # -- overload response (driven by the DSMS under sustained stall) --------
 
@@ -155,6 +161,8 @@ class AdaptiveLoadShedder(Operator):
         """Cut the effective refill budget (bounded so it can recover)."""
         if factor <= 1.0:
             raise OperatorError(f"escalation factor must be > 1, got {factor}")
+        if self.managed:
+            return  # the re-planner owns the shed rate (open loop superseded)
         self._pressure = min(self._pressure * factor, 64.0)
         self.escalations += 1
         if metrics_enabled():
@@ -164,7 +172,26 @@ class AdaptiveLoadShedder(Operator):
 
     def relax(self) -> None:
         """Undo escalation once the feed looks healthy again."""
+        if self.managed:
+            return
         self._pressure = 1.0
+
+    def set_managed(self, pressure: float) -> None:
+        """Pin the shed rate to a planner-derived value (see AdaptivePolicy).
+
+        An epoch transition that changes the shed rate calls this with
+        the pressure the *new* plan's calibrated cost supports; from then
+        on the reflexive escalate/relax valves are no-ops until
+        :meth:`release_managed`.
+        """
+        if pressure <= 0:
+            raise OperatorError(f"managed pressure must be positive, got {pressure}")
+        self._pressure = min(pressure, 64.0)
+        self.managed = True
+
+    def release_managed(self) -> None:
+        """Return the shed rate to reflexive stall/SLO control."""
+        self.managed = False
 
     def _frame_points_estimate(self, chunk: GridChunk) -> int:
         if chunk.frame is not None:

@@ -30,6 +30,7 @@ from .nodes import (
     source_ids,
     walk,
 )
+from .epoch import EpochSwapResult, EpochTransition, PlanEpoch
 from .ops import VALUE_MAP_DEFAULTS, build_composition, build_value_map
 from .stages import PlanDAG, PlanStats, Stage
 
@@ -62,4 +63,7 @@ __all__ = [
     "PlanDAG",
     "PlanStats",
     "Stage",
+    "EpochTransition",
+    "EpochSwapResult",
+    "PlanEpoch",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
 from time import perf_counter
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.chunk import Chunk
 from ..core.columnar import resolve_columnar
@@ -25,12 +25,14 @@ from ..core.provenance import Provenance
 from ..engine.pipeline import chunk_time
 from ..errors import PlanError
 from ..faults.recovery import current_recovery
-from ..obs.registry import get_registry, metrics_enabled
 from ..obs.stats import StageStats, StatsCollector, current_collector
 from ..obs.trace import FrameTracer, TraceContext, current_frame_tracer
 from ..obs.tracing import Span, Tracer, current_tracer
 from ..operators.base import BinaryOperator, Operator
-from .nodes import Compose, EmptyPlan, PlanNode, SourceScan
+from .nodes import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (circular with .epoch)
+    from .epoch import EpochSwapResult, PlanEpoch
 
 __all__ = ["PlanDAG", "Stage", "PlanStats"]
 
@@ -87,6 +89,7 @@ class Stage:
         "op",
         "outputs",
         "subscribers",
+        "epochs",
         "_dag",
         "_span",
         "_tracer",
@@ -102,6 +105,10 @@ class Stage:
         self.op = op
         self.outputs: list[Edge] = []
         self.subscribers: set[int] = set()
+        # root id -> the plan epoch of that root this stage currently
+        # serves; stamped by EpochTransition.commit. check_dag audits
+        # that this never drifts from ``subscribers``.
+        self.epochs: dict[int, int] = {}
         self._dag = dag
         self._span: Span | None = None
         self._tracer: Tracer | None = None
@@ -336,125 +343,56 @@ class PlanDAG:
         # stream_id -> edges fed directly by that source's chunks.
         self.taps: dict[str, list[Edge]] = {}
         self.stats = PlanStats()
+        # Versioned plan epochs: root id -> current epoch number (1-based)
+        # and the full committed history. Only EpochTransition writes the
+        # stage tables above; these counters are its commit record.
+        self.epoch_of: dict[int, int] = {}
+        self.epoch_history: dict[int, list["PlanEpoch"]] = {}
         self._active: frozenset[int] | None = None
         self._flushed = False
 
     # -- construction / teardown ---------------------------------------------------
+    #
+    # All structural mutation is transactional: these methods wrap an
+    # EpochTransition (repro.plan.epoch), the single place allowed to
+    # touch the stage tables (lint rule RL006).
 
     def add_plan(self, plan: PlanNode, sink: _Sink, root_id: int) -> list[Stage]:
         """Wire one query plan into the DAG, reusing shared subplans.
 
-        Returns the stages the plan uses (for refcounted removal).
+        Returns the stages the plan uses (for refcounted removal). The
+        query starts at plan epoch 1.
         """
-        stages: list[Stage] = []
-        top = self._build(plan, stages)
-        terminal = Edge(sink=sink, roots={root_id})
-        if top is None:  # bare source scan (or provably empty query)
-            if isinstance(plan, SourceScan):
-                self.taps.setdefault(plan.stream_id, []).append(terminal)
-        else:
-            top.outputs.append(terminal)
-        for stage in stages:
-            stage.subscribers.add(root_id)
+        from .epoch import EpochTransition
+
+        transition = EpochTransition(self, root_id, reason="register")
+        stages = transition.install(plan, sink)
+        transition.commit()
         return stages
 
-    def _build(self, node: PlanNode, stages: list[Stage]) -> Stage | None:
-        if isinstance(node, (SourceScan, EmptyPlan)):
-            return None
-        if self.share:
-            existing = self._by_fingerprint.get(node.fingerprint)
-            # Fingerprints are a fast path; actual node equality decides.
-            if existing is not None and existing.node == node:
-                self.stats.subplan_hits += 1
-                if metrics_enabled():
-                    get_registry().counter("repro_plan_subplan_hits_total").inc()
-                if existing not in stages:
-                    stages.append(existing)
-                    for child_stage in self._collect_upstream(existing):
-                        if child_stage not in stages:
-                            stages.append(child_stage)
-                return existing
-        if isinstance(node, Compose):
-            pairs: tuple[tuple[str | None, PlanNode], ...] = (
-                ("left", node.left),
-                ("right", node.right),
-            )
-        else:
-            pairs = tuple((None, child) for child in node.children)
-        built = [(side, child, self._build(child, stages)) for side, child in pairs]
-        op = node.make_operator()
-        op.set_execution_mode(self.columnar)
-        stage = Stage(node, op, self)
-        if self.share:
-            self._by_fingerprint[node.fingerprint] = stage
-        self.order.append(stage)
-        stages.append(stage)
-        for side, child, child_stage in built:
-            if isinstance(child, EmptyPlan):
-                continue
-            edge = Edge(stage=stage, side=side)
-            if isinstance(child, SourceScan):
-                self.taps.setdefault(child.stream_id, []).append(edge)
-            else:
-                child_stage.outputs.append(edge)
-        return stage
+    def swap_plan(
+        self, root_id: int, new_plan: PlanNode, sink: _Sink,
+        old_stages: Iterable[Stage], reason: str = "replan",
+    ) -> "EpochSwapResult":
+        """Move a live query to its next plan epoch (hot swap).
 
-    def _collect_upstream(self, stage: Stage) -> list[Stage]:
-        """Every stage feeding into ``stage`` (transitively)."""
-        want = {id(stage)}
-        out: list[Stage] = []
-        # self.order is topological, so a reverse sweep finds producers.
-        for candidate in reversed(self.order):
-            if any(
-                edge.stage is not None and id(edge.stage) in want
-                for edge in candidate.outputs
-            ):
-                want.add(id(candidate))
-                out.append(candidate)
-        return out
+        Stages shared between the epochs are grafted — operator state and
+        refcounts preserved — new ones are built, and orphans retired.
+        """
+        from .epoch import EpochTransition
+
+        transition = EpochTransition(self, root_id, reason=reason)
+        result = transition.swap(new_plan, sink, old_stages)
+        transition.commit()
+        return result
 
     def remove_plan(self, root_id: int, stages: Iterable[Stage]) -> None:
         """Drop one query: unsubscribe, then prune stages nobody needs."""
-        stages = list(stages)
-        for stage in stages:
-            stage.subscribers.discard(root_id)
-            stage.outputs = [
-                edge
-                for edge in stage.outputs
-                if edge.stage is not None or (edge.roots.discard(root_id) or edge.roots)
-            ]
-        dead = {id(s) for s in stages if not s.subscribers}
-        self._prune_terminal_taps(root_id)
-        if not dead:
-            return
-        self.order = [s for s in self.order if id(s) not in dead]
-        for fp, stage in list(self._by_fingerprint.items()):
-            if id(stage) in dead:
-                del self._by_fingerprint[fp]
-        for stage in self.order:
-            stage.outputs = [
-                e for e in stage.outputs if e.stage is None or id(e.stage) not in dead
-            ]
-        for stream_id, edges in list(self.taps.items()):
-            kept = [e for e in edges if e.stage is None or id(e.stage) not in dead]
-            if kept:
-                self.taps[stream_id] = kept
-            else:
-                del self.taps[stream_id]
+        from .epoch import EpochTransition
 
-    def _prune_terminal_taps(self, root_id: int) -> None:
-        for stream_id, edges in list(self.taps.items()):
-            kept = []
-            for edge in edges:
-                if edge.stage is None:
-                    edge.roots.discard(root_id)
-                    if not edge.roots:
-                        continue
-                kept.append(edge)
-            if kept:
-                self.taps[stream_id] = kept
-            else:
-                del self.taps[stream_id]
+        transition = EpochTransition(self, root_id, reason="deregister")
+        transition.retire(stages)
+        transition.commit()
 
     # -- execution -----------------------------------------------------------------
 
@@ -505,17 +443,33 @@ class PlanDAG:
         """Each distinct physical operator once, in topological order."""
         return [stage.op for stage in self.order]
 
-    def stage_fingerprints(self, root_id: int | None = None) -> set[str]:
+    def stage_fingerprints(
+        self, root_id: int | None = None, epoch: int | None = None
+    ) -> set[str]:
         """Fingerprints of the stages serving one query (or every query).
 
         This is exactly the set a delivered frame's provenance tag should
-        list after a full run under a stats collector.
+        list after a full run under a stats collector. With ``epoch``,
+        the *committed* stage set of that historical epoch is returned
+        instead of the live one — the set frames delivered under that
+        epoch must have traversed.
         """
+        if epoch is not None:
+            if root_id is None:
+                raise PlanError("epoch lookup requires a root_id")
+            for record in self.epoch_history.get(root_id, ()):
+                if record.epoch == epoch:
+                    return set(record.fingerprints)
+            raise PlanError(f"query {root_id} has no recorded epoch {epoch}")
         return {
             stage.node.fingerprint
             for stage in self.order
             if root_id is None or root_id in stage.subscribers
         }
+
+    def current_epoch(self, root_id: int) -> int:
+        """The query's live plan epoch (0 when it was never registered)."""
+        return self.epoch_of.get(root_id, 0)
 
     # -- introspection -------------------------------------------------------------
 
@@ -525,6 +479,11 @@ class PlanDAG:
             f"shared plan DAG: {self.stages_total} stages "
             f"({self.stages_shared} shared), sources: {', '.join(self.source_ids) or '-'}"
         ]
+        if self.epoch_of:
+            epochs = ", ".join(
+                f"q{rid}@e{ep}" for rid, ep in sorted(self.epoch_of.items())
+            )
+            lines.append(f"  epochs: {epochs}")
         labels = {id(stage): f"s{i}" for i, stage in enumerate(self.order)}
 
         def edge_text(edge: Edge) -> str:
@@ -538,7 +497,10 @@ class PlanDAG:
             targets = ", ".join(edge_text(e) for e in self.taps[stream_id])
             lines.append(f"  source {stream_id} -> {targets}")
         for stage in self.order:
-            subs = ",".join(str(r) for r in sorted(stage.subscribers))
+            subs = ",".join(
+                f"{r}@e{stage.epochs[r]}" if r in stage.epochs else str(r)
+                for r in sorted(stage.subscribers)
+            )
             targets = ", ".join(edge_text(e) for e in stage.outputs) or "-"
             lines.append(
                 f"  {labels[id(stage)]}: {stage.node.describe()}"

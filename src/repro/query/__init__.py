@@ -1,6 +1,7 @@
 """Query layer: AST, textual parser, fluent builder, optimizer, planner, costs."""
 
 from . import ast
+from .adaptive import AdaptiveDecision, AdaptivePolicy
 from .builder import Q, QueryBuilder
 from .calibration import CalibrationProfile, CalibrationSample
 from .cost import Estimate, NodeCost, StreamProfile, estimate_query
@@ -24,4 +25,6 @@ __all__ = [
     "NodeCost",
     "CalibrationProfile",
     "CalibrationSample",
+    "AdaptivePolicy",
+    "AdaptiveDecision",
 ]

@@ -1,0 +1,140 @@
+"""Online re-planning policy: when to roll a registered query's plan epoch.
+
+PR 5 closed the observability half of the loop — per-stage observed
+``StageStats``, calibrated cost estimates, SLO breach edges. This module
+closes the control half: an :class:`AdaptivePolicy` watches those
+signals and decides *when* the DSMS should re-plan a live query (an
+``EpochTransition`` hot swap, see ``repro.plan.epoch``).
+
+Two triggers, both with hysteresis so the planner never flaps:
+
+* **SLO breach persistence** — a query must be observed in breach for
+  ``breach_chunks`` consecutive chunk observations before a re-plan
+  fires; a single late frame never triggers one.
+* **Cost divergence** — observed per-stage wall clock diverging from the
+  :class:`~repro.query.calibration.CalibrationProfile` estimate by more
+  than ``divergence_ratio`` (the stream mix has shifted away from what
+  the plan was priced for).
+
+After a decision, the query enters a ``cooldown_chunks`` refractory
+period, and at most ``max_replans`` re-plans ever fire per query — a
+bad estimate can cost a bounded number of transitions, never a livelock
+of swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .calibration import CalibrationProfile, CalibrationSample
+
+__all__ = ["AdaptivePolicy", "AdaptiveDecision"]
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """One re-plan the policy wants: why, and the shed-rate to install."""
+
+    query: int
+    reason: str  # "slo-breach" | "cost-divergence"
+    # Managed pressure for the ingest shedder under the new epoch (None:
+    # leave the reflexive stall/SLO valves in control). The re-planner
+    # supersedes the open-loop panic escalation: pressure restarts from
+    # the value the new epoch's calibrated cost supports.
+    shed_pressure: float | None = None
+
+
+@dataclass
+class _QueryControl:
+    breach_streak: int = 0
+    cooldown: int = 0
+    replans: int = 0
+    observations: int = 0
+
+
+@dataclass
+class AdaptivePolicy:
+    """Decides when observed reality has diverged enough to re-plan.
+
+    ``observe`` is called once per scanned chunk per query (cheap:
+    counter arithmetic only); ``observe_costs`` prices observed stage
+    statistics against the calibration profile and may be called at any
+    coarser cadence (frame boundaries, end of run).
+    """
+
+    breach_chunks: int = 12  # consecutive breached observations to trigger
+    divergence_ratio: float = 4.0  # observed/estimated wall ratio to trigger
+    min_wall_s: float = 1e-4  # ignore stages too cheap to price reliably
+    cooldown_chunks: int = 64  # refractory period between re-plans
+    max_replans: int = 2  # per query, for the process lifetime
+    manage_shedding: bool = True  # pin the shed rate after a re-plan
+    managed_pressure: float = 1.0  # the pressure a re-planned epoch restarts at
+    calibration: Optional["CalibrationProfile"] = None
+    _states: dict[int, _QueryControl] = field(default_factory=dict, repr=False)
+
+    def _state(self, query: int) -> _QueryControl:
+        state = self._states.get(query)
+        if state is None:
+            state = self._states[query] = _QueryControl()
+        return state
+
+    def _fire(self, state: _QueryControl, query: int, reason: str) -> AdaptiveDecision:
+        state.replans += 1
+        state.cooldown = self.cooldown_chunks
+        state.breach_streak = 0
+        return AdaptiveDecision(
+            query=query,
+            reason=reason,
+            shed_pressure=self.managed_pressure if self.manage_shedding else None,
+        )
+
+    def _armed(self, state: _QueryControl) -> bool:
+        return state.cooldown == 0 and state.replans < self.max_replans
+
+    def observe(self, query: int, *, breached: bool) -> AdaptiveDecision | None:
+        """One chunk observation: update hysteresis, maybe decide.
+
+        ``breached`` is the SLO monitor's current verdict for the query.
+        Returns a decision on the chunk where the breach streak first
+        reaches ``breach_chunks`` (and the query is armed), else None.
+        """
+        state = self._state(query)
+        state.observations += 1
+        if state.cooldown > 0:
+            state.cooldown -= 1
+        state.breach_streak = state.breach_streak + 1 if breached else 0
+        if state.breach_streak >= self.breach_chunks and self._armed(state):
+            return self._fire(state, query, "slo-breach")
+        return None
+
+    def observe_costs(
+        self, query: int, samples: Iterable["CalibrationSample"]
+    ) -> AdaptiveDecision | None:
+        """Price observed stage statistics; decide on sustained divergence.
+
+        ``samples`` are ``(kind, work_units, wall_s)`` triples — the same
+        shape :meth:`DSMSServer.calibration_samples` produces. A stage
+        whose observed wall clock exceeds ``divergence_ratio`` times the
+        calibrated estimate (and is expensive enough to matter) means the
+        plan is priced against a stream mix that no longer exists.
+        """
+        if self.calibration is None:
+            return None
+        state = self._state(query)
+        if not self._armed(state):
+            return None
+        for sample in samples:
+            if sample.wall_s < self.min_wall_s or sample.work_units <= 0:
+                continue
+            estimated = self.calibration.seconds(sample.kind, sample.work_units)
+            if estimated <= 0:
+                continue
+            if sample.wall_s / estimated >= self.divergence_ratio:
+                return self._fire(state, query, "cost-divergence")
+        return None
+
+    def replans_fired(self, query: int) -> int:
+        state = self._states.get(query)
+        return state.replans if state else 0

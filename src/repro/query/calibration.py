@@ -20,6 +20,7 @@ sessions (``CalibrationProfile.save`` / ``load``).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -66,9 +67,38 @@ class CalibrationProfile:
     coefficients: Mapping[str, float] = field(default_factory=dict)
     default_coefficient: float = DEFAULT_SECONDS_PER_UNIT
     n_samples: int = 0
+    # The operator kinds the fit actually observed, in sorted order. A
+    # plan whose kind set differs was priced against a different operator
+    # mix — the profile is *stale* for it (see :meth:`stale_kinds`).
+    kinds: tuple[str, ...] = ()
 
     def coefficient(self, kind: str) -> float:
         return self.coefficients.get(kind, self.default_coefficient)
+
+    @property
+    def kind_fingerprint(self) -> str:
+        """Stable digest of the fitted operator-kind set.
+
+        Persisted in the profile JSON so tooling can detect staleness
+        without parsing the coefficient table: two profiles fitted over
+        the same operator mix share a fingerprint.
+        """
+        digest = hashlib.sha1("\n".join(self.kinds).encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    def stale_kinds(
+        self, live_kinds: Iterable[str]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """(unfitted, unused): how a live plan's kind set diverges.
+
+        ``unfitted`` — kinds the plan runs that the fit never observed
+        (priced by the fallback coefficient); ``unused`` — kinds the fit
+        observed that the plan no longer contains. Both empty means the
+        profile matches the plan's operator mix exactly.
+        """
+        live = set(live_kinds)
+        fitted = set(self.kinds)
+        return tuple(sorted(live - fitted)), tuple(sorted(fitted - live))
 
     def seconds(self, kind: str, work_units: float) -> float:
         return self.coefficient(kind) * work_units
@@ -113,7 +143,12 @@ class CalibrationProfile:
                 if total_work > 0
                 else DEFAULT_SECONDS_PER_UNIT
             )
-        return cls(coefficients=coefficients, default_coefficient=default, n_samples=n)
+        return cls(
+            coefficients=coefficients,
+            default_coefficient=default,
+            n_samples=n,
+            kinds=tuple(sorted(work)),
+        )
 
     # -- persistence ----------------------------------------------------------
 
@@ -124,6 +159,8 @@ class CalibrationProfile:
                 "default_coefficient": self.default_coefficient,
                 "n_samples": self.n_samples,
                 "coefficients": dict(sorted(self.coefficients.items())),
+                "kinds": list(self.kinds),
+                "kind_fingerprint": self.kind_fingerprint,
             },
             indent=2,
             sort_keys=True,
@@ -137,13 +174,22 @@ class CalibrationProfile:
             raise PlanError(f"invalid calibration profile JSON: {exc}") from exc
         if not isinstance(payload, dict) or "coefficients" not in payload:
             raise PlanError("calibration profile JSON must carry 'coefficients'")
-        return cls(
+        profile = cls(
             coefficients={str(k): float(v) for k, v in payload["coefficients"].items()},
             default_coefficient=float(
                 payload.get("default_coefficient", DEFAULT_SECONDS_PER_UNIT)
             ),
             n_samples=int(payload.get("n_samples", 0)),
+            kinds=tuple(str(k) for k in payload.get("kinds", ())),
         )
+        recorded = payload.get("kind_fingerprint")
+        if recorded is not None and recorded != profile.kind_fingerprint:
+            raise PlanError(
+                f"calibration profile kind fingerprint {recorded!r} does not "
+                f"match its kind set (expected {profile.kind_fingerprint!r}); "
+                "the file was hand-edited or truncated — re-fit it"
+            )
+        return profile
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)

@@ -11,15 +11,13 @@ operator construction lives in exactly one place.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Mapping
 
 from ..core.stream import GeoStream
 from ..errors import PlanError
-from ..operators.base import Operator
 from . import ast as q
 
-__all__ = ["plan_query", "build_value_map"]
+__all__ = ["plan_query"]
 
 
 def plan_query(
@@ -62,20 +60,3 @@ def plan_query(
         lambda sid: sources[sid] if sid in sources else resolve(sid),
         columnar=columnar,
     )
-
-
-def build_value_map(node: q.ValueMap) -> Operator:
-    """Deprecated shim: use :func:`repro.plan.build_value_map` instead.
-
-    The construction table moved into the plan layer so both execution
-    paths share it; this wrapper keeps old import sites working.
-    """
-    warnings.warn(
-        "repro.query.planner.build_value_map is deprecated; "
-        "use repro.plan.build_value_map(kind, params)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..plan import build_value_map as _build
-
-    return _build(node.kind, node.params)

@@ -31,6 +31,7 @@ from ..obs.trace import FrameTrace, current_frame_tracer
 from ..operators.base import Operator
 from ..operators.delivery import DeliveredFrame
 from ..plan import (
+    EpochSwapResult,
     PlanDAG,
     PlanNode,
     Stage,
@@ -39,6 +40,7 @@ from ..plan import (
     source_ids as plan_source_ids,
 )
 from ..query import ast as q
+from ..query.adaptive import AdaptivePolicy
 from ..query.calibration import CalibrationSample, kind_of
 from ..query.optimizer import optimize
 from ..query.parser import parse_query
@@ -51,11 +53,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from ..analysis.diagnostics import DiagnosticReport
     from ..engine.stats import OperatorReport
+    from ..obs.trace import FrameTracer
     from ..plan.stages import PlanStats
     from ..query.calibration import CalibrationProfile
     from ..query.cost import StreamProfile
 
-__all__ = ["DSMSServer", "source_prune_boxes", "RouterStats"]
+__all__ = ["DSMSServer", "source_prune_boxes", "RouterStats", "EpochSwapRecord"]
 
 # Nodes a source-level pruning box may pass through unchanged: they keep
 # point geometry intact (values and timestamps may change freely).
@@ -157,10 +160,42 @@ class _Registration:
     stages: list[Stage]
     boxes: dict[str, BoundingBox | None]
     sources: set[str]
+    # The logical trees the registration was compiled from; re-planning
+    # re-optimizes ``tree`` (the parsed original) from scratch.
+    tree: q.QueryNode | None = None
+    optimized: q.QueryNode | None = None
 
     @property
     def sessions(self) -> list[ClientSession]:
         return self.fanout.sessions
+
+
+@dataclass(frozen=True)
+class _PendingSwap:
+    """A requested re-plan waiting for its registration's frame boundary."""
+
+    reg_id: int
+    plan: PlanNode
+    optimized: q.QueryNode
+    reason: str
+    shed_pressure: float | None
+
+
+@dataclass(frozen=True)
+class EpochSwapRecord:
+    """One committed hot swap: the plan diff plus the cutover seed.
+
+    ``checkpoints`` are the per-session :class:`SessionCheckpoint`\\ s
+    taken at the frame boundary the old subplan was drained to; the new
+    epoch is seeded from them (resume-style suppression guarantees the
+    swap can neither drop nor duplicate a frame).
+    """
+
+    reg_id: int
+    result: EpochSwapResult
+    checkpoints: tuple[SessionCheckpoint, ...]
+    reason: str
+    at_chunk: int
 
 
 class DSMSServer:
@@ -206,6 +241,11 @@ class DSMSServer:
         # Optional delivery-lag SLO: per-query watermarks, repro_slo_*
         # metrics, breach callbacks, and shedding escalation.
         self.slo_monitor = SLOMonitor(slo) if slo is not None else None
+        # Adaptive re-optimization: requested swaps wait for their
+        # registration's frame boundary; committed ones are logged.
+        self.adaptive: AdaptivePolicy | None = None
+        self._pending_swaps: dict[int, _PendingSwap] = {}
+        self.swap_log: list[EpochSwapRecord] = []
 
     def set_slo(self, policy: SLOPolicy | None) -> None:
         """Install (or clear) the delivery-lag SLO for subsequent runs."""
@@ -273,6 +313,7 @@ class DSMSServer:
             )
             self._session_to_reg[session.session_id] = shared_rid
             session.bind_trace(shared_rid)
+            session.bind_epoch(self.plan_dag.current_epoch(shared_rid))
             return session
 
         fanout = _Fanout()
@@ -282,11 +323,13 @@ class DSMSServer:
         self._next_reg_id += 1
         stages = self.plan_dag.add_plan(plan, fanout, reg_id)
         registration = _Registration(
-            fanout, plan, stages, boxes, plan_source_ids(plan)
+            fanout, plan, stages, boxes, plan_source_ids(plan),
+            tree=tree, optimized=optimized,
         )
         self._registrations[reg_id] = registration
         self._session_to_reg[session.session_id] = reg_id
         session.bind_trace(reg_id)
+        session.bind_epoch(self.plan_dag.current_epoch(reg_id))
         self._route(reg_id, boxes)
         return session
 
@@ -411,10 +454,15 @@ class DSMSServer:
         if registration.sessions:
             return  # other subscribers keep the shared network alive
         del self._registrations[reg_id]
+        self._pending_swaps.pop(reg_id, None)
         # Refcounted teardown: only stages no surviving query subscribes
         # to are pruned from the shared DAG.
         self.plan_dag.remove_plan(reg_id, registration.stages)
-        for stream_id in registration.boxes:
+        self._unroute(reg_id, registration.boxes)
+
+    def _unroute(self, reg_id: int, boxes: dict[str, BoundingBox | None]) -> None:
+        """Remove one registration's routing entries for ``boxes``."""
+        for stream_id in boxes:
             router = self._routers.get(stream_id)
             if router is not None and reg_id in router:
                 router.remove(reg_id)
@@ -433,6 +481,184 @@ class DSMSServer:
         session = self.register(checkpoint.query_text, encode_png=checkpoint.encode_png)
         session.resume_from(checkpoint)
         return session
+
+    # -- adaptive re-optimization (plan epochs & hot swap) -----------------------
+
+    def enable_adaptive(self, policy: AdaptivePolicy | None = None) -> AdaptivePolicy:
+        """Install the closed-loop re-planner for subsequent runs.
+
+        With a policy installed, :meth:`run` feeds it one observation per
+        scanned chunk per query (the SLO monitor's breach verdict); when
+        the policy decides, the server queues a re-plan that hot-swaps in
+        at the query's next frame boundary.
+        """
+        self.adaptive = policy if policy is not None else AdaptivePolicy()
+        return self.adaptive
+
+    def epoch_of(self, query: ClientSession | int) -> int:
+        """Current plan epoch of a session/registration (0 if unknown)."""
+        key = query.session_id if isinstance(query, ClientSession) else query
+        rid = self._session_to_reg.get(key, key)
+        return self.plan_dag.current_epoch(rid)
+
+    def request_replan(
+        self,
+        query: ClientSession | int,
+        *,
+        reason: str = "replan",
+        shed_pressure: float | None = None,
+        force: bool = False,
+    ) -> bool:
+        """Queue a hot swap: re-optimize the query and stage the new plan.
+
+        Re-planning always runs the optimizer, whatever the register-time
+        ``optimize_queries`` setting was — the point of the new epoch is
+        the reordered operator tree. The swap itself commits inside
+        :meth:`run` at the next frame boundary of the registration's
+        sources, so no frame ever straddles two epochs. Returns True when
+        a swap was queued (the re-optimized plan differs from the running
+        one, a shed-rate change was requested, or ``force``).
+        """
+        key = query.session_id if isinstance(query, ClientSession) else query
+        rid = self._session_to_reg.get(key, key)
+        reg = self._registrations.get(rid)
+        if reg is None:
+            raise ServerError(f"unknown query/session id {query!r}")
+        tree = reg.tree if reg.tree is not None else reg.sessions[0].tree
+        result = optimize(tree, self.catalog.crs_of())
+        optimized = result.node
+        policy = self._common_timestamp_policy(optimized)
+        plan = canonicalize(
+            optimized, crs_of=dict(self.catalog.crs_of()), default_policy=policy
+        )
+        if set(plan_source_ids(plan)) != set(reg.sources):
+            raise ServerError(
+                "re-planned query reads a different source set; a hot swap "
+                "must keep the same streams"
+            )
+        if plan == reg.plan and shed_pressure is None and not force:
+            return False
+        self._pending_swaps[rid] = _PendingSwap(
+            reg_id=rid,
+            plan=plan,
+            optimized=optimized,
+            reason=reason,
+            shed_pressure=shed_pressure,
+        )
+        return True
+
+    def _commit_ready_swaps(
+        self,
+        at_boundary: dict[str, bool],
+        ftracer: "FrameTracer | None",
+        at_chunk: int,
+    ) -> None:
+        """Commit every pending swap whose sources sit at a frame boundary."""
+        for rid in list(self._pending_swaps):
+            reg = self._registrations.get(rid)
+            if reg is None:
+                del self._pending_swaps[rid]
+                continue
+            if all(at_boundary.get(sid, True) for sid in reg.sources):
+                pending = self._pending_swaps.pop(rid)
+                self._commit_swap(pending, ftracer, at_chunk)
+
+    def _commit_swap(
+        self,
+        pending: _PendingSwap,
+        ftracer: "FrameTracer | None",
+        at_chunk: int,
+    ) -> EpochSwapRecord | None:
+        """Cut one registration over to its re-planned subplan.
+
+        The caller guarantees the old subplan has drained to a frame
+        boundary. Each session's delivery position is checkpointed and the
+        session resumes *from its own checkpoint*: anything the new epoch
+        might re-emit at or before the checkpointed stream time is
+        suppressed, so the cutover can neither drop nor duplicate a frame.
+        """
+        reg = self._registrations.get(pending.reg_id)
+        if reg is None:
+            return None
+        rid = pending.reg_id
+        checkpoints = []
+        for session in reg.sessions:
+            ck = session.checkpoint()
+            session.resume_from(ck)
+            checkpoints.append(ck)
+        result = self.plan_dag.swap_plan(
+            rid, pending.plan, reg.fanout, reg.stages, reason=pending.reason
+        )
+        reg.plan = pending.plan
+        reg.stages = list(result.stages)
+        reg.optimized = pending.optimized
+        new_boxes = source_prune_boxes(pending.optimized)
+        if new_boxes != reg.boxes:
+            self._unroute(rid, reg.boxes)
+            reg.boxes = new_boxes
+            self._route(rid, new_boxes)
+        for session in reg.sessions:
+            session.bind_epoch(result.new_epoch)
+        shedder = self.ingest_shedder
+        if (
+            pending.shed_pressure is not None
+            and shedder is not None
+            and hasattr(shedder, "set_managed")
+        ):
+            # The re-planner owns the shed rate from here on: pressure
+            # restarts at the value the new epoch's cost supports and the
+            # reflexive stall/SLO valves become no-ops.
+            shedder.set_managed(pending.shed_pressure)
+        if ftracer is not None:
+            ftracer.on_epoch_swap(rid, result.old_epoch, result.new_epoch)
+        record = EpochSwapRecord(
+            reg_id=rid,
+            result=result,
+            checkpoints=tuple(checkpoints),
+            reason=pending.reason,
+            at_chunk=at_chunk,
+        )
+        self.swap_log.append(record)
+        return record
+
+    def _observe_adaptive(self, monitor: SLOMonitor | None) -> None:
+        """One chunk's worth of adaptive-policy observations (cheap)."""
+        policy = self.adaptive
+        if policy is None or monitor is None:
+            return
+        for rid in list(self._registrations):
+            decision = policy.observe(rid, breached=monitor.is_breached(rid))
+            if decision is not None:
+                self.request_replan(
+                    rid,
+                    reason=decision.reason,
+                    shed_pressure=decision.shed_pressure,
+                )
+
+    def observe_adaptive_costs(
+        self, collector: StatsCollector | None = None
+    ) -> bool:
+        """Feed observed stage costs to the adaptive policy.
+
+        The cost-divergence trigger prices this run's observed stage
+        statistics against the policy's calibration profile; call at any
+        coarse cadence (end of run, frame boundaries). Returns True when a
+        re-plan was queued.
+        """
+        policy = self.adaptive
+        if policy is None or policy.calibration is None:
+            return False
+        samples = self.calibration_samples(collector)
+        queued = False
+        for rid in list(self._registrations):
+            decision = policy.observe_costs(rid, samples)
+            if decision is not None:
+                queued |= self.request_replan(
+                    rid,
+                    reason=decision.reason,
+                    shed_pressure=decision.shed_pressure,
+                )
+        return queued
 
     # -- protocol front door ----------------------------------------------------------
 
@@ -668,6 +894,24 @@ class DSMSServer:
             f"{len(self._registrations)} queries, "
             f"sources: {', '.join(self.plan_dag.source_ids) or '-'}"
         ]
+        if calibration.kinds:
+            # A fitted profile carries the operator-kind set it was fitted
+            # over; pricing a DAG with a different mix means the profile
+            # is stale for this plan — flag it rather than silently
+            # falling back to the pooled coefficient.
+            live = {kind_of(stage.node) for stage in self.plan_dag.order}
+            unfitted, unused = calibration.stale_kinds(live)
+            if unfitted or unused:
+                parts = []
+                if unfitted:
+                    parts.append(f"unfitted kinds in plan: {', '.join(unfitted)}")
+                if unused:
+                    parts.append(f"fitted kinds absent: {', '.join(unused)}")
+                lines.append(
+                    "  ** stale calibration profile (fingerprint "
+                    f"{calibration.kind_fingerprint}): {'; '.join(parts)} — "
+                    "re-fit with --fit-calibration **"
+                )
         for sid in self.plan_dag.source_ids:
             lines.append(
                 f"  source {sid}: {collector.scans.get(sid, 0)} chunks, "
@@ -817,9 +1061,18 @@ class DSMSServer:
         escalated = False
         count = 0
         clock_now = clock_last
+        # Frame-boundary tracking for epoch cutover: a pending swap commits
+        # only once every source the registration reads sits between
+        # frames, so the old subplan drains whole frames before it is
+        # replaced (no frame ever straddles two epochs).
+        at_boundary: dict[str, bool] = {sid: True for sid in sources}
         for stream_id, chunk in merge_sources(sources):
             if max_chunks is not None and count >= max_chunks:
                 break
+            if self._pending_swaps:
+                # Commit before this chunk is processed: the boundary map
+                # reflects the stream positions after the previous chunk.
+                self._commit_ready_swaps(at_boundary, ftracer, count)
             count += 1
             if ctx is not None:
                 clock_now = ctx.clock.now()
@@ -841,6 +1094,9 @@ class DSMSServer:
                 # Assign (or keep, for hardened catalogs that traced the
                 # raw source) the chunk's trace context at admission.
                 chunk = ftracer.admit(stream_id, chunk)
+            at_boundary[stream_id] = (
+                chunk.last_in_frame if isinstance(chunk, GridChunk) else True
+            )
             if self.ingest_shedder is not None:
                 kept = list(self.ingest_shedder.process(chunk))
                 if not kept:
@@ -849,6 +1105,19 @@ class DSMSServer:
                         ftracer.annotate(
                             chunk.trace, "shed:ingest-dropped", pin=True
                         )
+                    # Shed chunks still advance the stream clock and the
+                    # SLO picture: under sustained full shedding the
+                    # watermark freezes while stream time advances — the
+                    # exact breach the adaptive re-planner must observe.
+                    self._now = chunk_time(chunk)
+                    if monitor is not None:
+                        self._observe_slo(
+                            monitor,
+                            slo_seen,
+                            slo_clock,
+                            clock_now if ctx is not None else None,
+                        )
+                        self._observe_adaptive(monitor)
                     continue
                 (chunk,) = kept
             self.router_stats.chunks_scanned += 1
@@ -903,6 +1172,7 @@ class DSMSServer:
                     slo_clock,
                     clock_now if ctx is not None else None,
                 )
+                self._observe_adaptive(monitor)
             self.router_stats.pairs_routed += routed
             self.router_stats.pairs_skipped += skipped
             if obs is not None:

@@ -107,6 +107,20 @@ class ClientSession:
         """
         self._delivery.trace_query = query_key
 
+    def bind_epoch(self, epoch: int) -> None:
+        """Stamp subsequently delivered frames with this plan epoch.
+
+        The DSMS calls this at registration (epoch 1) and again at each
+        committed hot swap; the cutover happens at a frame boundary, so
+        every frame is produced wholly within one epoch.
+        """
+        self._delivery.epoch = epoch
+
+    @property
+    def current_epoch(self) -> int:
+        """Plan epoch of the query currently feeding this session."""
+        return self._delivery.epoch
+
     def frame_traces(self) -> "list[FrameTrace | None]":
         """Traces of this session's delivered frames (None when untraced)."""
         return [frame.trace for frame in self.frames]

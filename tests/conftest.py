@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import GridLattice
+from repro.core import GeoStream, GridLattice
 from repro.geo import LATLON, BoundingBox, goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 from repro.server import StreamCatalog
@@ -61,6 +61,29 @@ def sector_subbox(imager: GOESImager, fx0: float, fy0: float, fx1: float, fy1: f
         box.ymin + box.height * fy1,
         box.crs,
     )
+
+
+def hook_stream(stream: GeoStream, after_chunks: int, fire) -> GeoStream:
+    """A GeoStream that calls ``fire()`` once, ``after_chunks`` into a scan.
+
+    Used by the epoch-swap tests to land a ``request_replan`` from inside
+    the chunk pump — exactly where the adaptive policy would raise it —
+    so the cutover exercises the live drain-to-boundary path of
+    ``DSMSServer.run``. Fires at most once across re-opens.
+    """
+    state = {"fired": False}
+
+    def source():
+        def gen():
+            for i, chunk in enumerate(stream.chunks()):
+                yield chunk
+                if i + 1 == after_chunks and not state["fired"]:
+                    state["fired"] = True
+                    fire()
+
+        return gen()
+
+    return GeoStream(stream.metadata, source)
 
 
 def nan_equal(a: np.ndarray, b: np.ndarray, atol: float = 0.0) -> bool:

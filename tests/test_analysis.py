@@ -326,13 +326,16 @@ def test_dag002_edge_without_target_or_sink():
 def test_dag003_orphaned_subscriber():
     server = make_server()
     server.plan_dag.order[0].subscribers.add(9999)
-    assert codes_of(server.selfcheck()) == {"GS-DAG003"}
+    # A bogus subscriber is both a refcount and an epoch-ownership drift.
+    assert codes_of(server.selfcheck()) == {"GS-DAG003", "GS-DAG005"}
 
 
 def test_dag003_unsubscribed_stage():
     server = make_server()
     server.plan_dag.order[0].subscribers.clear()
-    assert codes_of(server.selfcheck()) == {"GS-DAG003"}
+    # No subscribers, no epoch owners, and the committed epoch's stage
+    # set no longer matches what the query actually subscribes to.
+    assert codes_of(server.selfcheck()) == {"GS-DAG003", "GS-DAG005", "GS-DAG006"}
 
 
 def test_dag004_terminal_edge_without_roots():

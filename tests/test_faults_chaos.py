@@ -28,6 +28,8 @@ from repro.geo import goes_geostationary
 from repro.ingest import GOESImager, SyntheticEarth, western_us_sector
 from repro.server import DSMSServer, StreamCatalog
 
+from tests.conftest import hook_stream
+
 DAY_T0 = 72_000.0
 QUERY = "reflectance(goes.vis)"
 
@@ -37,17 +39,20 @@ else:
     SEEDS = (101, 202, 303, 404, 505)
 
 
-def make_catalog() -> StreamCatalog:
-    """A tiny single-band catalog: 3 frames of 16x8 — fast per-example."""
+def make_imager() -> GOESImager:
+    """A tiny single-band imager: 3 frames of 16x8 — fast per-example."""
     crs = goes_geostationary(-135.0)
-    imager = GOESImager(
+    return GOESImager(
         scene=SyntheticEarth(seed=5),
         sector_lattice=western_us_sector(crs, width=16, height=8),
         n_frames=3,
         t0=DAY_T0,
     )
+
+
+def make_catalog() -> StreamCatalog:
     catalog = StreamCatalog()
-    catalog.register_imager(imager)
+    catalog.register_imager(make_imager())
     return catalog
 
 
@@ -151,3 +156,111 @@ class TestChaosInvariants:
         missing = len(baseline_frames) - len(session.frames)
         if missing:
             assert ctx.dead_letter.by_reason.get("incomplete-frame", 0) > 0
+
+
+# -- epoch hot swap under chaos ---------------------------------------------------
+
+
+def swap_query_text() -> str:
+    """Restriction-on-top, registered unoptimized: the replan reorders it."""
+    box = make_imager().sector_lattice.bbox
+    return (
+        "within(reflectance(goes.vis), "
+        f"bbox({box.xmin + box.width * 0.2!r}, {box.ymin + box.height * 0.2!r}, "
+        f"{box.xmin + box.width * 0.8!r}, {box.ymin + box.height * 0.8!r}, "
+        "crs='geos:-135'))"
+    )
+
+
+@pytest.fixture(scope="module")
+def swap_baseline_frames():
+    """Fault-free, swap-free frames for the swap query (the oracle)."""
+    server = DSMSServer(make_catalog(), optimize_queries=False)
+    session = server.register(swap_query_text(), encode_png=False)
+    server.run()
+    assert len(session.frames) == 3
+    return {f.image.t: f.image for f in session.frames}
+
+
+def run_swapped_query(hardened, ctx, swap_at):
+    """Drive the swap query with a replan fired ``swap_at`` chunks in.
+
+    The hook wraps the *faulted* streams, so the swap request lands in
+    the middle of whatever the fault kind is doing to the feed.
+    """
+    box = {}
+
+    def fire():
+        box["queued"] = box["server"].request_replan(
+            box["session"], reason="chaos-swap"
+        )
+
+    wrapped = StreamCatalog()
+    for sid, stream in hardened.items():
+        wrapped.register(hook_stream(stream, swap_at, fire), hardened.extent(sid))
+    server = DSMSServer(wrapped, optimize_queries=False, recovery=ctx)
+    session = server.register(swap_query_text(), encode_png=False)
+    box["server"], box["session"] = server, session
+    with recovering(ctx):
+        server.run()
+    assert box.get("queued") is True, "the mid-run replan must have queued"
+    return server, session
+
+
+class TestChaosWithEpochSwap:
+    """A hot swap committed mid-fault never corrupts delivery.
+
+    Same contract as the plain chaos legs — surviving frames bit-identical
+    to the fault-free baseline, counters exactly equal to the injector's
+    bookkeeping — with an epoch swap landing in the middle of the faulted
+    scan. Additionally: frame sequence numbers stay contiguous and epoch
+    stamps stay monotone across the swap, whatever the fault kind did.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_swap_under_each_fault_kind(self, kind, seed, swap_baseline_frames):
+        spec = FaultSpec.single(kind, seed=seed)
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        with obs.observe() as ob:
+            server, session = run_swapped_query(hardened, ctx, swap_at=5)
+
+        assert injector.counts[kind] > 0, f"{kind}@{seed} injected nothing"
+        for frame in session.frames:
+            t = frame.image.t
+            assert t in swap_baseline_frames, f"{kind}@{seed}: unknown frame t={t}"
+            assert np.array_equal(
+                frame.image.values, swap_baseline_frames[t].values
+            ), f"{kind}@{seed}: delivered frame at t={t} differs from baseline"
+        assert [f.seq for f in session.frames] == list(range(len(session.frames)))
+        epochs = [f.epoch for f in session.frames]
+        assert epochs == sorted(epochs), f"{kind}@{seed}: epochs interleaved"
+
+        counter = ob.registry.counter("repro_faults_injected_total", kind=kind)
+        assert counter.value == injector.counts[kind]
+        swaps = ob.registry.counter("repro_plan_epoch_swaps_total").value
+        assert swaps == len(server.swap_log)
+        if server.swap_log:  # a boundary followed the request: swap landed
+            assert server.epoch_of(session) == 2
+            assert server.selfcheck().ok
+
+    # All fire points sit before the last frame: a swap requested during
+    # the final frame has no later chunk left to commit at (it stays
+    # pending, by design), so it would not exercise the cutover.
+    @pytest.mark.parametrize("swap_at", (3, 7, 12))
+    def test_swap_mid_stall_commits_and_recovers(self, swap_at, swap_baseline_frames):
+        """The issue's headline case: the swap lands during a stall storm."""
+        spec = FaultSpec.single("stall", seed=SEEDS[0])
+        hardened, injector, ctx = harden_catalog(make_catalog(), spec)
+        server, session = run_swapped_query(hardened, ctx, swap_at=swap_at)
+
+        assert injector.counts["stall"] > 0
+        assert len(server.swap_log) == 1
+        assert server.epoch_of(session) == 2
+        epochs = [f.epoch for f in session.frames]
+        assert epochs == sorted(epochs)
+        for frame in session.frames:
+            assert np.array_equal(
+                frame.image.values, swap_baseline_frames[frame.image.t].values
+            )
+        assert server.selfcheck().ok

@@ -191,6 +191,37 @@ class TestCalibration:
         with pytest.raises(PlanError):
             CalibrationProfile.from_json("{}")
 
+    def test_kind_fingerprint_roundtrip_and_tamper_detection(self):
+        profile = CalibrationProfile.fit(
+            [CalibrationSample("A", 10.0, 1e-4), CalibrationSample("B", 20.0, 1e-4)]
+        )
+        assert profile.kinds == ("A", "B")
+        loaded = CalibrationProfile.from_json(profile.to_json())
+        assert loaded.kinds == profile.kinds
+        assert loaded.kind_fingerprint == profile.kind_fingerprint
+        # The fingerprint identifies the kind *set*, not the coefficients.
+        refit = CalibrationProfile.fit(
+            [CalibrationSample("B", 5.0, 1e-5), CalibrationSample("A", 1.0, 1e-5)]
+        )
+        assert refit.kind_fingerprint == profile.kind_fingerprint
+        other = CalibrationProfile.fit([CalibrationSample("A", 10.0, 1e-4)])
+        assert other.kind_fingerprint != profile.kind_fingerprint
+        # A hand-edited kind list no longer matches the recorded digest.
+        tampered = profile.to_json().replace('"A"', '"C"')
+        with pytest.raises(PlanError, match="fingerprint"):
+            CalibrationProfile.from_json(tampered)
+
+    def test_stale_kinds_partitions_the_divergence(self):
+        profile = CalibrationProfile.fit(
+            [CalibrationSample("A", 1.0, 1e-5), CalibrationSample("B", 1.0, 1e-5)]
+        )
+        unfitted, unused = profile.stale_kinds({"A", "C"})
+        assert unfitted == ("C",) and unused == ("B",)
+        assert profile.stale_kinds({"A", "B"}) == ((), ())
+        # A legacy profile with no recorded kinds can never be stale.
+        assert CalibrationProfile.uncalibrated().stale_kinds({"A"}) == (("A",), ())
+        assert CalibrationProfile.uncalibrated().kinds == ()
+
     def test_estimate_plan_prices_seconds_only_when_calibrated(self, catalog):
         crs_of = dict(catalog.crs_of())
         node = optimize(parse_query(Q_STRETCH), crs_of).node
@@ -254,6 +285,24 @@ class TestExplainAnalyze:
         wild = CalibrationProfile.uncalibrated(default=10.0)
         text = server.explain_analyze(collector=collector, calibration=wild)
         assert "** off by more than 3x **" in text
+
+    def test_flags_stale_calibration_profile(self, catalog):
+        server, _, collector = run_shared(catalog)
+        # A profile fitted over a different operator mix is stale for
+        # this DAG: it names its fingerprint and says how the sets differ.
+        stale = CalibrationProfile.fit([CalibrationSample("Mosaic", 100.0, 1e-3)])
+        text = server.explain_analyze(collector=collector, calibration=stale)
+        assert "stale calibration profile" in text
+        assert stale.kind_fingerprint in text
+        assert "re-fit with --fit-calibration" in text
+        # A profile fitted from this very run matches: no warning. A
+        # legacy profile with no recorded kinds is never flagged either.
+        fresh = CalibrationProfile.fit(server.calibration_samples(collector))
+        text = server.explain_analyze(collector=collector, calibration=fresh)
+        assert "stale calibration profile" not in text
+        legacy = CalibrationProfile.uncalibrated()
+        text = server.explain_analyze(collector=collector, calibration=legacy)
+        assert "stale calibration profile" not in text
 
 
 def make_stall_server():

@@ -197,13 +197,13 @@ class TestLoweringParity:
         b = plan_to_stream(plan, resolve)
         assert a.pipeline_operators[0] is not b.pipeline_operators[0]
 
-    def test_deprecated_planner_shim_warns(self):
-        from repro.query.planner import build_value_map as old_build
+    def test_planner_shim_removed(self):
+        # The deprecated repro.query.planner.build_value_map shim is gone;
+        # the one construction table lives in repro.plan.
+        import repro.query.planner as planner
 
-        node = q.ValueMap(_scan(), "rescale", (("gain", 3.0),))
-        with pytest.warns(DeprecationWarning):
-            op = old_build(node)
-        assert "3*v" in repr(op)
+        assert not hasattr(planner, "build_value_map")
+        assert planner.__all__ == ["plan_query"]
 
 
 class TestPlanDAGUnit:

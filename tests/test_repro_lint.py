@@ -170,6 +170,64 @@ def test_rl005_scoped_to_faults(tmp_path):
     assert lint_source(tmp_path, "src/repro/ingest/scene.py", src) == []
 
 
+# -- RL006: stage-table mutation only inside EpochTransition ----------------------
+
+
+def test_rl006_flags_mutating_calls(tmp_path):
+    src = (
+        "def hack(dag, stage):\n"
+        "    dag.order.append(stage)\n"
+        "    stage.subscribers.add(7)\n"
+        "    stage.outputs.clear()\n"
+    )
+    assert codes(lint_source(tmp_path, "src/repro/server/dsms.py", src)) == [
+        "RL006",
+        "RL006",
+        "RL006",
+    ]
+
+
+def test_rl006_flags_subscript_assignment_and_deletion(tmp_path):
+    src = (
+        "def hack(dag, stage):\n"
+        "    dag._by_fingerprint['fp'] = stage\n"
+        "    dag.taps['goes.vis'] = []\n"
+        "    del dag._by_fingerprint['fp']\n"
+        "    stage.epochs[1] = 2\n"
+    )
+    assert codes(lint_source(tmp_path, "src/repro/plan/stages.py", src)) == [
+        "RL006"
+    ] * 4
+
+
+def test_rl006_flags_rebinding_outside_init(tmp_path):
+    src = "def hack(dag):\n    dag.order = []\n"
+    assert codes(lint_source(tmp_path, "src/repro/plan/stages.py", src)) == ["RL006"]
+
+
+def test_rl006_allows_init_construction_and_reads(tmp_path):
+    src = (
+        "class Stage:\n"
+        "    def __init__(self):\n"
+        "        self.outputs = []\n"
+        "        self.subscribers = set()\n"
+        "        self.epochs = {}\n"
+        "def read(dag):\n"
+        "    return [s for s in dag.order if dag.taps.get('x')]\n"
+    )
+    assert lint_source(tmp_path, "src/repro/plan/stages.py", src) == []
+
+
+def test_rl006_exempts_epoch_transition_module(tmp_path):
+    src = "def wire(dag, stage):\n    dag.order.append(stage)\n"
+    assert lint_source(tmp_path, "src/repro/plan/epoch.py", src) == []
+
+
+def test_rl006_scoped_to_the_library(tmp_path):
+    src = "def hack(dag, stage):\n    dag.order.append(stage)\n"
+    assert lint_source(tmp_path, "tests/test_x.py", src) == []
+
+
 # -- framework --------------------------------------------------------------------
 
 

@@ -100,3 +100,94 @@ class TestQuerySharing:
         server.run()
         assert len(s1.frames) == len(s2.frames) == 2
         assert len(s3.frames) == 2
+
+
+PREFIX_QUERY = "vrange(reflectance(goes.vis), 0.1, 0.8)"
+
+
+class TestRestoreUnderSharedPlan:
+    """``restore_session`` when the replacement joins a live shared DAG.
+
+    A reconnecting client's query may be textually identical to a
+    still-registered one (full network share) or merely overlap it
+    (shared prefix stages). In both cases the restore must graft onto the
+    live stages — no refcount drift — and the combined delivery (frames
+    before the drop plus frames after the restore) must be bit-identical
+    to an uninterrupted run, each frame exactly once.
+    """
+
+    def register_all(self, server, ndvi_query):
+        sessions = [
+            server.register(ndvi_query, encode_png=False),
+            server.register(ndvi_query, encode_png=False),
+            server.register(PREFIX_QUERY, encode_png=False),
+        ]
+        assert server.shared_network_count == 2
+        return sessions
+
+    def test_restore_joins_the_shared_network_exactly(self, catalog, ndvi_query):
+        baseline = DSMSServer(catalog)
+        b1, _, _ = self.register_all(baseline, ndvi_query)
+        baseline.run()
+        assert len(b1.frames) == 2
+        by_t = {f.image.t: f.image.values for f in b1.frames}
+
+        first = DSMSServer(catalog)
+        f1, _, _ = self.register_all(first, ndvi_query)
+        first.run(max_chunks=100, close=False)  # one frame period and change
+        assert len(f1.frames) == 1
+        checkpoint = f1.checkpoint()
+
+        second = DSMSServer(catalog)
+        second.register(ndvi_query, encode_png=False)
+        second.register(PREFIX_QUERY, encode_png=False)
+        refcounts_before = {
+            id(stage): set(stage.subscribers) for stage in second.plan_dag.order
+        }
+        restored = second.restore_session(checkpoint)
+        # The replacement joined the live networks: same stage set, same
+        # subscriber refcounts — no drift from the restore.
+        assert second.shared_network_count == 2
+        assert {
+            id(stage): set(stage.subscribers) for stage in second.plan_dag.order
+        } == refcounts_before
+        second.run()
+
+        combined = list(f1.frames) + list(restored.frames)
+        times = [f.image.t for f in combined]
+        assert len(times) == len(set(times)) == 2  # exactly once each
+        for frame in combined:
+            np.testing.assert_array_equal(frame.image.values, by_t[frame.image.t])
+
+    def test_restored_overlapping_query_reuses_the_live_prefix(self, catalog):
+        # Two distinct vrange queries over the same reflectance: they
+        # share the prefix stage but not the whole network, so the
+        # restore exercises the graft-onto-partial-overlap path.
+        other = "vrange(reflectance(goes.vis), 0.0, 0.6)"
+
+        baseline = DSMSServer(catalog)
+        bp = baseline.register(PREFIX_QUERY, encode_png=False)
+        baseline.register(other, encode_png=False)
+        baseline.run()
+        by_t = {f.image.t: f.image.values for f in bp.frames}
+
+        first = DSMSServer(catalog)
+        fp = first.register(PREFIX_QUERY, encode_png=False)
+        first.register(other, encode_png=False)
+        first.run(max_chunks=60, close=False)  # past the 48-chunk frame 1
+        assert len(fp.frames) == 1
+        checkpoint = fp.checkpoint()
+
+        second = DSMSServer(catalog)
+        s_other = second.register(other, encode_png=False)
+        restored = second.restore_session(checkpoint)
+        shared = [s for s in second.plan_dag.order if len(s.subscribers) > 1]
+        assert shared, "the reflectance prefix must be shared after restore"
+        second.run()
+
+        combined = list(fp.frames) + list(restored.frames)
+        times = [f.image.t for f in combined]
+        assert len(times) == len(set(times)) == 2
+        for frame in combined:
+            np.testing.assert_array_equal(frame.image.values, by_t[frame.image.t])
+        assert len(s_other.frames) == 2  # the overlapping query is untouched

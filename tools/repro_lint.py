@@ -27,6 +27,14 @@ Rules:
   determinism contract requires every random decision to flow from a
   seeded ``random.Random`` instance; module-level ``random.*`` functions
   (and ``numpy.random``'s global state) are forbidden there.
+* **RL006 — stage-table mutation only inside EpochTransition.** The
+  shared ``PlanDAG``'s membership tables (``order``, ``_by_fingerprint``,
+  ``taps``, per-stage ``outputs``/``subscribers``/``epochs``) change
+  transactionally through ``repro.plan.epoch.EpochTransition`` — the only
+  code allowed to wire, graft, or retire stages. Anywhere else under
+  ``src/repro``, mutating those tables (mutator method calls, subscript
+  assignment/deletion, or rebinding outside ``__init__``) would bypass
+  epoch bookkeeping and corrupt hot swaps.
 """
 
 from __future__ import annotations
@@ -313,12 +321,113 @@ def _check_seeded_random(rel: str, tree: ast.AST) -> Iterator[Violation]:
                 )
 
 
+# -- RL006: DAG stage tables mutate only inside EpochTransition -------------------
+
+EPOCH_EXEMPT_FILE = "src/repro/plan/epoch.py"
+STAGE_TABLES = frozenset(
+    {"order", "_by_fingerprint", "taps", "outputs", "subscribers", "epochs"}
+)
+TABLE_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _table_attr(node: ast.expr) -> str | None:
+    """The stage-table name when `node` is `<expr>.<table>`, else None."""
+    if isinstance(node, ast.Attribute) and node.attr in STAGE_TABLES:
+        return node.attr
+    return None
+
+
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.AST | None:
+    cursor: ast.AST | None = parents.get(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cursor
+        cursor = parents.get(cursor)
+    return None
+
+
+def _check_stage_table_mutation(rel: str, tree: ast.AST) -> Iterator[Violation]:
+    if not rel.startswith("src/repro/") or rel == EPOCH_EXEMPT_FILE:
+        return
+    parents = _parents(tree)
+
+    def violation(node: ast.AST, table: str, how: str) -> Violation:
+        return Violation(
+            rel,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            "RL006",
+            f"{how} of DAG stage table .{table} outside "
+            "plan.epoch.EpochTransition (stage membership is transactional)",
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in TABLE_MUTATORS:
+                table = _table_attr(func.value)
+                if table is not None:
+                    yield violation(node, table, f"mutating call .{func.attr}()")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    table = _table_attr(target.value)
+                    if table is not None:
+                        yield violation(node, table, "subscript assignment")
+                else:
+                    table = _table_attr(target)
+                    if table is None:
+                        continue
+                    # Plain `self.<table> = ...` in __init__ constructs the
+                    # empty tables; anywhere else, rebinding swaps state out
+                    # from under the epoch bookkeeping.
+                    fn = _enclosing_function(node, parents)
+                    in_ctor = (
+                        isinstance(fn, ast.FunctionDef)
+                        and fn.name == "__init__"
+                        and isinstance(target.value, ast.Name)  # type: ignore[union-attr]
+                        and target.value.id == "self"  # type: ignore[union-attr]
+                    )
+                    if not in_ctor:
+                        yield violation(node, table, "rebinding")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    table = _table_attr(target.value)
+                    if table is not None:
+                        yield violation(node, table, "subscript deletion")
+                else:
+                    table = _table_attr(target)
+                    if table is not None:
+                        yield violation(node, table, "deletion")
+
+
 _CHECKS = (
     _check_timing,
     _check_private_imports,
     _check_frozen_nodes,
     _check_registry_lock,
     _check_seeded_random,
+    _check_stage_table_mutation,
 )
 
 
