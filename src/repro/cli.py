@@ -481,7 +481,8 @@ def _metrics_self_test() -> int:
         return 1
     print(
         "metrics self-test: ok (registry, histograms, escaping, spans, "
-        "frame traces, flight recorder, zero-cost)"
+        "frame traces, flight recorder, timeline store, journal, health, "
+        "zero-cost)"
     )
     return 0
 
@@ -570,10 +571,74 @@ def _metrics_self_test_body() -> None:
     finally:
         obs.disable_frame_tracing()
 
+    # Timeline store invariants: ring capacity bound, strictly monotone
+    # sample timestamps, rollup consistent with the raw ring contents,
+    # and a logical-clock regression resetting (not corrupting) the rings.
+    from .obs.timeline import EventJournal, HealthModel, MetricStore
+
+    reg2 = MetricsRegistry()
+    walker = reg2.counter("walk_total")
+    store = MetricStore(capacity=8, cadence_s=10.0)
+    for step in range(40):
+        walker.inc(step)
+        store.maybe_sample(float(step), registry=reg2)  # cadence gates to every 10th
+    store.sample(1000.0, registry=reg2)
+    points = store.series("walk_total")
+    assert len(points) <= store.capacity, "store ring exceeded its capacity"
+    times = [t for t, _ in points]
+    assert times == sorted(times) and len(set(times)) == len(times), (
+        "sample timestamps not strictly monotone"
+    )
+    assert store.samples_taken == 5, f"cadence gating broke: {store.samples_taken}"
+    roll = store.rollup("walk_total", window=4)
+    raw = [v for _, v in points][-4:]
+    assert roll is not None and roll.vmin == min(raw) and roll.vmax == max(raw), (
+        "rollup disagrees with the raw ring"
+    )
+    assert abs(roll.mean - sum(raw) / len(raw)) < 1e-9, "rollup mean mismatch"
+    assert roll.delta == raw[-1] - raw[0], "rollup delta mismatch"
+    store.sample(0.0, registry=reg2)  # clock regression: a new run began
+    assert store.resets == 1 and len(store.series("walk_total")) == 1, (
+        "clock regression must reset the rings"
+    )
+
+    # Journal invariants: capacity bound, strictly increasing seq (stable
+    # across eviction), filtered reads, and schema-stable JSON.
+    journal = EventJournal(capacity=4)
+    for i in range(10):
+        journal.set_time(float(i))
+        journal.append("fault" if i % 2 else "slo-breach", query=i % 3, reason=f"r{i}")
+    assert len(journal) == 4 and journal.total == 10, "journal capacity bound"
+    seqs = [e.seq for e in journal]
+    assert seqs == sorted(seqs) and seqs[-1] == 10, "journal seq not increasing"
+    ts = [e.t for e in journal]
+    assert ts == sorted(ts), "journal event ordering"
+    assert all(e.kind == "fault" for e in journal.events(kind="fault")), "kind filter"
+    dicts = journal.to_dicts()
+    assert json.loads(json.dumps(dicts)) == dicts, "journal JSON round-trip"
+    assert all(
+        set(d) == {"seq", "t", "kind", "query", "epoch", "reason", "link"}
+        for d in dicts
+    ), "journal schema drift"
+
+    # Health folds: pure-core verdicts behave monotonically.
+    model = HealthModel()
+    ok, _ = model.query_verdict(breached=False, lag_s=1.0, max_lag_s=60.0)
+    warn, why = model.query_verdict(breached=False, lag_s=45.0, max_lag_s=60.0)
+    bad, _ = model.query_verdict(breached=True, lag_s=90.0, max_lag_s=60.0)
+    assert (ok, warn, bad) == ("healthy", "degraded", "unhealthy"), "query verdicts"
+    assert why, "degraded verdict must carry a reason"
+    worst, why = model.server_verdict(["healthy", "degraded"], dead_letters=100)
+    assert worst == "unhealthy" and any("dead-letter" in r for r in why), (
+        "server verdict must explain dead-letter escalation"
+    )
+
     obs.get_registry().reset()
     imager.stream("vis").pipe(Rescale(2.0)).count_points()
     assert len(obs.get_registry()) == 0, "disabled runs must not touch the registry"
     assert obs.current_frame_tracer() is None, "frame tracer leaked out of self-test"
+    assert obs.current_metric_store() is None, "metric store leaked out of self-test"
+    assert obs.current_journal() is None, "journal leaked out of self-test"
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -594,6 +659,129 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print(f"wrote metrics to {args.out}")
     else:
         print(text, end="")
+    return 0
+
+
+def cmd_serve_telemetry(args: argparse.Namespace) -> int:
+    """Run the demo workload with the full telemetry timeline installed.
+
+    Serves ``/metrics``, ``/health``, ``/timeseries``, ``/events``, and
+    ``/traces/<id>`` over HTTP while (and after) the scan runs. With
+    ``--snapshot-out`` the health and events payloads are fetched back
+    through the real HTTP endpoint and written as JSON files; with
+    ``--linger`` the endpoint stays up for live inspection
+    (``repro top --url ...``).
+    """
+    from .obs import MetricStore
+    from .server.telemetry import fetch_json
+
+    imager, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+    catalog, fctx, finj = _maybe_harden(catalog, args)
+    store = MetricStore(cadence_s=args.cadence)
+    with obs.observe(store=store, journal=True, frame_trace=bool(args.trace)):
+        slo = obs.SLOPolicy(max_lag_s=args.slo) if args.slo is not None else None
+        server = DSMSServer(catalog, recovery=fctx, slo=slo)
+        box = imager.sector_lattice.bbox
+        for i in range(args.clients):
+            f0 = 0.7 * i / max(args.clients, 1)
+            region = (
+                f"bbox({box.xmin + box.width * f0!r}, {box.ymin + box.height * f0!r}, "
+                f"{box.xmin + box.width * (f0 + 0.25)!r}, "
+                f"{box.ymin + box.height * (f0 + 0.25)!r}, crs='geos:-135')"
+            )
+            text = (
+                "within(stretch(ndvi(reflectance(goes.nir), reflectance(goes.vis)),"
+                f" 'linear'), {region})"
+                if i % 2 == 0
+                else f"within(reflectance(goes.vis), {region})"
+            )
+            server.register(text)
+        with server.serve_telemetry(port=args.port) as endpoint:
+            print(f"telemetry endpoint: {endpoint.url}")
+            print(f"  try: python -m repro.cli top --url {endpoint.url}")
+            start = time.perf_counter()
+            with _fault_scope(fctx):
+                server.run()
+            elapsed = time.perf_counter() - start
+            print(
+                f"scan: {server.router_stats.chunks_scanned} chunks in {elapsed:.2f}s; "
+                f"{store.samples_taken} timeline samples, "
+                f"{len(obs.current_journal() or ())} journal events"
+            )
+            if args.snapshot_out is not None:
+                out_dir = pathlib.Path(args.snapshot_out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                # Round-trip through the real HTTP endpoint on purpose:
+                # the snapshot is what a scraper would actually see.
+                for name in ("health", "events"):
+                    payload = fetch_json(f"{endpoint.url}/{name}")
+                    path = out_dir / f"{name}.json"
+                    path.write_text(
+                        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+                    )
+                    print(f"wrote {path}")
+            if args.linger > 0:
+                print(f"serving for another {args.linger:g}s (ctrl-c to stop)...")
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
+    if finj is not None and fctx is not None:
+        _print_fault_summary(finj, fctx)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live ANSI operator console over the telemetry endpoints.
+
+    With ``--url`` it polls a running ``serve-telemetry`` endpoint; with
+    no url it runs one in-process demo scan and renders its final state
+    (same payloads, same renderer).
+    """
+    from .server.telemetry import (
+        events_payload,
+        fetch_json,
+        health_payload,
+        render_top,
+        timeseries_payload,
+    )
+
+    color = not args.no_color
+    if args.url is not None:
+        url = args.url.rstrip("/")
+        iteration = 0
+        while True:
+            iteration += 1
+            health = fetch_json(f"{url}/health")
+            ts = fetch_json(f"{url}/timeseries?window={args.window}")
+            ev = fetch_json(f"{url}/events?limit={args.events}")
+            screen = render_top(
+                health, ts, ev["events"], color=color, source=url
+            )
+            if args.iterations != 1 and color:
+                print("\x1b[2J\x1b[H", end="")
+            print(screen)
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+    from .obs import MetricStore
+
+    store = MetricStore(cadence_s=args.cadence)
+    with obs.observe(store=store, journal=True) as ob:
+        slo = obs.SLOPolicy(max_lag_s=args.slo) if args.slo is not None else None
+        _, catalog = build_demo_catalog(args.seed, args.frames, *args.sector)
+        server = DSMSServer(catalog, slo=slo)
+        server.register("stretch(reflectance(goes.vis), 'linear')")
+        server.register("reflectance(goes.nir)")
+        server.run()
+        health = health_payload(server, store=ob.store, journal=ob.journal)
+        ts = timeseries_payload(ob.store, window=args.window)
+        ev = events_payload(ob.journal, limit=args.events)
+    print(render_top(health, ts, ev["events"], color=color, source="in-process demo"))
     return 0
 
 
@@ -768,6 +956,75 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=2, help="number of demo clients")
     _add_common(p)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve-telemetry",
+        help="run the demo workload with the telemetry timeline and serve "
+             "/metrics /health /timeseries /events /traces over HTTP",
+    )
+    p.add_argument("--port", type=int, default=0, help="HTTP port (default: ephemeral)")
+    p.add_argument("--clients", type=int, default=4, help="number of demo clients")
+    p.add_argument(
+        "--slo", type=float, default=None, metavar="MAX_LAG_S",
+        help="install a delivery-lag SLO so /health folds breach state",
+    )
+    p.add_argument(
+        "--cadence", type=float, default=30.0, metavar="SECONDS",
+        help="timeline sampling cadence in logical stream seconds (default 30)",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="also install the frame tracer so /traces/<id> serves captures",
+    )
+    p.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the endpoint up this long after the scan (for repro top)",
+    )
+    p.add_argument(
+        "--snapshot-out", default=None, metavar="DIR",
+        help="fetch /health and /events over HTTP and write them to DIR",
+    )
+    _add_common(p)
+    _add_faults(p)
+    p.set_defaults(func=cmd_serve_telemetry)
+
+    p = sub.add_parser(
+        "top",
+        help="live ANSI health/lag/journal console against a telemetry "
+             "endpoint (or one in-process demo run)",
+    )
+    p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="telemetry endpoint base URL (from serve-telemetry); omit to "
+             "render one in-process demo scan",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval when polling a URL (default 2s)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (default 0: until interrupted)",
+    )
+    p.add_argument(
+        "--window", type=int, default=20, metavar="N",
+        help="rollup window in timeline samples (default 20)",
+    )
+    p.add_argument(
+        "--events", type=int, default=8, metavar="N",
+        help="journal tail length to show (default 8)",
+    )
+    p.add_argument(
+        "--slo", type=float, default=None, metavar="MAX_LAG_S",
+        help="in-process mode: install a delivery-lag SLO",
+    )
+    p.add_argument(
+        "--cadence", type=float, default=30.0, metavar="SECONDS",
+        help="in-process mode: timeline sampling cadence (default 30)",
+    )
+    p.add_argument("--no-color", action="store_true", help="plain-text output")
+    _add_common(p)
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("archive", help="capture the demo downlink to .gsar files")
     p.add_argument("--out", default="./archives", help="output directory")

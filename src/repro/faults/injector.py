@@ -43,6 +43,7 @@ from ..core.chunk import Chunk, GridChunk
 from ..core.stream import GeoStream
 from ..errors import SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.timeline import current_journal
 from ..obs.trace import FrameTracer, current_frame_tracer
 from .recovery import SimClock, SystemClock, current_recovery
 from .spec import FAULT_KINDS, FaultSpec
@@ -84,6 +85,18 @@ class FaultInjector:
         self.counts[kind] += 1
         if metrics_enabled():
             get_registry().counter("repro_faults_injected_total", kind=kind).inc()
+        journal = current_journal()
+        if journal is not None:
+            # Stamped with the injector's own (sim) clock and never the
+            # tracer's state, so the journal is bit-identical whether or
+            # not tracing is installed. The link matches the pin reason
+            # `_note_trace` writes on the affected frame's capture.
+            journal.append(
+                "fault",
+                reason=kind,
+                link=f"fault:{kind}",
+                t=self._resolve_clock().now(),
+            )
 
     @staticmethod
     def _note_trace(ftr: "FrameTracer | None", chunk: Chunk, kind: str) -> None:

@@ -52,6 +52,7 @@ from ..core.stream import GeoStream
 from ..core.valueset import ValueSet
 from ..errors import GeoStreamsError, RecoveryExhausted, SourceDisconnected
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.timeline import current_journal
 from ..obs.trace import current_frame_tracer
 from ..operators.base import BinaryOperator, Operator
 
@@ -232,6 +233,16 @@ class RecoveryContext:
         self, item: object, reason: str, stage: str = "", error: Exception | None = None
     ) -> None:
         self.dead_letter.add(item, reason, stage, str(error) if error else "")
+        journal = current_journal()
+        if journal is not None:
+            # Same string the flight recorder pins with, so the journal
+            # entry clicks through to the quarantined frame's capture.
+            journal.append(
+                "dead-letter",
+                reason=f"{reason} stage={stage}" if stage else reason,
+                link=f"recovery:quarantined:{reason}",
+                t=self.clock.now(),
+            )
         ftr = current_frame_tracer()
         if ftr is not None:
             tctx = getattr(item, "trace", None)
@@ -281,6 +292,16 @@ class RecoveryContext:
             registry = get_registry()
             registry.counter("repro_faults_retries_total", stream=stream_id).inc()
             registry.gauge("repro_faults_backoff_seconds", stream=stream_id).set(delay)
+        journal = current_journal()
+        if journal is not None:
+            # "recovery:reconnect" is a prefix of the resilient stream's
+            # trace annotation, so captures() can match the pinned frame.
+            journal.append(
+                "reconnect",
+                reason=f"stream={stream_id} backoff={delay:g}s",
+                link="recovery:reconnect",
+                t=self.clock.now(),
+            )
 
     def note_exhausted(self, stream_id: str) -> None:
         self.sources_lost += 1
@@ -288,11 +309,21 @@ class RecoveryContext:
             get_registry().counter(
                 "repro_faults_recovery_exhausted_total", stream=stream_id
             ).inc()
+        journal = current_journal()
+        if journal is not None:
+            journal.append(
+                "recovery-exhausted",
+                reason=f"stream={stream_id}",
+                t=self.clock.now(),
+            )
 
     def note_stall(self) -> None:
         self.stalls_observed += 1
         if metrics_enabled():
             get_registry().counter("repro_faults_stalls_total").inc()
+        journal = current_journal()
+        if journal is not None:
+            journal.append("stall", t=self.clock.now())
 
     def note_timeout(self, op_name: str) -> None:
         self.op_timeouts[op_name] = self.op_timeouts.get(op_name, 0) + 1

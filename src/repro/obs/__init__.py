@@ -24,6 +24,7 @@ from typing import Iterator, Optional
 from .export import (
     collect_run,
     normalize_spans,
+    register_build_info,
     snapshot_lines,
     to_prometheus,
     traces_to_chrome,
@@ -45,6 +46,22 @@ from .registry import (
     set_registry,
 )
 from .slo import SLOBreach, SLOMonitor, SLOPolicy
+from .timeline import (
+    EventJournal,
+    HealthModel,
+    HealthPolicy,
+    HealthReport,
+    JournalEvent,
+    MetricStore,
+    QueryHealth,
+    Rollup,
+    clear_journal,
+    clear_metric_store,
+    current_journal,
+    current_metric_store,
+    install_journal,
+    install_metric_store,
+)
 from .stats import (
     Reservoir,
     StageStats,
@@ -117,6 +134,21 @@ __all__ = [
     "SLOPolicy",
     "SLOBreach",
     "SLOMonitor",
+    "MetricStore",
+    "Rollup",
+    "EventJournal",
+    "JournalEvent",
+    "HealthModel",
+    "HealthPolicy",
+    "HealthReport",
+    "QueryHealth",
+    "current_metric_store",
+    "install_metric_store",
+    "clear_metric_store",
+    "current_journal",
+    "install_journal",
+    "clear_journal",
+    "register_build_info",
     "Observation",
     "observe",
 ]
@@ -130,6 +162,8 @@ class Observation:
     tracer: Optional[Tracer]
     stats: Optional[StatsCollector] = None
     frame_tracer: Optional[FrameTracer] = None
+    store: Optional[MetricStore] = None
+    journal: Optional[EventJournal] = None
 
 
 @contextlib.contextmanager
@@ -138,6 +172,8 @@ def observe(
     reset: bool = True,
     stats: bool = False,
     frame_trace: bool | float = False,
+    store: bool | MetricStore = False,
+    journal: bool | EventJournal = False,
 ) -> Iterator[Observation]:
     """Enable metrics (and optionally tracing/stage stats) for a block.
 
@@ -149,12 +185,19 @@ def observe(
     ``frame_trace=True`` (or a 0..1 head-sampling rate) a
     :class:`FrameTracer` with a :class:`FlightRecorder` is installed, so
     delivered frames carry end-to-end :class:`FrameTrace` waterfalls.
+    With ``store=True`` (or a preconfigured :class:`MetricStore`) the
+    DSMS samples the registry into rolling time-series rings on its
+    logical-clock cadence; with ``journal=True`` (or an
+    :class:`EventJournal`) operational events — SLO edges, epoch swaps,
+    faults, shed escalations, dead letters — land in one bounded ring.
     """
     registry = get_registry()
     was_enabled = metrics_enabled()
     previous_tracer = current_tracer()
     previous_collector = current_collector()
     previous_ftracer = current_frame_tracer()
+    previous_store = current_metric_store()
+    previous_journal = current_journal()
     if reset:
         registry.reset()
     enable_metrics()
@@ -165,9 +208,24 @@ def observe(
         ftracer = enable_frame_tracing(sample_rate=rate)
     else:
         ftracer = previous_ftracer
+    if store is not False:
+        metric_store = install_metric_store(store if isinstance(store, MetricStore) else None)
+    else:
+        metric_store = previous_store
+    if journal is not False:
+        event_journal = install_journal(
+            journal if isinstance(journal, EventJournal) else None
+        )
+    else:
+        event_journal = previous_journal
     try:
         yield Observation(
-            registry=registry, tracer=tracer, stats=collector, frame_tracer=ftracer
+            registry=registry,
+            tracer=tracer,
+            stats=collector,
+            frame_tracer=ftracer,
+            store=metric_store,
+            journal=event_journal,
         )
     finally:
         if not was_enabled:
@@ -187,3 +245,13 @@ def observe(
                 disable_frame_tracing()
             else:
                 enable_frame_tracing(previous_ftracer)
+        if store is not False:
+            if previous_store is None:
+                clear_metric_store()
+            else:
+                install_metric_store(previous_store)
+        if journal is not False:
+            if previous_journal is None:
+                clear_journal()
+            else:
+                install_journal(previous_journal)

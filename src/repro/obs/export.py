@@ -44,6 +44,7 @@ __all__ = [
     "snapshot_lines",
     "write_jsonl",
     "to_prometheus",
+    "register_build_info",
     "normalize_spans",
     "traces_to_chrome",
     "traces_to_otlp",
@@ -205,39 +206,103 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+# Operator-facing help text for the well-known metric families. Families
+# not listed fall back to a generated one-liner; either way every family
+# gets exactly one ``# HELP`` line in the exposition output.
+_HELP: dict[str, str] = {
+    "repro_build_info": "Build identity (constant 1; labels carry the facts).",
+    "repro_slo_lag_seconds": "Current delivery lag per query (worst of event/clock lag).",
+    "repro_slo_watermark_seconds": "Newest delivered event time per query.",
+    "repro_slo_breached": "1 while the query is inside an SLO breach episode.",
+    "repro_slo_breaches_total": "Rising-edge SLO breaches per query.",
+    "repro_faults_injected_total": "Injected faults by kind.",
+    "repro_faults_shed_escalations_total": "Load-shed pressure escalations.",
+    "repro_faults_dead_letter_total": "Items quarantined to the dead-letter sink.",
+    "dsms_chunks_scanned_total": "Chunks admitted from all scanned sources.",
+    "dsms_stream_clock_seconds": "Stream-time clock of the latest routed chunk.",
+    "dsms_delivery_lag_seconds": "Per-delivery lag between stream clock and frame time.",
+    "repro_plan_epoch_swaps_total": "Committed live plan-epoch swaps.",
+}
+
+
+def _help_text(name: str) -> str:
+    text = _HELP.get(name, f"repro metric {name}.")
+    # HELP escaping per the exposition format: backslash and newline
+    # (quotes are NOT escaped in help text, unlike label values).
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_series(out: io.StringIO, name: str, snap: dict) -> None:
+    labels = snap["labels"]
+    if snap["type"] in ("counter", "gauge"):
+        out.write(f"{name}{_format_labels(labels)} {_format_value(snap['value'])}\n")
+        return
+    # Histogram: cumulative buckets, then sum and count.
+    running = 0
+    for bound, count in zip(snap["buckets"], snap["counts"]):
+        running += count
+        le = _format_labels(labels, {"le": _format_value(bound)})
+        out.write(f"{name}_bucket{le} {running}\n")
+    le = _format_labels(labels, {"le": "+Inf"})
+    out.write(f"{name}_bucket{le} {snap['count']}\n")
+    out.write(f"{name}_sum{_format_labels(labels)} {_format_value(snap['sum'])}\n")
+    out.write(f"{name}_count{_format_labels(labels)} {snap['count']}\n")
+    # Interpolated quantiles (summary-style companion series).
+    for key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+        value = snap.get(key)
+        if value is not None:
+            ql = _format_labels(labels, {"quantile": q})
+            out.write(f"{name}{ql} {_format_value(value)}\n")
+
+
 def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Series are grouped by metric *family* (labeled series of one metric
+    registered at different times still render contiguously), and each
+    family gets exactly one ``# HELP`` and one ``# TYPE`` line — the
+    exposition format forbids repeating or interleaving them.
+    """
     if registry is None:
         registry = get_registry()
-    out = io.StringIO()
-    seen_types: set[str] = set()
+    families: dict[str, list[dict]] = {}
     for metric in registry:
         snap = metric.snapshot()
-        name = _metric_name(snap["name"])
-        if name not in seen_types:
-            out.write(f"# TYPE {name} {snap['type']}\n")
-            seen_types.add(name)
-        labels = snap["labels"]
-        if snap["type"] in ("counter", "gauge"):
-            out.write(f"{name}{_format_labels(labels)} {_format_value(snap['value'])}\n")
-            continue
-        # Histogram: cumulative buckets, then sum and count.
-        running = 0
-        for bound, count in zip(snap["buckets"], snap["counts"]):
-            running += count
-            le = _format_labels(labels, {"le": _format_value(bound)})
-            out.write(f"{name}_bucket{le} {running}\n")
-        le = _format_labels(labels, {"le": "+Inf"})
-        out.write(f"{name}_bucket{le} {snap['count']}\n")
-        out.write(f"{name}_sum{_format_labels(labels)} {_format_value(snap['sum'])}\n")
-        out.write(f"{name}_count{_format_labels(labels)} {snap['count']}\n")
-        # Interpolated quantiles (summary-style companion series).
-        for key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
-            value = snap.get(key)
-            if value is not None:
-                ql = _format_labels(labels, {"quantile": q})
-                out.write(f"{name}{ql} {_format_value(value)}\n")
+        families.setdefault(_metric_name(snap["name"]), []).append(snap)
+    out = io.StringIO()
+    for name, snaps in families.items():  # first-registered family order
+        out.write(f"# HELP {name} {_help_text(name)}\n")
+        out.write(f"# TYPE {name} {snaps[0]['type']}\n")
+        for snap in snaps:
+            _render_series(out, name, snap)
     return out.getvalue()
+
+
+def register_build_info(
+    registry: Optional[MetricsRegistry] = None, columnar: bool | None = None
+) -> None:
+    """Register the ``repro_build_info`` gauge (constant 1).
+
+    Labels identify the build: package version, Python version, and the
+    columnar execution mode. Get-or-create semantics make this safe to
+    call once per server construction *and* once per scrape.
+    """
+    import importlib
+    import platform
+
+    if registry is None:
+        registry = get_registry()
+    if columnar is None:
+        from ..core.columnar import columnar_default
+
+        columnar = columnar_default()
+    version = getattr(importlib.import_module("repro"), "__version__", "unknown")
+    registry.gauge(
+        "repro_build_info",
+        version=version,
+        python=platform.python_version(),
+        columnar="1" if columnar else "0",
+    ).set(1.0)
 
 
 # -- frame-trace exporters -----------------------------------------------------

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .registry import get_registry, metrics_enabled
+from .timeline import current_journal
 from .trace import current_frame_tracer
 
 __all__ = ["SLOPolicy", "SLOBreach", "SLOMonitor"]
@@ -129,6 +130,15 @@ class SLOMonitor:
                     state.breached = False
                     state.healthy_streak = 0
                     self._publish(query, lag, state)
+                    journal = current_journal()
+                    if journal is not None:
+                        journal.append(
+                            "slo-recover",
+                            query=query,
+                            reason=f"{kind} lag {lag:.3f}s back under "
+                            f"{self.policy.max_lag_s:g}s",
+                            t=stream_t,
+                        )
                     ftracer = current_frame_tracer()
                     if ftracer is not None:
                         ftracer.on_recover(query)
@@ -149,13 +159,17 @@ class SLOMonitor:
         self._publish(query, lag, state)
         if metrics_enabled():
             get_registry().counter("repro_slo_breaches_total", query=query).inc()
+        edge = f"slo-breach:{kind}-lag:{lag:.3f}s>{self.policy.max_lag_s:g}s"
+        journal = current_journal()
+        if journal is not None:
+            # The link doubles as the flight-recorder pin reason so the
+            # journal entry clicks through to the pinned capture.
+            journal.append("slo-breach", query=query, reason=edge, link=edge, t=stream_t)
         ftracer = current_frame_tracer()
         if ftracer is not None:
             # Auto-pin the breaching query's latest frame trace and force
             # sampling on until the monitor declares it healthy again.
-            ftracer.on_breach(
-                query, reason=f"slo-breach:{kind}-lag:{lag:.3f}s>{self.policy.max_lag_s:g}s"
-            )
+            ftracer.on_breach(query, reason=edge)
         if self.policy.callback is not None:
             self.policy.callback(breach)
         return breach

@@ -25,6 +25,7 @@ from typing import Iterable
 from ..core.chunk import Chunk, GridChunk, PointChunk
 from ..errors import OperatorError
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.timeline import current_journal
 from .base import Operator
 
 __all__ = ["FrameSubsampler", "AdaptiveLoadShedder"]
@@ -169,11 +170,24 @@ class AdaptiveLoadShedder(Operator):
             get_registry().counter(
                 "repro_faults_shed_escalations_total", policy=self.name
             ).inc()
+        journal = current_journal()
+        if journal is not None:
+            journal.append(
+                "shed-escalate",
+                reason=f"policy={self.name} pressure={self._pressure:g}",
+            )
 
     def relax(self) -> None:
         """Undo escalation once the feed looks healthy again."""
         if self.managed:
             return
+        if self._pressure > 1.0:
+            journal = current_journal()
+            if journal is not None:
+                journal.append(
+                    "shed-relax",
+                    reason=f"policy={self.name} pressure={self._pressure:g}->1",
+                )
         self._pressure = 1.0
 
     def set_managed(self, pressure: float) -> None:
@@ -188,6 +202,12 @@ class AdaptiveLoadShedder(Operator):
             raise OperatorError(f"managed pressure must be positive, got {pressure}")
         self._pressure = min(pressure, 64.0)
         self.managed = True
+        journal = current_journal()
+        if journal is not None:
+            journal.append(
+                "shed-managed",
+                reason=f"policy={self.name} pressure={self._pressure:g}",
+            )
 
     def release_managed(self) -> None:
         """Return the shed rate to reflexive stall/SLO control."""

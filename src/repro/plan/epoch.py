@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from ..core.chunk import Chunk
 from ..errors import PlanError
 from ..obs.registry import get_registry, metrics_enabled
+from ..obs.timeline import current_journal
 from .nodes import Compose, EmptyPlan, PlanNode, SourceScan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -155,9 +156,35 @@ class EpochTransition:
         self._check_open()
         self._committed = True
         dag = self.dag
+        journal = current_journal()
         if self._closing:
+            if journal is not None:
+                journal.append(
+                    "epoch-retire",
+                    query=self.root_id,
+                    epoch=self.old_epoch,
+                    reason=self.reason,
+                )
             dag.epoch_of.pop(self.root_id, None)
             return None
+        if journal is not None:
+            if self.old_epoch == 0:
+                journal.append(
+                    "epoch-install",
+                    query=self.root_id,
+                    epoch=self.new_epoch,
+                    reason=self.reason,
+                )
+            else:
+                # The link matches the flight recorder's epoch-swap pin
+                # reason, so this entry clicks through to the capture.
+                journal.append(
+                    "epoch-swap",
+                    query=self.root_id,
+                    epoch=self.new_epoch,
+                    reason=self.reason,
+                    link=f"epoch-swap:e{self.old_epoch}->e{self.new_epoch}",
+                )
         epoch = PlanEpoch(
             root_id=self.root_id,
             epoch=self.new_epoch,

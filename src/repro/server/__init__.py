@@ -5,9 +5,14 @@ from .compiler import PushNetwork, compile_push_network
 from .dsms import DSMSServer, RouterStats, source_prune_boxes
 from .protocol import Request, format_query_request, parse_request
 from .session import AggregateRecord, ClientSession, SessionCheckpoint
+from .telemetry import TelemetryServer, fetch_json, render_top, sparkline
 
 __all__ = [
     "SessionCheckpoint",
+    "TelemetryServer",
+    "fetch_json",
+    "render_top",
+    "sparkline",
     "StreamCatalog",
     "PushNetwork",
     "compile_push_network",

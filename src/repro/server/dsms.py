@@ -24,9 +24,11 @@ from ..geo.region import BoundingBox
 from ..index.base import RegionIndex
 from ..index.cascade_tree import CascadeTree
 from ..index.naive import NaiveRegionIndex
+from ..obs.export import register_build_info
 from ..obs.registry import get_registry, metrics_enabled
 from ..obs.slo import SLOMonitor, SLOPolicy
 from ..obs.stats import StatsCollector, current_collector
+from ..obs.timeline import current_journal, current_metric_store
 from ..obs.trace import FrameTrace, current_frame_tracer
 from ..operators.base import Operator
 from ..operators.delivery import DeliveredFrame
@@ -53,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from ..analysis.diagnostics import DiagnosticReport
     from ..engine.stats import OperatorReport
+    from .telemetry import TelemetryServer
     from ..obs.trace import FrameTracer
     from ..plan.stages import PlanStats
     from ..query.calibration import CalibrationProfile
@@ -246,6 +249,25 @@ class DSMSServer:
         self.adaptive: AdaptivePolicy | None = None
         self._pending_swaps: dict[int, _PendingSwap] = {}
         self.swap_log: list[EpochSwapRecord] = []
+        if metrics_enabled():
+            # Every scrape/snapshot from this server identifies the build.
+            register_build_info(columnar=self.plan_dag.columnar)
+
+    def serve_telemetry(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "TelemetryServer":
+        """Start the stdlib HTTP telemetry endpoint for this server.
+
+        Exposes ``/metrics`` (Prometheus text), ``/health``,
+        ``/timeseries``, ``/events``, and ``/traces/<id>`` backed by this
+        server plus whatever store/journal/recorder are installed.
+        Returns the started :class:`~repro.server.telemetry.
+        TelemetryServer`; callers close it (or use it as a context
+        manager).
+        """
+        from .telemetry import TelemetryServer
+
+        return TelemetryServer(self, host=host, port=port)
 
     def set_slo(self, policy: SLOPolicy | None) -> None:
         """Install (or clear) the delivery-lag SLO for subsequent runs."""
@@ -1044,6 +1066,11 @@ class DSMSServer:
         # Frame tracing follows the same rule: tracer fetched once per run;
         # with none installed the per-chunk cost is this one None check.
         ftracer = current_frame_tracer()
+        # Timeline store and event journal: fetched once; per-chunk cost
+        # with nothing installed is two None checks (the store additionally
+        # rate-limits itself to its logical-clock cadence when present).
+        store = current_metric_store()
+        journal = current_journal()
         monitor = self.slo_monitor
         slo_seen: dict[int, int] = {}
         slo_clock: dict[int, float] = {}
@@ -1110,6 +1137,10 @@ class DSMSServer:
                     # watermark freezes while stream time advances — the
                     # exact breach the adaptive re-planner must observe.
                     self._now = chunk_time(chunk)
+                    if journal is not None:
+                        journal.set_time(self._now)
+                    if store is not None:
+                        store.maybe_sample(self._now)
                     if monitor is not None:
                         self._observe_slo(
                             monitor,
@@ -1122,6 +1153,10 @@ class DSMSServer:
                 (chunk,) = kept
             self.router_stats.chunks_scanned += 1
             self._now = chunk_time(chunk)
+            if journal is not None:
+                journal.set_time(self._now)
+            if store is not None:
+                store.maybe_sample(self._now)
             if collector is not None:
                 ordinal = collector.note_scan(
                     stream_id,
@@ -1190,6 +1225,10 @@ class DSMSServer:
                 # Capture pinned traces that never reached delivery
                 # (dropped / quarantined frames) as partial captures.
                 ftracer.flush_pinned()
+            if store is not None:
+                # One forced end-of-run tick so the rings include the
+                # final post-flush state of every instrument.
+                store.sample(self._now)
         if obs is not None:
             registry = get_registry()
             stats = self.plan_dag.stats

@@ -150,6 +150,58 @@ class TestPrometheusExport:
         reg.counter("weird.name-total").inc()
         assert "weird_name_total 1" in obs.to_prometheus(reg)
 
+    def test_one_type_and_help_per_family(self):
+        """Interleaved label registrations must not repeat family headers."""
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", query=1).inc()
+        reg.gauge("depth").set(1.0)
+        reg.counter("reqs_total", query=2).inc(5)  # same family, registered later
+        reg.counter("reqs_total", query=3).inc(7)
+        text = obs.to_prometheus(reg)
+        assert text.count("# TYPE reqs_total counter") == 1
+        assert text.count("# HELP reqs_total ") == 1
+        assert text.count("# TYPE depth gauge") == 1
+        # All of a family's series render contiguously under its header.
+        lines = text.splitlines()
+        type_idx = lines.index("# TYPE reqs_total counter")
+        series = [i for i, ln in enumerate(lines) if ln.startswith("reqs_total{")]
+        assert len(series) == 3
+        assert series == list(range(type_idx + 1, type_idx + 4))
+        # HELP immediately precedes TYPE.
+        assert lines[type_idx - 1].startswith("# HELP reqs_total ")
+
+    def test_help_text_known_and_fallback(self):
+        reg = MetricsRegistry()
+        reg.counter("dsms_chunks_scanned_total").inc()
+        reg.counter("my_custom_total").inc()
+        text = obs.to_prometheus(reg)
+        assert (
+            "# HELP dsms_chunks_scanned_total Chunks admitted from all scanned sources."
+            in text
+        )
+        assert "# HELP my_custom_total repro metric my_custom_total." in text
+
+    def test_histogram_family_header_not_repeated_across_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lag_seconds", query=1, buckets=(1.0,)).observe(0.5)
+        reg.histogram("lag_seconds", query=2, buckets=(1.0,)).observe(2.0)
+        text = obs.to_prometheus(reg)
+        assert text.count("# TYPE lag_seconds histogram") == 1
+        assert 'lag_seconds_bucket{le="1",query="1"} 1' in text
+        assert 'lag_seconds_bucket{le="1",query="2"} 0' in text
+
+    def test_build_info_gauge(self):
+        reg = MetricsRegistry()
+        obs.register_build_info(reg, columnar=False)
+        obs.register_build_info(reg, columnar=False)  # idempotent (scrape path)
+        text = obs.to_prometheus(reg)
+        assert text.count("# TYPE repro_build_info gauge") == 1
+        assert 'columnar="0"' in text
+        assert 'python="' in text
+        assert 'version="' in text
+        [snap] = reg.snapshot()
+        assert snap["value"] == 1.0
+
 
 class TestSnapshotRoundTrip:
     def test_registry_snapshot_survives_json(self):

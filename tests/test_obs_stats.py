@@ -391,15 +391,31 @@ class TestSLO:
 
 class TestFastPathOverhead:
     def test_no_timing_calls_when_observability_off(self, catalog, monkeypatch):
-        """The no-tracer/no-stats path must never touch perf_counter."""
+        """The no-tracer/no-stats path must never touch perf_counter.
+
+        The telemetry timeline rides the same zero-cost contract: with no
+        MetricStore or EventJournal installed the run must never call into
+        them either.
+        """
 
         def forbidden():
             raise AssertionError("perf_counter called on the fast path")
+
+        def forbidden_timeline(*args, **kwargs):
+            raise AssertionError("timeline touched with no store/journal installed")
 
         monkeypatch.setattr("repro.plan.stages.perf_counter", forbidden)
         monkeypatch.setattr("repro.engine.pipeline.perf_counter", forbidden)
         monkeypatch.setattr("repro.obs.trace.perf_counter", forbidden)
         monkeypatch.setattr("repro.operators.delivery.perf_counter", forbidden)
+        monkeypatch.setattr(
+            "repro.obs.timeline.MetricStore.maybe_sample", forbidden_timeline
+        )
+        monkeypatch.setattr("repro.obs.timeline.MetricStore.sample", forbidden_timeline)
+        monkeypatch.setattr("repro.obs.timeline.EventJournal.append", forbidden_timeline)
+        monkeypatch.setattr(
+            "repro.obs.timeline.EventJournal.set_time", forbidden_timeline
+        )
         server = DSMSServer(catalog)
         session = server.register(Q_VRANGE, encode_png=False)
         server.run()

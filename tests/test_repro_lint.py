@@ -228,6 +228,41 @@ def test_rl006_scoped_to_the_library(tmp_path):
     assert lint_source(tmp_path, "tests/test_x.py", src) == []
 
 
+# -- RL007: telemetry timeline is logical-clock only ------------------------------
+
+
+def test_rl007_flags_time_import_in_timeline(tmp_path):
+    src = "import time\n\ndef now():\n    return time.time()\n"
+    found = codes(lint_source(tmp_path, "src/repro/obs/timeline.py", src))
+    assert found == ["RL007", "RL007"]  # the import and the attribute read
+
+
+def test_rl007_flags_from_import_and_datetime(tmp_path):
+    src = "from time import monotonic\n"
+    assert codes(lint_source(tmp_path, "src/repro/obs/timeline.py", src)) == ["RL007"]
+    src = "import datetime\n\nstamp = datetime.datetime.now()\n"
+    found = codes(lint_source(tmp_path, "src/repro/obs/timeline.py", src))
+    assert "RL007" in found
+
+
+def test_rl007_stricter_than_rl001_obs_whitelist(tmp_path):
+    # The same source is fine elsewhere in repro.obs (RL001 whitelists the
+    # package) but forbidden in the timeline module specifically.
+    src = "import time\n\ndef now():\n    return time.perf_counter()\n"
+    assert lint_source(tmp_path, "src/repro/obs/trace.py", src) == []
+    assert "RL007" in codes(lint_source(tmp_path, "src/repro/obs/timeline.py", src))
+
+
+def test_rl007_allows_logical_clock_code(tmp_path):
+    src = (
+        "from collections import deque\n\n"
+        "class MetricStore:\n"
+        "    def maybe_sample(self, now):\n"
+        "        self._last_t = float(now)\n"
+    )
+    assert lint_source(tmp_path, "src/repro/obs/timeline.py", src) == []
+
+
 # -- framework --------------------------------------------------------------------
 
 

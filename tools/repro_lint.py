@@ -35,6 +35,14 @@ Rules:
   ``src/repro``, mutating those tables (mutator method calls, subscript
   assignment/deletion, or rebinding outside ``__init__``) would bypass
   epoch bookkeeping and corrupt hot swaps.
+* **RL007 — no wall clocks in the telemetry timeline.** Stricter than
+  RL001 (which whitelists all of ``repro.obs``):
+  ``src/repro/obs/timeline.py`` may not reference the ``time`` or
+  ``datetime`` modules *at all*. Its determinism contract — bit-identical
+  event journals for traced and untraced chaos runs, sample timestamps
+  that tests can assert exactly — only holds if every timestamp is a
+  logical time passed in by the caller (DSMS stream clock or fault-layer
+  ``SimClock``).
 """
 
 from __future__ import annotations
@@ -421,6 +429,56 @@ def _check_stage_table_mutation(rel: str, tree: ast.AST) -> Iterator[Violation]:
                         yield violation(node, table, "deletion")
 
 
+# -- RL007: the telemetry timeline is logical-clock only --------------------------
+
+TIMELINE_FILE = "src/repro/obs/timeline.py"
+WALL_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+
+def _check_timeline_clock(rel: str, tree: ast.AST) -> Iterator[Violation]:
+    if rel != TIMELINE_FILE:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in WALL_CLOCK_MODULES:
+                    yield Violation(
+                        rel,
+                        node.lineno,
+                        node.col_offset,
+                        "RL007",
+                        f"import of {alias.name!r} in the telemetry timeline; "
+                        "timeline timestamps are logical clocks only",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if node.level == 0 and top in WALL_CLOCK_MODULES:
+                yield Violation(
+                    rel,
+                    node.lineno,
+                    node.col_offset,
+                    "RL007",
+                    f"import from {node.module!r} in the telemetry timeline; "
+                    "timeline timestamps are logical clocks only",
+                )
+        elif isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in (
+                "time",
+                "_time",
+                "datetime",
+            ):
+                yield Violation(
+                    rel,
+                    node.lineno,
+                    node.col_offset,
+                    "RL007",
+                    f"wall-clock reference {value.id}.{node.attr} in the "
+                    "telemetry timeline; pass logical times in from the caller",
+                )
+
+
 _CHECKS = (
     _check_timing,
     _check_private_imports,
@@ -428,6 +486,7 @@ _CHECKS = (
     _check_registry_lock,
     _check_seeded_random,
     _check_stage_table_mutation,
+    _check_timeline_clock,
 )
 
 
